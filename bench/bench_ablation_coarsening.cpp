@@ -1,0 +1,58 @@
+// Ablation A1 — coarsening policy. Partitions the fine-grain hypergraphs of
+// a few suite matrices with each clustering algorithm (agglomerative HCC,
+// heavy-connectivity matching, random matching, and no multilevel at all)
+// and reports cutsize (= exact communication volume) and time. Shows why
+// the multilevel scheme, and connectivity-aware clustering in particular,
+// matters.
+//
+// Knobs: FGHP_SCALE, FGHP_MATRICES, FGHP_K (first value used).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "models/finegrain.hpp"
+#include "partition/hg/partitioner.hpp"
+
+int main() {
+  using namespace fghp;
+  bench::BenchEnv env = bench::load_env();
+  if (!env_str("FGHP_MATRICES")) {
+    env.matrices = {"sherman3", "ken-11", "vibrobox"};
+  }
+  // The no-multilevel baseline is quadratic-ish; default to reduced scale.
+  if (!env_str("FGHP_SCALE")) env.scale = 0.3;
+  const idx_t K = env.kValues.empty() ? 16 : env.kValues.front();
+
+  struct Policy {
+    const char* name;
+    part::Coarsening value;
+  };
+  const Policy policies[] = {
+      {"agglomerative", part::Coarsening::kAgglomerative},
+      {"heavy-conn", part::Coarsening::kHeavyConnectivity},
+      {"random-match", part::Coarsening::kRandomMatching},
+      {"none(flat)", part::Coarsening::kNone},
+  };
+
+  std::printf("Ablation A1 — coarsening policy (fine-grain model, K=%d, scale=%.2f)\n\n",
+              static_cast<int>(K), env.scale);
+  Table t({"matrix", "policy", "cutsize(=volume)", "vs agglo", "time[s]", "imbal%"});
+  for (const auto& name : env.matrices) {
+    const sparse::Csr a = sparse::make_matrix(name, 1, env.scale);
+    const model::FineGrainModel m = model::build_finegrain(a);
+    double baseline = 0.0;
+    for (const Policy& pol : policies) {
+      part::PartitionConfig cfg;
+      cfg.coarsening = pol.value;
+      const part::HgResult r = part::partition_hypergraph(m.h, K, cfg);
+      if (pol.value == part::Coarsening::kAgglomerative)
+        baseline = static_cast<double>(r.cutsize);
+      const double rel = baseline > 0.0 ? static_cast<double>(r.cutsize) / baseline : 0.0;
+      t.add_row({name, pol.name, Table::num(static_cast<long long>(r.cutsize)),
+                 Table::num(rel, 2) + "x", Table::num(r.seconds),
+                 Table::num(100.0 * r.imbalance, 1)});
+    }
+    t.add_separator();
+  }
+  t.print();
+  return 0;
+}

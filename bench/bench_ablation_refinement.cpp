@@ -1,0 +1,58 @@
+// Ablation A2 — refinement. Sweeps the FM pass budget (0/1/3 passes), the
+// greedy direct K-way polish (on/off), and the initial-partitioning
+// algorithm, on the fine-grain hypergraphs of a few suite matrices.
+//
+// Knobs: FGHP_SCALE, FGHP_MATRICES, FGHP_K (first value used).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "models/finegrain.hpp"
+#include "partition/hg/partitioner.hpp"
+
+int main() {
+  using namespace fghp;
+  bench::BenchEnv env = bench::load_env();
+  if (!env_str("FGHP_MATRICES")) {
+    env.matrices = {"sherman3", "ken-11", "vibrobox"};
+  }
+  if (!env_str("FGHP_SCALE")) env.scale = 0.5;  // six variants per matrix
+  const idx_t K = env.kValues.empty() ? 16 : env.kValues.front();
+
+  struct Variant {
+    const char* name;
+    idx_t fmPasses;
+    bool kway;
+    part::InitialAlgo initial;
+  };
+  const Variant variants[] = {
+      {"full (3 FM + kway)", 3, true, part::InitialAlgo::kMixed},
+      {"no kway polish", 3, false, part::InitialAlgo::kMixed},
+      {"1 FM pass", 1, true, part::InitialAlgo::kMixed},
+      {"no FM at all", 0, false, part::InitialAlgo::kMixed},
+      {"random initial only", 3, true, part::InitialAlgo::kRandom},
+      {"GHG initial only", 3, true, part::InitialAlgo::kGreedyGrowing},
+  };
+
+  std::printf("Ablation A2 — refinement & initial partitioning (fine-grain, K=%d, scale=%.2f)\n\n",
+              static_cast<int>(K), env.scale);
+  Table t({"matrix", "variant", "cutsize(=volume)", "vs full", "time[s]"});
+  for (const auto& name : env.matrices) {
+    const sparse::Csr a = sparse::make_matrix(name, 1, env.scale);
+    const model::FineGrainModel m = model::build_finegrain(a);
+    double baseline = 0.0;
+    for (const Variant& v : variants) {
+      part::PartitionConfig cfg;
+      cfg.maxFmPasses = v.fmPasses;
+      cfg.kwayRefine = v.kway;
+      cfg.initial = v.initial;
+      const part::HgResult r = part::partition_hypergraph(m.h, K, cfg);
+      if (baseline == 0.0) baseline = static_cast<double>(r.cutsize);
+      t.add_row({name, v.name, Table::num(static_cast<long long>(r.cutsize)),
+                 Table::num(static_cast<double>(r.cutsize) / baseline, 2) + "x",
+                 Table::num(r.seconds)});
+    }
+    t.add_separator();
+  }
+  t.print();
+  return 0;
+}

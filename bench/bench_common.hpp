@@ -1,0 +1,111 @@
+// Shared plumbing for the benchmark harnesses: environment knobs, the
+// model-sweep runner, and per-run record keeping.
+//
+// Knobs (environment variables):
+//   FGHP_SCALE     matrix scale in (0, 1]        (default 1.0 = paper size)
+//   FGHP_SEEDS     partitioner seeds per instance (default 1; paper used 50)
+//   FGHP_K         comma list of K values         (default "16,32,64")
+//   FGHP_MATRICES  comma list of suite names      (default: all 14)
+//   FGHP_FULL=1    shorthand for FGHP_SCALE=1.0, FGHP_SEEDS=3
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/volume.hpp"
+#include "models/finegrain.hpp"
+#include "models/graph_model.hpp"
+#include "models/hypergraph1d.hpp"
+#include "partition/config.hpp"
+#include "sparse/testsuite.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace fghp::bench {
+
+struct BenchEnv {
+  double scale = 0.3;
+  idx_t seeds = 1;
+  std::vector<idx_t> kValues = {16, 32, 64};
+  std::vector<std::string> matrices;  // paper order
+};
+
+inline BenchEnv load_env() {
+  BenchEnv env;
+  const bool full = env_flag("FGHP_FULL");
+  env.scale = 1.0;
+  env.seeds = full ? 3 : 1;
+  if (const auto s = env_str("FGHP_SCALE")) env.scale = std::stod(*s);
+  env.seeds = static_cast<idx_t>(env_long("FGHP_SEEDS", env.seeds));
+  if (const auto ks = env_str("FGHP_K"); ks) {
+    env.kValues.clear();
+    for (const auto& item : env_list("FGHP_K")) env.kValues.push_back(std::stoi(item));
+  }
+  env.matrices = env_list("FGHP_MATRICES");
+  if (env.matrices.empty()) env.matrices = sparse::suite_names();
+  return env;
+}
+
+/// One (matrix, K, model, seed) measurement.
+struct RunRecord {
+  double scaledTotal = 0.0;  ///< total comm volume / M
+  double scaledMax = 0.0;    ///< max per-proc volume / M
+  double avgMsgs = 0.0;      ///< avg messages handled per proc
+  double seconds = 0.0;      ///< partitioning time
+  double pctImbalance = 0.0;
+};
+
+enum class Model { kGraph1d, kHypergraph1d, kFineGrain2d };
+
+inline const char* model_name(Model m) {
+  switch (m) {
+    case Model::kGraph1d: return "graph-1d";
+    case Model::kHypergraph1d: return "hyper-1d";
+    case Model::kFineGrain2d: return "finegrain-2d";
+  }
+  return "?";
+}
+
+/// Runs one model once and measures everything Table 2 reports.
+inline RunRecord run_once(const sparse::Csr& a, Model which, idx_t K, std::uint64_t seed) {
+  part::PartitionConfig cfg;
+  cfg.seed = seed;
+  model::ModelRun run;
+  switch (which) {
+    case Model::kGraph1d: run = model::run_graph_model(a, K, cfg); break;
+    case Model::kHypergraph1d: run = model::run_hypergraph1d(a, K, cfg); break;
+    case Model::kFineGrain2d: run = model::run_finegrain(a, K, cfg); break;
+  }
+  const comm::CommStats s = comm::analyze(a, run.decomp);
+  const model::LoadStats loads = model::compute_loads(a, run.decomp);
+  RunRecord rec;
+  rec.scaledTotal = s.scaledTotal(a.num_rows());
+  rec.scaledMax = s.scaledMax(a.num_rows());
+  rec.avgMsgs = s.avgMessagesPerProc;
+  rec.seconds = run.partitionSeconds;
+  rec.pctImbalance = loads.percentImbalance;
+  return rec;
+}
+
+/// Averages run_once over `seeds` seeds (the paper averages over 50).
+inline RunRecord run_avg(const sparse::Csr& a, Model which, idx_t K, idx_t seeds) {
+  RunRecord avg;
+  for (idx_t s = 0; s < seeds; ++s) {
+    const RunRecord r = run_once(a, which, K, static_cast<std::uint64_t>(s) + 1);
+    avg.scaledTotal += r.scaledTotal;
+    avg.scaledMax += r.scaledMax;
+    avg.avgMsgs += r.avgMsgs;
+    avg.seconds += r.seconds;
+    avg.pctImbalance += r.pctImbalance;
+  }
+  const double n = static_cast<double>(seeds);
+  avg.scaledTotal /= n;
+  avg.scaledMax /= n;
+  avg.avgMsgs /= n;
+  avg.seconds /= n;
+  avg.pctImbalance /= n;
+  return avg;
+}
+
+}  // namespace fghp::bench

@@ -1,0 +1,123 @@
+// Ablation A6 — google-benchmark microbenchmarks of the hot kernels:
+// model construction, one coarsening level, one FM refinement, the
+// communication analyzer and the local SpMV. These are the building blocks
+// whose costs explain the Table 2 'time' column.
+#include <benchmark/benchmark.h>
+
+#include "comm/volume.hpp"
+#include "models/finegrain.hpp"
+#include "models/hypergraph1d.hpp"
+#include "partition/hg/coarsen.hpp"
+#include "partition/hg/partitioner.hpp"
+#include "partition/hg/refine.hpp"
+#include "spmv/executor.hpp"
+#include "spmv/plan.hpp"
+#include "spmv/reference.hpp"
+#include "sparse/testsuite.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fghp;
+
+const sparse::Csr& matrix() {
+  static const sparse::Csr a = sparse::make_matrix("ken-11", 1, 0.5);
+  return a;
+}
+
+void BM_BuildFineGrain(benchmark::State& state) {
+  const sparse::Csr& a = matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::build_finegrain(a));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_BuildFineGrain)->Unit(benchmark::kMillisecond);
+
+void BM_BuildColnet(benchmark::State& state) {
+  const sparse::Csr& a = matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::build_colnet_hypergraph(a));
+  }
+}
+BENCHMARK(BM_BuildColnet)->Unit(benchmark::kMillisecond);
+
+void BM_CoarsenOneLevel(benchmark::State& state) {
+  const model::FineGrainModel m = model::build_finegrain(matrix());
+  part::PartitionConfig cfg;
+  for (auto _ : state) {
+    Rng rng(1);
+    benchmark::DoNotOptimize(part::hgc::coarsen_one_level(m.h, cfg, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * m.h.num_pins());
+}
+BENCHMARK(BM_CoarsenOneLevel)->Unit(benchmark::kMillisecond);
+
+void BM_FmRefineBisection(benchmark::State& state) {
+  const model::FineGrainModel m = model::build_finegrain(matrix());
+  part::PartitionConfig cfg;
+  Rng seedRng(2);
+  std::vector<idx_t> assign(static_cast<std::size_t>(m.h.num_vertices()));
+  for (auto& p : assign) p = seedRng.uniform(0, 1);
+  const weight_t cap = m.h.total_vertex_weight();
+  for (auto _ : state) {
+    hg::Partition p(m.h, 2, assign);
+    part::hgr::BisectionFM fm(cfg);
+    Rng rng(3);
+    benchmark::DoNotOptimize(fm.refine(m.h, p, {cap, cap}, rng));
+  }
+}
+BENCHMARK(BM_FmRefineBisection)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionFineGrainK16(benchmark::State& state) {
+  const model::FineGrainModel m = model::build_finegrain(matrix());
+  part::PartitionConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part::partition_hypergraph(m.h, 16, cfg));
+  }
+}
+BENCHMARK(BM_PartitionFineGrainK16)->Unit(benchmark::kMillisecond);
+
+void BM_CommAnalyze(benchmark::State& state) {
+  const sparse::Csr& a = matrix();
+  part::PartitionConfig cfg;
+  const model::ModelRun run = model::run_finegrain(a, 16, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::analyze(a, run.decomp));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_CommAnalyze)->Unit(benchmark::kMillisecond);
+
+void BM_ReferenceSpmv(benchmark::State& state) {
+  const sparse::Csr& a = matrix();
+  Rng rng(4);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
+  for (auto& v : x) v = rng.uniform01();
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+  for (auto _ : state) {
+    spmv::multiply_into(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_ReferenceSpmv)->Unit(benchmark::kMicrosecond);
+
+void BM_DistributedSpmvSerialSim(benchmark::State& state) {
+  const sparse::Csr& a = matrix();
+  part::PartitionConfig cfg;
+  const model::ModelRun run = model::run_finegrain(a, 16, cfg);
+  const spmv::SpmvPlan plan = spmv::build_plan(a, run.decomp);
+  Rng rng(5);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
+  for (auto& v : x) v = rng.uniform01();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmv::execute(plan, x));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_DistributedSpmvSerialSim)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Ablation A4 — partitioner runtime scaling: time versus matrix size (via
+// the suite's scale knob) and versus K, for all three models. The paper's
+// §4 expectation: the fine-grain model costs ~2.4x the 1D hypergraph model
+// and ~7.3x the graph model, because it has Z vertices and 2x the pins/nets.
+//
+// Knobs: FGHP_MATRICES (first entry used; default ken-11), FGHP_K.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fghp;
+  bench::BenchEnv env = bench::load_env();
+  const std::string name = env.matrices.empty() ? "ken-11" : env.matrices.front();
+  constexpr bench::Model kModels[] = {bench::Model::kGraph1d, bench::Model::kHypergraph1d,
+                                      bench::Model::kFineGrain2d};
+
+  std::printf("Ablation A4 — partitioner runtime scaling on '%s'\n\n", name.c_str());
+
+  std::printf("(a) time vs matrix scale (K = 16)\n");
+  Table ta({"scale", "rows", "nnz", "graph-1d[s]", "hyper-1d[s]", "finegrain[s]", "fg/graph"});
+  for (double scale : {0.125, 0.25, 0.5, 1.0}) {
+    const sparse::Csr a = sparse::make_matrix(name, 1, scale);
+    double secs[3] = {0, 0, 0};
+    for (int m = 0; m < 3; ++m) secs[m] = bench::run_once(a, kModels[m], 16, 1).seconds;
+    ta.add_row({Table::num(scale, 3), Table::num(static_cast<long long>(a.num_rows())),
+                Table::num(static_cast<long long>(a.nnz())), Table::num(secs[0], 3),
+                Table::num(secs[1], 3), Table::num(secs[2], 3),
+                Table::num(secs[0] > 0 ? secs[2] / secs[0] : 0.0, 1) + "x"});
+  }
+  ta.print();
+
+  std::printf("\n(b) time vs K (scale = %.2f)\n", env.scale);
+  Table tb({"K", "graph-1d[s]", "hyper-1d[s]", "finegrain[s]", "hg/graph", "fg/graph"});
+  const sparse::Csr a = sparse::make_matrix(name, 1, env.scale);
+  for (idx_t K : {2, 4, 8, 16, 32, 64}) {
+    double secs[3] = {0, 0, 0};
+    for (int m = 0; m < 3; ++m) secs[m] = bench::run_once(a, kModels[m], K, 1).seconds;
+    tb.add_row({Table::num(static_cast<long long>(K)), Table::num(secs[0], 3),
+                Table::num(secs[1], 3), Table::num(secs[2], 3),
+                Table::num(secs[0] > 0 ? secs[1] / secs[0] : 0.0, 1) + "x",
+                Table::num(secs[0] > 0 ? secs[2] / secs[0] : 0.0, 1) + "x"});
+  }
+  tb.print();
+  return 0;
+}

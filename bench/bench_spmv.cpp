@@ -1,0 +1,61 @@
+// Ablation A5 — does lower communication volume buy SpMV time? For each
+// model decomposition this bench (a) runs the multi-threaded BSP executor
+// and times real repeated SpMVs, and (b) evaluates the alpha-beta-gamma
+// cost model, which reflects a classic distributed-memory machine where
+// the paper's volumes dominate.
+//
+// Knobs: FGHP_SCALE, FGHP_MATRICES, FGHP_K (first value used), FGHP_REPS.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "models/checkerboard.hpp"
+#include "spmv/costmodel.hpp"
+#include "spmv/executor_mt.hpp"
+#include "spmv/plan.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace fghp;
+  bench::BenchEnv env = bench::load_env();
+  if (!env_str("FGHP_MATRICES")) env.matrices = {"sherman3", "ken-11", "cq9"};
+  const idx_t K = env.kValues.empty() ? 16 : env.kValues.front();
+  const auto reps = static_cast<int>(env_long("FGHP_REPS", 20));
+
+  std::printf(
+      "Ablation A5 — simulated SpMV by model (K=%d, scale=%.2f, %d repetitions)\n"
+      "'est par' is the alpha-beta-gamma BSP estimate; 'mt wall' is measured wall time\n"
+      "of the threaded executor (shared-memory, so communication is cheap here —\n"
+      "the cost model is what reflects the paper's distributed setting).\n\n",
+      static_cast<int>(K), env.scale, reps);
+
+  Table t({"matrix", "model", "volume[w]", "est par[ms]", "est speedup", "mt wall[ms]"});
+  for (const auto& name : env.matrices) {
+    const sparse::Csr a = sparse::make_matrix(name, 1, env.scale);
+    Rng rng(7);
+    std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
+    for (auto& v : x) v = rng.uniform01();
+
+    auto eval = [&](const char* label, const model::Decomposition& d) {
+      const comm::CommStats s = comm::analyze(a, d);
+      const spmv::CostEstimate est = spmv::estimate_cost(a, d, s);
+      const spmv::SpmvPlan plan = spmv::build_plan(a, d);
+      WallTimer timer;
+      std::vector<double> y;
+      for (int r = 0; r < reps; ++r) y = spmv::execute_mt(plan, x);
+      const double wall = timer.millis() / reps;
+      t.add_row({name, label, Table::num(static_cast<long long>(s.totalWords)),
+                 Table::num(est.totalSeconds * 1e3, 3), Table::num(est.speedup, 1),
+                 Table::num(wall, 2)});
+    };
+
+    part::PartitionConfig cfg;
+    eval("graph-1d", model::run_graph_model(a, K, cfg).decomp);
+    eval("hyper-1d", model::run_hypergraph1d(a, K, cfg).decomp);
+    eval("finegrain-2d", model::run_finegrain(a, K, cfg).decomp);
+    eval("checkerboard", model::checkerboard_decompose_k(a, K));
+    t.add_separator();
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation A7 — vector-ownership balancing on top of the fine-grain model:
+// the paper decodes owner(x_j) = owner(y_j) = part[v_jj]; any owner inside
+// Λ(n_j) ∩ Λ(m_j) gives the same total volume, so the slack can reduce the
+// *maximum* per-processor volume (Table 2's "max" column) — the direction
+// Uçar & Aykanat later formalized. Reports max volume before/after.
+//
+// Knobs: FGHP_SCALE, FGHP_MATRICES, FGHP_K (first value used).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "models/vector_assign.hpp"
+
+int main() {
+  using namespace fghp;
+  bench::BenchEnv env = bench::load_env();
+  if (!env_str("FGHP_MATRICES")) {
+    env.matrices = {"sherman3", "ken-11", "cq9", "cre-b", "finan512"};
+  }
+  const idx_t K = env.kValues.empty() ? 16 : env.kValues.front();
+
+  std::printf("Ablation A7 — balancing vector ownership within the connectivity sets"
+              " (fine-grain, K=%d, scale=%.2f)\n\n", static_cast<int>(K), env.scale);
+  Table t({"matrix", "tot (unchanged)", "max before", "max after", "improvement"});
+  for (const auto& name : env.matrices) {
+    const sparse::Csr a = sparse::make_matrix(name, 1, env.scale);
+    part::PartitionConfig cfg;
+    const model::ModelRun run = model::run_finegrain(a, K, cfg);
+    const comm::CommStats before = comm::analyze(a, run.decomp);
+    const model::VectorAssignResult r = model::balance_vector_owners(a, run.decomp);
+    const comm::CommStats after = comm::analyze(a, r.decomp);
+    const double imp =
+        before.maxProcWords > 0
+            ? 100.0 * (1.0 - static_cast<double>(after.maxProcWords) /
+                                 static_cast<double>(before.maxProcWords))
+            : 0.0;
+    t.add_row({name, Table::num(before.scaledTotal(a.num_rows())),
+               Table::num(before.scaledMax(a.num_rows())),
+               Table::num(after.scaledMax(a.num_rows())), Table::num(imp, 1) + "%"});
+  }
+  t.print();
+  return 0;
+}

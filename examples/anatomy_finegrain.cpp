@@ -1,0 +1,100 @@
+// Regenerates the paper's Figure 1 as text: the dependency-relation view of
+// the fine-grain hypergraph model on a small matrix. Shows, for a chosen
+// column j and row i, how column net n_j collects the scalar multiplications
+// that need x_j (the expand) and row net m_i collects the partial results
+// folded into y_i, and walks through a 2-way partition to show how the
+// lambda-1 cutsize counts exactly the words communicated.
+//
+//   ./anatomy_finegrain
+#include <cstdio>
+
+#include "comm/volume.hpp"
+#include "hypergraph/metrics.hpp"
+#include "models/finegrain.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+
+int main() {
+  using namespace fghp;
+
+  // The matrix sketched in Figure 1: row i = 1 has nonzeros in columns
+  // h = 0, i = 1, k = 2, j = 3; column j = 3 has nonzeros in rows i = 1,
+  // j = 3, l = 4. Diagonal present everywhere.
+  sparse::Coo coo(5, 5);
+  const char* label[5] = {"h", "i", "k", "j", "l"};
+  coo.add(0, 0, 1);
+  coo.add(1, 0, 1);  // a_ih
+  coo.add(1, 1, 1);  // a_ii
+  coo.add(1, 2, 1);  // a_ik
+  coo.add(1, 3, 1);  // a_ij
+  coo.add(2, 2, 1);
+  coo.add(3, 3, 1);  // a_jj
+  coo.add(4, 3, 1);  // a_lj
+  coo.add(4, 4, 1);
+  const sparse::Csr a = sparse::to_csr(std::move(coo));
+
+  std::printf("Figure 1 — dependency relation of the 2D fine-grain hypergraph model\n\n");
+  std::printf("matrix (5x5, %d nonzeros), indices named h,i,k,j,l as in the paper:\n\n   ",
+              static_cast<int>(a.nnz()));
+  for (int c = 0; c < 5; ++c) std::printf(" %s", label[c]);
+  std::printf("\n");
+  for (idx_t r = 0; r < 5; ++r) {
+    std::printf("  %s ", label[r]);
+    for (idx_t c = 0; c < 5; ++c) std::printf(" %c", a.has_entry(r, c) ? 'x' : '.');
+    std::printf("\n");
+  }
+
+  const model::FineGrainModel m = model::build_finegrain(a);
+  std::printf("\nfine-grain hypergraph: %d vertices (one per nonzero), %d nets (M row nets"
+              " + M column nets)\n", m.h.num_vertices(), m.h.num_nets());
+
+  auto entry_name = [&](idx_t v) {
+    // Recover (row, col) of CSR entry v.
+    idx_t e = 0;
+    for (idx_t r = 0; r < a.num_rows(); ++r) {
+      for (idx_t c : a.row_cols(r)) {
+        if (e == v) {
+          static char buf[32];
+          std::snprintf(buf, sizeof buf, "v_%s%s", label[r], label[c]);
+          return std::string(buf);
+        }
+        ++e;
+      }
+    }
+    return std::string("dummy");
+  };
+
+  // Column net n_j (j = 3): the expand dependency of x_j.
+  const idx_t nj = m.col_net(3);
+  std::printf("\ncolumn net n_j (x_j expand), %d pins:", m.h.net_size(nj));
+  for (idx_t v : m.h.pins(nj)) std::printf("  %s", entry_name(v).c_str());
+  std::printf("\n  -> the multiplications y_i^j = a_ij*x_j, y_j^j = a_jj*x_j, y_l^j = a_lj*x_j"
+              " all need x_j.\n");
+
+  // Row net m_i (i = 1): the fold dependency of y_i.
+  const idx_t mi = m.row_net(1);
+  std::printf("\nrow net m_i (y_i fold), %d pins:", m.h.net_size(mi));
+  for (idx_t v : m.h.pins(mi)) std::printf("  %s", entry_name(v).c_str());
+  std::printf("\n  -> y_i = y_i^h + y_i^i + y_i^k + y_i^j accumulates the four partials.\n");
+
+  // A 2-way partition: put v_ih, v_ii, v_ik on P0 and the rest on P1.
+  std::vector<idx_t> assign(static_cast<std::size_t>(m.h.num_vertices()), 1);
+  assign[1] = assign[2] = assign[3] = 0;  // entries (i,h), (i,i), (i,k)
+  assign[0] = 0;                          // (h,h)
+  const hg::Partition p(m.h, 2, assign);
+  const model::Decomposition d = model::decode_finegrain(a, m, p);
+  const comm::CommStats s = comm::analyze(a, d);
+  const weight_t cut = hg::cutsize(m.h, p, hg::CutMetric::kConnectivity);
+
+  std::printf("\nexample 2-way partition: P0 = {v_hh, v_ih, v_ii, v_ik}, P1 = rest\n");
+  std::printf("  row net m_i connects {P0, P1} (v_ij on P1): lambda-1 = 1 -> one partial"
+              " y_i word folded\n");
+  std::printf("  cutsize (eq. 3) = %lld, measured volume = %lld words"
+              " (expand %lld, fold %lld) — identical by the paper's theorem\n",
+              static_cast<long long>(cut), static_cast<long long>(s.totalWords),
+              static_cast<long long>(s.expandWords), static_cast<long long>(s.foldWords));
+  std::printf("\nvector ownership decodes from the diagonal vertices: owner(x_j) ="
+              " owner(y_j) = part[v_jj],\nwhich keeps the x/y partition symmetric"
+              " for iterative solvers.\n");
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Umbrella command-line tool:
+//
+//   fghp_tool gen <suite-name> --out m.mtx [--scale 1.0] [--seed 1]
+//       materialize a synthetic suite analog as a Matrix Market file
+//   fghp_tool stats <m.mtx>
+//       Table 1-style statistics plus bandwidth before/after RCM
+//   fghp_tool partition <m.mtx> --model <finegrain|hyper1d|rownet|graph|
+//       checkerboard|jagged|orthogonal> --k 16 [--eps 0.03] [--seed 1]
+//       [--balance-vectors] [--out d.decomp]
+//       decompose and report the Table 2 metrics; optionally save owners
+//   fghp_tool simulate <m.mtx> <d.decomp> [--reps 10] [--threads 0]
+//       load a saved decomposition, verify it, execute repeated distributed
+//       SpMVs (threaded) and report traffic + timing
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "comm/volume.hpp"
+#include "models/checkerboard.hpp"
+#include "models/decomp_io.hpp"
+#include "models/finegrain.hpp"
+#include "models/graph_model.hpp"
+#include "models/hypergraph1d.hpp"
+#include "models/jagged.hpp"
+#include "models/orthogonal.hpp"
+#include "models/rownet.hpp"
+#include "models/vector_assign.hpp"
+#include "partition/hg/partitioner.hpp"
+#include "spmv/executor_mt.hpp"
+#include "spmv/plan.hpp"
+#include "spmv/reference.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/reorder.hpp"
+#include "sparse/stats.hpp"
+#include "sparse/testsuite.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fghp;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fghp_tool <gen|stats|partition|simulate> ...\n"
+               "  gen <suite-name> --out m.mtx [--scale S] [--seed N]\n"
+               "  stats <m.mtx>\n"
+               "  partition <m.mtx> --model M --k K [--eps E] [--seed N]\n"
+               "            [--balance-vectors] [--out d.decomp]\n"
+               "  simulate <m.mtx> <d.decomp> [--reps R] [--threads T]\n");
+  return 2;
+}
+
+int cmd_gen(const ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  const std::string name = args.positional()[1];
+  const auto out = args.flag("out");
+  if (!out) {
+    std::fprintf(stderr, "gen: --out required\n");
+    return 2;
+  }
+  const double scale = std::stod(args.flag("scale").value_or("1.0"));
+  const auto seed = static_cast<std::uint64_t>(args.flag_long("seed", 1));
+  const sparse::Csr a = sparse::make_matrix(name, seed, scale);
+  sparse::write_matrix_market_file(*out, a);
+  std::printf("wrote %s: %s\n", out->c_str(),
+              sparse::to_string(sparse::compute_stats(a)).c_str());
+  return 0;
+}
+
+int cmd_stats(const ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  const sparse::Csr a = sparse::read_matrix_market_file(args.positional()[1]);
+  const sparse::MatrixStats s = sparse::compute_stats(a);
+  std::printf("%s\n", sparse::to_string(s).c_str());
+  std::printf("  rows %d, cols %d, nnz %d\n", s.numRows, s.numCols, s.nnz);
+  std::printf("  per-row    min %d max %d avg %.2f\n", s.minPerRow, s.maxPerRow, s.avgPerRow);
+  std::printf("  per-col    min %d max %d avg %.2f\n", s.minPerCol, s.maxPerCol, s.avgPerCol);
+  std::printf("  diagonal entries %d / %d\n", s.numDiagEntries, std::min(s.numRows, s.numCols));
+  if (a.is_square()) {
+    const idx_t bw = sparse::bandwidth(a);
+    const sparse::Csr r = sparse::permute_symmetric(a, sparse::rcm_ordering(a));
+    std::printf("  bandwidth %d (RCM: %d)\n", bw, sparse::bandwidth(r));
+  }
+  return 0;
+}
+
+int cmd_partition(const ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  const sparse::Csr a = sparse::read_matrix_market_file(args.positional()[1]);
+  if (!a.is_square()) {
+    std::fprintf(stderr, "partition: matrix must be square\n");
+    return 1;
+  }
+  const std::string modelName = args.flag("model").value_or("finegrain");
+  const auto k = static_cast<idx_t>(args.flag_long("k", 16));
+  part::PartitionConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.flag_long("seed", 1));
+  if (const auto eps = args.flag("eps")) cfg.epsilon = std::stod(*eps);
+
+  model::ModelRun run;
+  if (modelName == "finegrain") {
+    run = model::run_finegrain(a, k, cfg);
+  } else if (modelName == "hyper1d") {
+    run = model::run_hypergraph1d(a, k, cfg);
+  } else if (modelName == "rownet") {
+    run = model::run_rownet(a, k, cfg);
+  } else if (modelName == "graph") {
+    run = model::run_graph_model(a, k, cfg);
+  } else if (modelName == "checkerboard") {
+    run.decomp = model::checkerboard_decompose_k(a, k);
+  } else if (modelName == "jagged") {
+    run = model::run_jagged_k(a, k, cfg);
+  } else if (modelName == "orthogonal") {
+    run = model::run_orthogonal_k(a, k, cfg);
+  } else {
+    std::fprintf(stderr, "partition: unknown model '%s'\n", modelName.c_str());
+    return 2;
+  }
+
+  if (args.has_switch("balance-vectors")) {
+    const model::VectorAssignResult r = model::balance_vector_owners(a, run.decomp);
+    std::printf("vector balancing: max per-proc words %lld -> %lld\n",
+                static_cast<long long>(r.maxProcWordsBefore),
+                static_cast<long long>(r.maxProcWordsAfter));
+    run.decomp = r.decomp;
+  }
+
+  const comm::CommStats s = comm::analyze(a, run.decomp);
+  const model::LoadStats loads = model::compute_loads(a, run.decomp);
+  std::printf("model=%s K=%d time=%.3fs\n", modelName.c_str(), static_cast<int>(k),
+              run.partitionSeconds);
+  std::printf("  total volume %lld words (%.3f scaled); max/proc %lld (%.3f)\n",
+              static_cast<long long>(s.totalWords), s.scaledTotal(a.num_rows()),
+              static_cast<long long>(s.maxProcWords), s.scaledMax(a.num_rows()));
+  std::printf("  expand/fold %lld / %lld; avg msgs/proc %.2f; load imbalance %.2f%%\n",
+              static_cast<long long>(s.expandWords), static_cast<long long>(s.foldWords),
+              s.avgMessagesPerProc, loads.percentImbalance);
+
+  if (const auto out = args.flag("out")) {
+    model::write_decomposition_file(*out, run.decomp);
+    std::printf("decomposition written to %s\n", out->c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(const ArgParser& args) {
+  if (args.positional().size() < 3) return usage();
+  const sparse::Csr a = sparse::read_matrix_market_file(args.positional()[1]);
+  const model::Decomposition d = model::read_decomposition_file(args.positional()[2]);
+  model::validate(a, d);  // throws if shapes disagree with the matrix
+  const auto reps = static_cast<int>(args.flag_long("reps", 10));
+  const auto threads = static_cast<idx_t>(args.flag_long("threads", 0));
+
+  const spmv::SpmvPlan plan = spmv::build_plan(a, d);
+  Rng rng(123);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
+  for (auto& v : x) v = rng.uniform01();
+
+  spmv::ExecStats stats;
+  WallTimer timer;
+  std::vector<double> y;
+  for (int r = 0; r < reps; ++r) y = spmv::execute_mt(plan, x, threads, &stats);
+  const double wall = timer.millis() / reps;
+
+  const auto yRef = spmv::multiply(a, x);
+  double maxErr = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    maxErr = std::max(maxErr, std::abs(y[i] - yRef[i]));
+
+  std::printf("simulate: K=%d, %d reps, %.2f ms per multiply (threaded)\n", d.numProcs,
+              reps, wall);
+  std::printf("  traffic per multiply: %lld words, %d messages\n",
+              static_cast<long long>(stats.wordsSent), stats.messagesSent);
+  std::printf("  max |y - y_ref| = %.3e\n", maxErr);
+  return maxErr < 1e-8 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string& cmd = args.positional().front();
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "partition") return cmd_partition(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

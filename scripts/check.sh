@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full local verification: configure, build, run every test, smoke-run the
+# examples, then run the quick benchmark sweep. Mirrors what CI would do.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure
+
+echo "--- examples ---"
+./build/examples/quickstart --matrix sherman3 --scale 0.25 --k 8
+./build/examples/anatomy_finegrain
+./build/examples/cg_solver --n 32 --k 4
+./build/examples/reduction_preassigned --n 1000 --k 4
+tmp=$(mktemp -d)
+./build/examples/fghp_tool gen sherman3 --out "$tmp/m.mtx" --scale 0.2
+./build/examples/fghp_tool stats "$tmp/m.mtx"
+./build/examples/fghp_tool partition "$tmp/m.mtx" --model finegrain --k 8 --out "$tmp/d.decomp"
+./build/examples/fghp_tool simulate "$tmp/m.mtx" "$tmp/d.decomp" --reps 3
+rm -rf "$tmp"
+
+echo "--- quick benches (reduced scale) ---"
+FGHP_SCALE=0.15 FGHP_SEEDS=1 FGHP_K=16 ./build/bench/bench_table2
+FGHP_SCALE=0.15 ./build/bench/bench_ablation_checkerboard
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,39 @@
+#include "graph/gmetrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fghp::gp {
+
+weight_t edge_cut(const Graph& g, const GPartition& p) {
+  FGHP_REQUIRE(p.complete(), "edge_cut requires a complete partition");
+  weight_t cut = 0;
+  for (idx_t v = 0; v < g.num_vertices(); ++v) {
+    for (const Adj& a : g.neighbors(v)) {
+      if (a.to > v && p.part_of(a.to) != p.part_of(v)) cut += a.weight;
+    }
+  }
+  return cut;
+}
+
+double imbalance(const Graph& g, const GPartition& p) {
+  if (g.total_vertex_weight() == 0) return 0.0;
+  const double avg =
+      static_cast<double>(g.total_vertex_weight()) / static_cast<double>(p.num_parts());
+  weight_t wmax = 0;
+  for (idx_t k = 0; k < p.num_parts(); ++k) wmax = std::max(wmax, p.part_weight(k));
+  return static_cast<double>(wmax) / avg - 1.0;
+}
+
+bool is_balanced(const Graph& g, const GPartition& p, double eps) {
+  const double avg =
+      static_cast<double>(g.total_vertex_weight()) / static_cast<double>(p.num_parts());
+  const double cap = avg * (1.0 + eps);
+  for (idx_t k = 0; k < p.num_parts(); ++k) {
+    if (static_cast<double>(p.part_weight(k)) > cap + 1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace fghp::gp

@@ -1,0 +1,18 @@
+// Graph partition metrics: weighted edge cut (what MeTiS minimizes) and the
+// balance criterion.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace fghp::gp {
+
+/// Sum of weights of edges whose endpoints lie in different parts.
+weight_t edge_cut(const Graph& g, const GPartition& p);
+
+/// max_k W_k / W_avg - 1.
+double imbalance(const Graph& g, const GPartition& p);
+
+/// True if every part satisfies W_k <= W_avg * (1 + eps).
+bool is_balanced(const Graph& g, const GPartition& p, double eps);
+
+}  // namespace fghp::gp

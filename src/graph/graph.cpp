@@ -1,0 +1,105 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+namespace fghp::gp {
+
+Graph::Graph(idx_t numVertices, std::vector<std::tuple<idx_t, idx_t, weight_t>> edges,
+             std::vector<weight_t> vertexWeights)
+    : numVerts_(numVertices) {
+  FGHP_REQUIRE(numVertices >= 0, "vertex count must be non-negative");
+  if (vertexWeights.empty()) {
+    vwgt_.assign(static_cast<std::size_t>(numVertices), 1);
+  } else {
+    FGHP_REQUIRE(vertexWeights.size() == static_cast<std::size_t>(numVertices),
+                 "one weight per vertex required");
+    vwgt_ = std::move(vertexWeights);
+  }
+  for (weight_t w : vwgt_) FGHP_REQUIRE(w >= 0, "vertex weights must be non-negative");
+  totalWeight_ = std::accumulate(vwgt_.begin(), vwgt_.end(), weight_t{0});
+
+  // Normalize edges: canonical orientation, sorted, duplicates merged.
+  for (auto& [u, v, w] : edges) {
+    FGHP_REQUIRE(u >= 0 && u < numVertices && v >= 0 && v < numVertices,
+                 "edge endpoint out of range");
+    FGHP_REQUIRE(u != v, "self loops are not allowed");
+    FGHP_REQUIRE(w >= 0, "edge weights must be non-negative");
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  std::vector<std::tuple<idx_t, idx_t, weight_t>> merged;
+  merged.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (!merged.empty() && std::get<0>(merged.back()) == std::get<0>(e) &&
+        std::get<1>(merged.back()) == std::get<1>(e)) {
+      std::get<2>(merged.back()) += std::get<2>(e);
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  xadj_.assign(static_cast<std::size_t>(numVertices) + 1, 0);
+  for (const auto& [u, v, w] : merged) {
+    ++xadj_[static_cast<std::size_t>(u) + 1];
+    ++xadj_[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(numVertices); ++i)
+    xadj_[i + 1] += xadj_[i];
+  adj_.resize(static_cast<std::size_t>(xadj_.back()));
+  std::vector<idx_t> cursor(xadj_.begin(), xadj_.end() - 1);
+  for (const auto& [u, v, w] : merged) {
+    adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = {v, w};
+    adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = {u, w};
+    totalEdgeWeight_ += w;
+  }
+  for (idx_t v = 0; v < numVerts_; ++v) {
+    weight_t inc = 0;
+    for (const Adj& a : neighbors(v)) inc += a.weight;
+    maxIncident_ = std::max(maxIncident_, inc);
+  }
+}
+
+GPartition::GPartition(const Graph& g, idx_t numParts)
+    : numParts_(numParts),
+      part_(static_cast<std::size_t>(g.num_vertices()), kInvalidIdx),
+      partWeight_(static_cast<std::size_t>(numParts), 0) {
+  FGHP_REQUIRE(numParts >= 1, "need at least one part");
+}
+
+GPartition::GPartition(const Graph& g, idx_t numParts, std::vector<idx_t> assignment)
+    : numParts_(numParts),
+      part_(std::move(assignment)),
+      partWeight_(static_cast<std::size_t>(numParts), 0) {
+  FGHP_REQUIRE(numParts >= 1, "need at least one part");
+  FGHP_REQUIRE(part_.size() == static_cast<std::size_t>(g.num_vertices()),
+               "assignment size must equal vertex count");
+  for (idx_t v = 0; v < g.num_vertices(); ++v) {
+    const idx_t p = part_[static_cast<std::size_t>(v)];
+    FGHP_REQUIRE(p >= 0 && p < numParts_, "part id out of range");
+    partWeight_[static_cast<std::size_t>(p)] += g.vertex_weight(v);
+  }
+}
+
+void GPartition::assign(const Graph& g, idx_t v, idx_t part) {
+  FGHP_ASSERT(!assigned(v));
+  part_[static_cast<std::size_t>(v)] = part;
+  partWeight_[static_cast<std::size_t>(part)] += g.vertex_weight(v);
+}
+
+void GPartition::move(const Graph& g, idx_t v, idx_t toPart) {
+  FGHP_ASSERT(assigned(v));
+  const idx_t from = part_[static_cast<std::size_t>(v)];
+  if (from == toPart) return;
+  partWeight_[static_cast<std::size_t>(from)] -= g.vertex_weight(v);
+  partWeight_[static_cast<std::size_t>(toPart)] += g.vertex_weight(v);
+  part_[static_cast<std::size_t>(v)] = toPart;
+}
+
+bool GPartition::complete() const {
+  return std::none_of(part_.begin(), part_.end(),
+                      [](idx_t p) { return p == kInvalidIdx; });
+}
+
+}  // namespace fghp::gp

@@ -1,0 +1,84 @@
+// Undirected weighted graph in CSR adjacency form — the substrate of the
+// standard graph model (MeTiS-style baseline).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace fghp::gp {
+
+/// One endpoint record in the adjacency array.
+struct Adj {
+  idx_t to;
+  weight_t weight;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an undirected edge list (each edge given once, u != v;
+  /// duplicate (u,v) pairs have their weights summed). Vertex weights
+  /// default to 1 if the vector is empty.
+  Graph(idx_t numVertices, std::vector<std::tuple<idx_t, idx_t, weight_t>> edges,
+        std::vector<weight_t> vertexWeights = {});
+
+  idx_t num_vertices() const { return numVerts_; }
+  idx_t num_edges() const { return static_cast<idx_t>(adj_.size() / 2); }
+
+  std::span<const Adj> neighbors(idx_t v) const {
+    FGHP_ASSERT(v >= 0 && v < numVerts_);
+    const auto b = static_cast<std::size_t>(xadj_[static_cast<std::size_t>(v)]);
+    const auto e = static_cast<std::size_t>(xadj_[static_cast<std::size_t>(v) + 1]);
+    return {adj_.data() + b, e - b};
+  }
+
+  idx_t degree(idx_t v) const {
+    return xadj_[static_cast<std::size_t>(v) + 1] - xadj_[static_cast<std::size_t>(v)];
+  }
+
+  weight_t vertex_weight(idx_t v) const { return vwgt_[static_cast<std::size_t>(v)]; }
+  weight_t total_vertex_weight() const { return totalWeight_; }
+  weight_t total_edge_weight() const { return totalEdgeWeight_; }
+
+  /// Maximum sum of incident edge weights over all vertices (FM gain bound).
+  weight_t max_incident_weight() const { return maxIncident_; }
+
+  const std::vector<weight_t>& vertex_weights() const { return vwgt_; }
+
+ private:
+  idx_t numVerts_ = 0;
+  weight_t totalWeight_ = 0;
+  weight_t totalEdgeWeight_ = 0;
+  weight_t maxIncident_ = 0;
+  std::vector<idx_t> xadj_{0};
+  std::vector<Adj> adj_;
+  std::vector<weight_t> vwgt_;
+};
+
+/// K-way partition of a graph (mirror of hg::Partition).
+class GPartition {
+ public:
+  GPartition() = default;
+  GPartition(const Graph& g, idx_t numParts);
+  GPartition(const Graph& g, idx_t numParts, std::vector<idx_t> assignment);
+
+  idx_t num_parts() const { return numParts_; }
+  idx_t part_of(idx_t v) const { return part_[static_cast<std::size_t>(v)]; }
+  bool assigned(idx_t v) const { return part_of(v) != kInvalidIdx; }
+  void assign(const Graph& g, idx_t v, idx_t part);
+  void move(const Graph& g, idx_t v, idx_t toPart);
+  weight_t part_weight(idx_t part) const { return partWeight_[static_cast<std::size_t>(part)]; }
+  const std::vector<idx_t>& assignment() const { return part_; }
+  bool complete() const;
+
+ private:
+  idx_t numParts_ = 0;
+  std::vector<idx_t> part_;
+  std::vector<weight_t> partWeight_;
+};
+
+}  // namespace fghp::gp

@@ -1,0 +1,67 @@
+#include "hypergraph/builder.hpp"
+
+#include <algorithm>
+
+namespace fghp::hg {
+
+HypergraphBuilder::HypergraphBuilder(idx_t numVertices) {
+  FGHP_REQUIRE(numVertices >= 0, "vertex count must be non-negative");
+  vwgt_.assign(static_cast<std::size_t>(numVertices), 1);
+}
+
+idx_t HypergraphBuilder::add_vertex(weight_t weight) {
+  FGHP_REQUIRE(weight >= 0, "vertex weight must be non-negative");
+  vwgt_.push_back(weight);
+  return static_cast<idx_t>(vwgt_.size()) - 1;
+}
+
+void HypergraphBuilder::set_vertex_weight(idx_t v, weight_t weight) {
+  FGHP_REQUIRE(v >= 0 && v < num_vertices(), "vertex id out of range");
+  FGHP_REQUIRE(weight >= 0, "vertex weight must be non-negative");
+  vwgt_[static_cast<std::size_t>(v)] = weight;
+}
+
+idx_t HypergraphBuilder::add_net(std::span<const idx_t> pinList, weight_t cost) {
+  const idx_t id = add_empty_net(cost);
+  for (idx_t v : pinList) add_pin(id, v);
+  return id;
+}
+
+idx_t HypergraphBuilder::add_empty_net(weight_t cost) {
+  FGHP_REQUIRE(cost >= 0, "net cost must be non-negative");
+  netPins_.emplace_back();
+  netCosts_.push_back(cost);
+  return static_cast<idx_t>(netCosts_.size()) - 1;
+}
+
+void HypergraphBuilder::add_pin(idx_t net, idx_t vertex) {
+  FGHP_REQUIRE(net >= 0 && net < num_nets(), "net id out of range");
+  FGHP_REQUIRE(vertex >= 0 && vertex < num_vertices(), "pin vertex out of range");
+  netPins_[static_cast<std::size_t>(net)].push_back(vertex);
+}
+
+Hypergraph HypergraphBuilder::build() && {
+  std::vector<idx_t> xpins;
+  xpins.reserve(netPins_.size() + 1);
+  xpins.push_back(0);
+  std::size_t total = 0;
+  for (auto& pins : netPins_) {
+    // Detect duplicate pins without disturbing insertion order.
+    std::vector<idx_t> sorted(pins);
+    std::sort(sorted.begin(), sorted.end());
+    FGHP_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                 "duplicate pin within a net");
+    total += pins.size();
+    xpins.push_back(static_cast<idx_t>(total));
+  }
+  std::vector<idx_t> pins;
+  pins.reserve(total);
+  for (const auto& np : netPins_) pins.insert(pins.end(), np.begin(), np.end());
+  // Read the vertex count before the argument moves can empty vwgt_
+  // (argument evaluation order is unspecified).
+  const idx_t numVerts = num_vertices();
+  return Hypergraph(numVerts, std::move(xpins), std::move(pins), std::move(vwgt_),
+                    std::move(netCosts_));
+}
+
+}  // namespace fghp::hg

@@ -1,0 +1,44 @@
+// Incremental hypergraph construction: add nets pin-by-pin, set weights,
+// then build() a validated, immutable Hypergraph.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fghp::hg {
+
+class HypergraphBuilder {
+ public:
+  /// Vertices are pre-declared; weights default to 1.
+  explicit HypergraphBuilder(idx_t numVertices);
+
+  idx_t num_vertices() const { return static_cast<idx_t>(vwgt_.size()); }
+  idx_t num_nets() const { return static_cast<idx_t>(netCosts_.size()); }
+
+  /// Appends a vertex (returns its id).
+  idx_t add_vertex(weight_t weight = 1);
+
+  void set_vertex_weight(idx_t v, weight_t weight);
+
+  /// Appends a net with the given pins (must be distinct, in range) and cost.
+  /// Returns the net id.
+  idx_t add_net(std::span<const idx_t> pinList, weight_t cost = 1);
+
+  /// Appends an (initially empty) net; pins are attached with add_pin.
+  idx_t add_empty_net(weight_t cost = 1);
+
+  /// Attaches a pin to an existing net (duplicates checked at build()).
+  void add_pin(idx_t net, idx_t vertex);
+
+  /// Validates (distinct pins per net) and builds. The builder is consumed.
+  Hypergraph build() &&;
+
+ private:
+  std::vector<std::vector<idx_t>> netPins_;
+  std::vector<weight_t> netCosts_;
+  std::vector<weight_t> vwgt_;
+};
+
+}  // namespace fghp::hg

@@ -1,0 +1,46 @@
+#include "hypergraph/hypergraph.hpp"
+
+#include <numeric>
+
+namespace fghp::hg {
+
+Hypergraph::Hypergraph(idx_t numVertices, std::vector<idx_t> xpins, std::vector<idx_t> pins,
+                       std::vector<weight_t> vertexWeights, std::vector<weight_t> netCosts)
+    : numVerts_(numVertices),
+      numNets_(static_cast<idx_t>(netCosts.size())),
+      xpins_(std::move(xpins)),
+      pins_(std::move(pins)),
+      vwgt_(std::move(vertexWeights)),
+      ncost_(std::move(netCosts)) {
+  FGHP_REQUIRE(numVerts_ >= 0, "vertex count must be non-negative");
+  FGHP_REQUIRE(vwgt_.size() == static_cast<std::size_t>(numVerts_),
+               "one weight per vertex required");
+  FGHP_REQUIRE(xpins_.size() == static_cast<std::size_t>(numNets_) + 1,
+               "xpins must have numNets+1 entries");
+  FGHP_REQUIRE(xpins_.front() == 0, "xpins[0] must be 0");
+  for (std::size_t n = 0; n < static_cast<std::size_t>(numNets_); ++n)
+    FGHP_REQUIRE(xpins_[n] <= xpins_[n + 1], "xpins must be monotone");
+  FGHP_REQUIRE(pins_.size() == static_cast<std::size_t>(xpins_.back()),
+               "pins size must equal xpins.back()");
+  for (idx_t v : pins_)
+    FGHP_REQUIRE(v >= 0 && v < numVerts_, "pin vertex out of range");
+  for (weight_t w : vwgt_) FGHP_REQUIRE(w >= 0, "vertex weights must be non-negative");
+  for (weight_t c : ncost_) FGHP_REQUIRE(c >= 0, "net costs must be non-negative");
+
+  totalWeight_ = std::accumulate(vwgt_.begin(), vwgt_.end(), weight_t{0});
+
+  // Build the inverse incidence by counting sort over pins.
+  xnets_.assign(static_cast<std::size_t>(numVerts_) + 1, 0);
+  for (idx_t v : pins_) ++xnets_[static_cast<std::size_t>(v) + 1];
+  for (std::size_t v = 0; v < static_cast<std::size_t>(numVerts_); ++v)
+    xnets_[v + 1] += xnets_[v];
+  nets_.resize(pins_.size());
+  std::vector<idx_t> cursor(xnets_.begin(), xnets_.end() - 1);
+  for (idx_t n = 0; n < numNets_; ++n) {
+    for (idx_t v : this->pins(n)) {
+      nets_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = n;
+    }
+  }
+}
+
+}  // namespace fghp::hg

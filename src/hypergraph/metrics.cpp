@@ -1,0 +1,80 @@
+#include "hypergraph/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/sparse_acc.hpp"
+
+namespace fghp::hg {
+
+idx_t net_connectivity(const Hypergraph& h, const Partition& p, idx_t net) {
+  return static_cast<idx_t>(net_connectivity_set(h, p, net).size());
+}
+
+std::vector<idx_t> net_connectivity_set(const Hypergraph& h, const Partition& p, idx_t net) {
+  std::vector<idx_t> parts;
+  for (idx_t v : h.pins(net)) {
+    const idx_t pt = p.part_of(v);
+    FGHP_ASSERT(pt != kInvalidIdx);
+    parts.push_back(pt);
+  }
+  std::sort(parts.begin(), parts.end());
+  parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+  return parts;
+}
+
+weight_t cutsize(const Hypergraph& h, const Partition& p, CutMetric metric) {
+  FGHP_REQUIRE(p.complete(), "cutsize requires a complete partition");
+  weight_t total = 0;
+  SparseAccumulator<idx_t> seen(p.num_parts());
+  for (idx_t n = 0; n < h.num_nets(); ++n) {
+    seen.clear();
+    for (idx_t v : h.pins(n)) seen.add(p.part_of(v), 1);
+    const auto lambda = static_cast<idx_t>(seen.keys().size());
+    if (lambda > 1) {
+      total += metric == CutMetric::kCutNet ? h.net_cost(n)
+                                            : h.net_cost(n) * (lambda - 1);
+    }
+  }
+  return total;
+}
+
+idx_t num_cut_nets(const Hypergraph& h, const Partition& p) {
+  FGHP_REQUIRE(p.complete(), "requires a complete partition");
+  idx_t cut = 0;
+  SparseAccumulator<idx_t> seen(p.num_parts());
+  for (idx_t n = 0; n < h.num_nets(); ++n) {
+    seen.clear();
+    for (idx_t v : h.pins(n)) {
+      seen.add(p.part_of(v), 1);
+      if (seen.keys().size() > 1) break;
+    }
+    if (seen.keys().size() > 1) ++cut;
+  }
+  return cut;
+}
+
+double imbalance(const Hypergraph& h, const Partition& p) {
+  if (h.total_vertex_weight() == 0) return 0.0;
+  const double avg =
+      static_cast<double>(h.total_vertex_weight()) / static_cast<double>(p.num_parts());
+  weight_t wmax = 0;
+  for (idx_t k = 0; k < p.num_parts(); ++k) wmax = std::max(wmax, p.part_weight(k));
+  return static_cast<double>(wmax) / avg - 1.0;
+}
+
+double percent_imbalance(const Hypergraph& h, const Partition& p) {
+  return 100.0 * imbalance(h, p);
+}
+
+bool is_balanced(const Hypergraph& h, const Partition& p, double eps) {
+  const double avg =
+      static_cast<double>(h.total_vertex_weight()) / static_cast<double>(p.num_parts());
+  const double cap = avg * (1.0 + eps);
+  for (idx_t k = 0; k < p.num_parts(); ++k) {
+    // A tiny epsilon absorbs the discrete-weight rounding at the cap.
+    if (static_cast<double>(p.part_weight(k)) > cap + 1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace fghp::hg

@@ -1,0 +1,53 @@
+#include "hypergraph/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace fghp::hg {
+
+std::vector<std::string> validate(const Hypergraph& h) {
+  std::vector<std::string> problems;
+
+  // Duplicate pins within a net.
+  for (idx_t n = 0; n < h.num_nets(); ++n) {
+    const auto pinSpan = h.pins(n);
+    std::vector<idx_t> sorted(pinSpan.begin(), pinSpan.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      std::ostringstream os;
+      os << "net " << n << " has duplicate pins";
+      problems.push_back(os.str());
+    }
+  }
+
+  // Inverse incidence must round-trip: v in pins(n) <=> n in nets(v).
+  std::vector<std::vector<idx_t>> fromPins(static_cast<std::size_t>(h.num_vertices()));
+  for (idx_t n = 0; n < h.num_nets(); ++n)
+    for (idx_t v : h.pins(n)) fromPins[static_cast<std::size_t>(v)].push_back(n);
+  for (idx_t v = 0; v < h.num_vertices(); ++v) {
+    const auto netSpan = h.nets(v);
+    std::vector<idx_t> got(netSpan.begin(), netSpan.end());
+    std::sort(got.begin(), got.end());
+    auto& want = fromPins[static_cast<std::size_t>(v)];
+    std::sort(want.begin(), want.end());
+    if (got != want) {
+      std::ostringstream os;
+      os << "vertex " << v << ": nets() inconsistent with pin lists";
+      problems.push_back(os.str());
+    }
+  }
+
+  return problems;
+}
+
+void validate_or_throw(const Hypergraph& h) {
+  const auto problems = validate(h);
+  if (problems.empty()) return;
+  std::ostringstream os;
+  os << "invalid hypergraph:";
+  for (const auto& p : problems) os << "\n  - " << p;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace fghp::hg

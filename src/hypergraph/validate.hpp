@@ -1,0 +1,21 @@
+// Deep structural validation of a hypergraph — used by tests and by the
+// model builders after construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fghp::hg {
+
+/// Returns a list of human-readable problems (empty = valid):
+///  * duplicate pins within a net,
+///  * inverse incidence (vertex->nets) inconsistent with pins,
+///  * per-net pin counts inconsistent with offsets.
+std::vector<std::string> validate(const Hypergraph& h);
+
+/// Throws std::logic_error listing all problems if validate() is non-empty.
+void validate_or_throw(const Hypergraph& h);
+
+}  // namespace fghp::hg

@@ -1,0 +1,81 @@
+#include "models/checkerboard.hpp"
+
+#include <cmath>
+
+#include "sparse/convert.hpp"
+#include "util/assert.hpp"
+
+namespace fghp::model {
+
+namespace {
+
+/// Splits n indices into `blocks` contiguous groups with roughly equal
+/// total `count`; returns the block id of each index.
+std::vector<idx_t> balanced_blocks(const std::vector<idx_t>& count, idx_t blocks) {
+  const auto n = static_cast<idx_t>(count.size());
+  weight_t total = 0;
+  for (idx_t c : count) total += c;
+
+  std::vector<idx_t> blockOf(static_cast<std::size_t>(n));
+  weight_t acc = 0;
+  idx_t b = 0;
+  for (idx_t i = 0; i < n; ++i) {
+    // Advance to the next block when this one has reached its fair share,
+    // keeping enough indices for the remaining blocks.
+    const auto fair = static_cast<weight_t>(
+        std::llround(static_cast<double>(total) * static_cast<double>(b + 1) /
+                     static_cast<double>(blocks)));
+    if (acc >= fair && b + 1 < blocks && n - i >= blocks - b) ++b;
+    blockOf[static_cast<std::size_t>(i)] = b;
+    acc += count[static_cast<std::size_t>(i)];
+  }
+  return blockOf;
+}
+
+}  // namespace
+
+Decomposition checkerboard_decompose(const sparse::Csr& a, idx_t pr, idx_t pc) {
+  FGHP_REQUIRE(a.is_square(), "checkerboard requires a square matrix");
+  FGHP_REQUIRE(pr >= 1 && pc >= 1, "grid dimensions must be positive");
+  const idx_t n = a.num_rows();
+
+  std::vector<idx_t> rowCount(static_cast<std::size_t>(n));
+  for (idx_t i = 0; i < n; ++i) rowCount[static_cast<std::size_t>(i)] = a.row_size(i);
+  std::vector<idx_t> colCount(static_cast<std::size_t>(n), 0);
+  for (idx_t j : a.col_ind()) ++colCount[static_cast<std::size_t>(j)];
+
+  const std::vector<idx_t> rowBlock = balanced_blocks(rowCount, pr);
+  const std::vector<idx_t> colBlock = balanced_blocks(colCount, pc);
+
+  Decomposition d;
+  d.numProcs = pr * pc;
+  d.nnzOwner.resize(static_cast<std::size_t>(a.nnz()));
+  std::size_t e = 0;
+  for (idx_t i = 0; i < n; ++i) {
+    const idx_t rb = rowBlock[static_cast<std::size_t>(i)];
+    for (idx_t j : a.row_cols(i)) {
+      d.nnzOwner[e++] = rb * pc + colBlock[static_cast<std::size_t>(j)];
+    }
+  }
+  d.xOwner.resize(static_cast<std::size_t>(n));
+  d.yOwner.resize(static_cast<std::size_t>(n));
+  for (idx_t j = 0; j < n; ++j) {
+    const idx_t owner = rowBlock[static_cast<std::size_t>(j)] * pc +
+                        colBlock[static_cast<std::size_t>(j)];
+    d.xOwner[static_cast<std::size_t>(j)] = owner;
+    d.yOwner[static_cast<std::size_t>(j)] = owner;
+  }
+  validate(a, d);
+  return d;
+}
+
+Decomposition checkerboard_decompose_k(const sparse::Csr& a, idx_t K) {
+  FGHP_REQUIRE(K >= 1, "K must be positive");
+  idx_t pr = 1;
+  for (idx_t d = 1; static_cast<double>(d) <= std::sqrt(static_cast<double>(K)); ++d) {
+    if (K % d == 0) pr = d;
+  }
+  return checkerboard_decompose(a, pr, K / pr);
+}
+
+}  // namespace fghp::model

@@ -1,0 +1,22 @@
+// 2D cartesian (checkerboard) decomposition baseline — the related-work
+// scheme of Hendrickson et al. and Lewis & van de Geijn that the paper's
+// introduction contrasts against: a pr x pc processor grid, contiguous row
+// and column blocks balanced by nonzero count, and *no* explicit effort to
+// reduce communication volume. Used by ablation A3.
+#pragma once
+
+#include "models/decomposition.hpp"
+#include "sparse/csr.hpp"
+
+namespace fghp::model {
+
+/// Decomposes onto a pr x pc grid: proc(a_ij) = rowBlock(i) * pc +
+/// colBlock(j); owner(x_j) = owner(y_j) = proc at (rowBlock(j), colBlock(j))
+/// so vectors stay conformal. Block boundaries greedily balance nonzeros.
+Decomposition checkerboard_decompose(const sparse::Csr& a, idx_t pr, idx_t pc);
+
+/// Convenience: near-square grid for K processors (pr * pc == K, pr <= pc,
+/// pr the largest divisor of K with pr <= sqrt(K)).
+Decomposition checkerboard_decompose_k(const sparse::Csr& a, idx_t K);
+
+}  // namespace fghp::model

@@ -1,0 +1,104 @@
+#include "models/decomp_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace fghp::model {
+
+namespace {
+
+[[noreturn]] void fail(long line, const std::string& what) {
+  std::ostringstream os;
+  os << "decomposition parse error at line " << line << ": " << what;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace
+
+void write_decomposition(std::ostream& out, const Decomposition& d) {
+  FGHP_REQUIRE(d.numProcs >= 1, "decomposition has no processors");
+  FGHP_REQUIRE(d.xOwner.size() == d.yOwner.size(),
+               "x/y owner maps must have equal length");
+  out << "fghp-decomposition 1\n";
+  out << "procs " << d.numProcs << '\n';
+  out << "nnz " << d.nnzOwner.size() << '\n';
+  for (idx_t p : d.nnzOwner) out << p << '\n';
+  out << "vec " << d.xOwner.size() << '\n';
+  for (std::size_t j = 0; j < d.xOwner.size(); ++j)
+    out << d.xOwner[j] << ' ' << d.yOwner[j] << '\n';
+}
+
+void write_decomposition_file(const std::string& path, const Decomposition& d) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_decomposition(out, d);
+}
+
+Decomposition read_decomposition(std::istream& in) {
+  long lineNo = 0;
+  std::string line;
+  auto next_line = [&]() -> std::string& {
+    if (!std::getline(in, line)) fail(lineNo + 1, "unexpected end of input");
+    ++lineNo;
+    return line;
+  };
+
+  {
+    std::istringstream banner(next_line());
+    std::string magic;
+    int version = 0;
+    banner >> magic >> version;
+    if (magic != "fghp-decomposition") fail(lineNo, "missing banner");
+    if (version != 1) fail(lineNo, "unsupported version");
+  }
+
+  Decomposition d;
+  long z = -1;
+  {
+    std::istringstream hdr(next_line());
+    std::string tag;
+    long k = 0;
+    if (!(hdr >> tag >> k) || tag != "procs" || k < 1) fail(lineNo, "bad procs line");
+    d.numProcs = static_cast<idx_t>(k);
+  }
+  {
+    std::istringstream hdr(next_line());
+    std::string tag;
+    if (!(hdr >> tag >> z) || tag != "nnz" || z < 0) fail(lineNo, "bad nnz line");
+  }
+  d.nnzOwner.reserve(static_cast<std::size_t>(z));
+  for (long e = 0; e < z; ++e) {
+    std::istringstream es(next_line());
+    long p;
+    if (!(es >> p) || p < 0 || p >= d.numProcs) fail(lineNo, "owner out of range");
+    d.nnzOwner.push_back(static_cast<idx_t>(p));
+  }
+  long m = -1;
+  {
+    std::istringstream hdr(next_line());
+    std::string tag;
+    if (!(hdr >> tag >> m) || tag != "vec" || m < 0) fail(lineNo, "bad vec line");
+  }
+  d.xOwner.reserve(static_cast<std::size_t>(m));
+  d.yOwner.reserve(static_cast<std::size_t>(m));
+  for (long j = 0; j < m; ++j) {
+    std::istringstream vs(next_line());
+    long x, y;
+    if (!(vs >> x >> y) || x < 0 || x >= d.numProcs || y < 0 || y >= d.numProcs)
+      fail(lineNo, "vector owner out of range");
+    d.xOwner.push_back(static_cast<idx_t>(x));
+    d.yOwner.push_back(static_cast<idx_t>(y));
+  }
+  return d;
+}
+
+Decomposition read_decomposition_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_decomposition(in);
+}
+
+}  // namespace fghp::model

@@ -1,0 +1,33 @@
+// Decomposition serialization: a small line-oriented text format so owner
+// maps can be produced once (partitioning is the expensive step) and reused
+// by downstream runtimes. Format:
+//
+//   fghp-decomposition 1
+//   procs <K>
+//   nnz <Z>
+//   <owner of entry 0, CSR order>
+//   ...
+//   vec <M>
+//   <xOwner[0]> <yOwner[0]>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "models/decomposition.hpp"
+#include "sparse/csr.hpp"
+
+namespace fghp::model {
+
+/// Writes the decomposition.
+void write_decomposition(std::ostream& out, const Decomposition& d);
+void write_decomposition_file(const std::string& path, const Decomposition& d);
+
+/// Parses a decomposition; throws std::runtime_error with a line-numbered
+/// message on malformed input. Validate against the target matrix with
+/// model::validate before use.
+Decomposition read_decomposition(std::istream& in);
+Decomposition read_decomposition_file(const std::string& path);
+
+}  // namespace fghp::model

@@ -1,0 +1,43 @@
+#include "models/decomposition.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fghp::model {
+
+void validate(const sparse::Csr& a, const Decomposition& d) {
+  FGHP_REQUIRE(d.numProcs >= 1, "need at least one processor");
+  FGHP_REQUIRE(d.nnzOwner.size() == static_cast<std::size_t>(a.nnz()),
+               "one owner per stored nonzero required");
+  FGHP_REQUIRE(d.xOwner.size() == static_cast<std::size_t>(a.num_cols()),
+               "one owner per column required");
+  FGHP_REQUIRE(d.yOwner.size() == static_cast<std::size_t>(a.num_rows()),
+               "one owner per row required");
+  auto in_range = [&](idx_t p) { return p >= 0 && p < d.numProcs; };
+  FGHP_REQUIRE(std::all_of(d.nnzOwner.begin(), d.nnzOwner.end(), in_range),
+               "nonzero owner out of range");
+  FGHP_REQUIRE(std::all_of(d.xOwner.begin(), d.xOwner.end(), in_range),
+               "x owner out of range");
+  FGHP_REQUIRE(std::all_of(d.yOwner.begin(), d.yOwner.end(), in_range),
+               "y owner out of range");
+}
+
+bool symmetric_vectors(const Decomposition& d) {
+  return d.xOwner == d.yOwner;
+}
+
+LoadStats compute_loads(const sparse::Csr& a, const Decomposition& d) {
+  LoadStats s;
+  s.nnzPerProc.assign(static_cast<std::size_t>(d.numProcs), 0);
+  for (idx_t owner : d.nnzOwner) ++s.nnzPerProc[static_cast<std::size_t>(owner)];
+  s.maxLoad = *std::max_element(s.nnzPerProc.begin(), s.nnzPerProc.end());
+  s.avgLoad = static_cast<double>(a.nnz()) / static_cast<double>(d.numProcs);
+  s.percentImbalance =
+      s.avgLoad > 0.0
+          ? 100.0 * (static_cast<double>(s.maxLoad) - s.avgLoad) / s.avgLoad
+          : 0.0;
+  return s;
+}
+
+}  // namespace fghp::model

@@ -1,0 +1,45 @@
+// The common output of every decomposition model: which processor owns each
+// nonzero (the atomic task y_i^j = a_ij * x_j) and which processor owns each
+// x_j / y_i vector entry. 1D models are the special case where ownership is
+// constant along each row.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace fghp::model {
+
+struct Decomposition {
+  idx_t numProcs = 0;
+
+  /// Owner of each stored nonzero, indexed by CSR entry order (row-major).
+  std::vector<idx_t> nnzOwner;
+
+  /// Owner of x_j, per column j.
+  std::vector<idx_t> xOwner;
+
+  /// Owner of y_i, per row i.
+  std::vector<idx_t> yOwner;
+};
+
+/// Checks shapes and ranges against the matrix; throws std::invalid_argument.
+void validate(const sparse::Csr& a, const Decomposition& d);
+
+/// True if the x and y vectors are partitioned conformally (the paper's
+/// symmetric-partitioning requirement for iterative solvers).
+bool symmetric_vectors(const Decomposition& d);
+
+struct LoadStats {
+  std::vector<weight_t> nnzPerProc;  ///< scalar multiplications per processor
+  weight_t maxLoad = 0;
+  double avgLoad = 0.0;
+  /// The paper's percent imbalance ratio 100 * (Wmax - Wavg) / Wavg.
+  double percentImbalance = 0.0;
+};
+
+/// Computational load of each processor (one unit per owned nonzero).
+LoadStats compute_loads(const sparse::Csr& a, const Decomposition& d);
+
+}  // namespace fghp::model

@@ -1,0 +1,40 @@
+// The standard graph model for 1D rowwise decomposition (the MeTiS baseline
+// of Table 2).
+//
+// Vertices are rows with weight = nnz(row) (the row's multiply count). For
+// every off-diagonal pair (i, j) with a_ij != 0 or a_ji != 0 there is an
+// edge whose weight counts the words that actually cross if i and j are
+// separated under symmetric partitioning: 1 per stored direction (2 when
+// both a_ij and a_ji are stored). The model's known flaw — the reason the
+// hypergraph models win — is that a vertex with cut edges to several
+// neighbors in the *same* part pays once per edge while the real expand
+// sends x_j only once per remote processor.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "models/decomposition.hpp"
+#include "partition/config.hpp"
+#include "sparse/csr.hpp"
+
+namespace fghp::model {
+
+/// Builds the standard (symmetrized) graph of a square matrix.
+gp::Graph build_standard_graph(const sparse::Csr& a);
+
+/// Decodes a row partition as a 1D rowwise decomposition with conformal
+/// vectors: proc(a_ij) = rowPart[i], owner(x_j) = owner(y_j) = rowPart[j].
+Decomposition decode_rowwise(const sparse::Csr& a, const std::vector<idx_t>& rowPart,
+                             idx_t numProcs);
+
+/// Result of running one model end to end (build + partition + decode).
+struct ModelRun {
+  Decomposition decomp;
+  double partitionSeconds = 0.0;  ///< model build excluded, as in the paper
+  weight_t objective = 0;         ///< what the partitioner minimized
+  double imbalance = 0.0;         ///< partitioner-side imbalance
+};
+
+/// Standard graph model end to end.
+ModelRun run_graph_model(const sparse::Csr& a, idx_t K, const part::PartitionConfig& cfg);
+
+}  // namespace fghp::model

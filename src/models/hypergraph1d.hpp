@@ -1,0 +1,24 @@
+// The 1D column-net hypergraph model (Çatalyürek & Aykanat, TPDS 1999) —
+// the stronger 1D baseline of Table 2.
+//
+// Vertices are rows with weight nnz(row); net n_j holds the rows with a
+// nonzero in column j, plus row j itself (the consistency pin that lets
+// owner(x_j) = owner(row j) make the lambda-1 cutsize equal the exact
+// expand volume).
+#pragma once
+
+#include "hypergraph/hypergraph.hpp"
+#include "models/graph_model.hpp"  // ModelRun, decode_rowwise
+#include "partition/config.hpp"
+#include "sparse/csr.hpp"
+
+namespace fghp::model {
+
+/// Builds the column-net hypergraph of a square matrix.
+hg::Hypergraph build_colnet_hypergraph(const sparse::Csr& a);
+
+/// 1D column-net hypergraph model end to end (partition rows, decode 1D
+/// rowwise).
+ModelRun run_hypergraph1d(const sparse::Csr& a, idx_t K, const part::PartitionConfig& cfg);
+
+}  // namespace fghp::model

@@ -1,0 +1,27 @@
+// Jagged 2D decomposition (Çatalyürek's thesis [2], ch. "2D decompositions";
+// also Saad/Manguoglu-style jagged splits): a P x Q processor grid where
+// rows are first partitioned into P stripes with the column-net hypergraph
+// model, then each stripe's *columns* are partitioned into Q parts with a
+// row-net hypergraph restricted to the stripe. Nonzero (i, j) goes to
+// processor (stripe(i), colPart_{stripe(i)}(j)) — column splits differ per
+// stripe, hence "jagged". A structured middle ground between cartesian
+// checkerboard (rigid) and the fine-grain model (fully general).
+#pragma once
+
+#include "models/decomposition.hpp"
+#include "models/graph_model.hpp"  // ModelRun
+#include "partition/config.hpp"
+#include "sparse/csr.hpp"
+
+namespace fghp::model {
+
+/// Jagged decomposition on a pr x pc grid. Vector entries follow the
+/// diagonal: owner(x_j) = owner(y_j) = proc(stripe(j), colPart_{stripe(j)}(j)),
+/// keeping the partition symmetric.
+ModelRun run_jagged(const sparse::Csr& a, idx_t pr, idx_t pc,
+                    const part::PartitionConfig& cfg);
+
+/// Near-square grid factorization of K (mirrors checkerboard_decompose_k).
+ModelRun run_jagged_k(const sparse::Csr& a, idx_t K, const part::PartitionConfig& cfg);
+
+}  // namespace fghp::model

@@ -1,0 +1,67 @@
+#include "models/orthogonal.hpp"
+
+#include <cmath>
+
+#include "models/hypergraph1d.hpp"
+#include "models/rownet.hpp"
+#include "partition/hg/partitioner.hpp"
+#include "util/assert.hpp"
+
+namespace fghp::model {
+
+ModelRun run_orthogonal(const sparse::Csr& a, idx_t pr, idx_t pc,
+                        const part::PartitionConfig& cfg) {
+  FGHP_REQUIRE(a.is_square(), "the orthogonal model requires a square matrix");
+  FGHP_REQUIRE(pr >= 1 && pc >= 1, "grid dimensions must be positive");
+  const idx_t n = a.num_rows();
+
+  ModelRun run;
+
+  std::vector<idx_t> rowPart(static_cast<std::size_t>(n), 0);
+  if (pr > 1) {
+    const hg::Hypergraph rowsH = build_colnet_hypergraph(a);
+    part::HgResult r = part::partition_hypergraph(rowsH, pr, cfg);
+    run.partitionSeconds += r.seconds;
+    rowPart = r.partition.assignment();
+  }
+  std::vector<idx_t> colPart(static_cast<std::size_t>(n), 0);
+  if (pc > 1) {
+    const hg::Hypergraph colsH = build_rownet_hypergraph(a);
+    part::HgResult r = part::partition_hypergraph(colsH, pc, cfg);
+    run.partitionSeconds += r.seconds;
+    colPart = r.partition.assignment();
+  }
+
+  Decomposition d;
+  d.numProcs = pr * pc;
+  d.nnzOwner.resize(static_cast<std::size_t>(a.nnz()));
+  std::size_t e = 0;
+  for (idx_t i = 0; i < n; ++i) {
+    const idx_t rp = rowPart[static_cast<std::size_t>(i)];
+    for (idx_t j : a.row_cols(i)) {
+      d.nnzOwner[e++] = rp * pc + colPart[static_cast<std::size_t>(j)];
+    }
+  }
+  d.xOwner.resize(static_cast<std::size_t>(n));
+  d.yOwner.resize(static_cast<std::size_t>(n));
+  for (idx_t j = 0; j < n; ++j) {
+    const idx_t owner = rowPart[static_cast<std::size_t>(j)] * pc +
+                        colPart[static_cast<std::size_t>(j)];
+    d.xOwner[static_cast<std::size_t>(j)] = owner;
+    d.yOwner[static_cast<std::size_t>(j)] = owner;
+  }
+  validate(a, d);
+  run.decomp = std::move(d);
+  return run;
+}
+
+ModelRun run_orthogonal_k(const sparse::Csr& a, idx_t K, const part::PartitionConfig& cfg) {
+  FGHP_REQUIRE(K >= 1, "K must be positive");
+  idx_t pr = 1;
+  for (idx_t f = 1; static_cast<double>(f) <= std::sqrt(static_cast<double>(K)); ++f) {
+    if (K % f == 0) pr = f;
+  }
+  return run_orthogonal(a, pr, K / pr, cfg);
+}
+
+}  // namespace fghp::model

@@ -1,0 +1,27 @@
+// Hypergraph-based orthogonal (checkerboard) 2D decomposition: rows are
+// partitioned into P stripes with the column-net model and columns into Q
+// stripes with the row-net model, independently; nonzero (i, j) goes to the
+// grid processor (rowPart(i), colPart(j)). Unlike the cartesian
+// checkerboard, the stripes are hypergraph-optimized (non-contiguous), so
+// the expand/fold volumes are actively minimized while the P x Q message
+// bound of checkerboard schemes (each processor talks within its grid row
+// and column) is retained. Simplification of Çatalyürek & Aykanat's
+// checkerboard model, whose second phase is multi-constraint.
+#pragma once
+
+#include "models/decomposition.hpp"
+#include "models/graph_model.hpp"  // ModelRun
+#include "partition/config.hpp"
+#include "sparse/csr.hpp"
+
+namespace fghp::model {
+
+/// Orthogonal decomposition on a pr x pc grid; conformal vectors via
+/// owner(x_j) = owner(y_j) = proc(rowPart(j), colPart(j)).
+ModelRun run_orthogonal(const sparse::Csr& a, idx_t pr, idx_t pc,
+                        const part::PartitionConfig& cfg);
+
+/// Near-square grid factorization of K.
+ModelRun run_orthogonal_k(const sparse::Csr& a, idx_t K, const part::PartitionConfig& cfg);
+
+}  // namespace fghp::model

@@ -1,0 +1,29 @@
+// The 1D row-net hypergraph model — the columnwise dual of the column-net
+// model (the paper's [4] presents both). Vertices are columns with weight
+// nnz(col); net m_i holds the columns with a nonzero in row i plus column i
+// itself (consistency pin). A K-way partition decodes as a 1D *columnwise*
+// decomposition: proc(a_ij) = colPart[j], owner(x_j) = owner(y_j) =
+// colPart[j]. Columnwise SpMV needs no expand (every processor owns the x
+// entries its columns multiply); the lambda-1 cutsize equals the exact fold
+// volume.
+#pragma once
+
+#include "hypergraph/hypergraph.hpp"
+#include "models/graph_model.hpp"  // ModelRun
+#include "partition/config.hpp"
+#include "sparse/csr.hpp"
+
+namespace fghp::model {
+
+/// Builds the row-net hypergraph of a square matrix.
+hg::Hypergraph build_rownet_hypergraph(const sparse::Csr& a);
+
+/// Decodes a column partition as a 1D columnwise decomposition with
+/// conformal vectors.
+Decomposition decode_colwise(const sparse::Csr& a, const std::vector<idx_t>& colPart,
+                             idx_t numProcs);
+
+/// 1D row-net hypergraph model end to end.
+ModelRun run_rownet(const sparse::Csr& a, idx_t K, const part::PartitionConfig& cfg);
+
+}  // namespace fghp::model

@@ -1,0 +1,126 @@
+#include "models/vector_assign.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace fghp::model {
+
+namespace {
+
+/// Per-processor send+receive words implied by owner choices, computed
+/// incrementally: owning index j costs the owner |S_j \ {p}| expand sends
+/// plus |T_j \ {p}| fold receives, and every other member of S_j / T_j one
+/// receive / send.
+struct LoadLedger {
+  explicit LoadLedger(idx_t numProcs) : words(static_cast<std::size_t>(numProcs), 0) {}
+
+  void apply(const std::vector<idx_t>& S, const std::vector<idx_t>& T, idx_t owner,
+             weight_t sign) {
+    for (idx_t p : S) {
+      if (p == owner) continue;
+      words[static_cast<std::size_t>(owner)] += sign;  // owner sends x_j
+      words[static_cast<std::size_t>(p)] += sign;      // p receives x_j
+    }
+    for (idx_t p : T) {
+      if (p == owner) continue;
+      words[static_cast<std::size_t>(p)] += sign;      // p sends its partial
+      words[static_cast<std::size_t>(owner)] += sign;  // owner receives it
+    }
+  }
+
+  weight_t max() const { return *std::max_element(words.begin(), words.end()); }
+
+  std::vector<weight_t> words;
+};
+
+}  // namespace
+
+VectorAssignResult balance_vector_owners(const sparse::Csr& a, const Decomposition& d) {
+  validate(a, d);
+  FGHP_REQUIRE(symmetric_vectors(d), "optimizer requires a symmetric vector partition");
+  const idx_t n = a.num_rows();
+  FGHP_REQUIRE(a.is_square(), "optimizer requires a square matrix");
+
+  // Sorted unique processor sets per column (S) and row (T).
+  std::vector<std::vector<idx_t>> S(static_cast<std::size_t>(n));
+  std::vector<std::vector<idx_t>> T(static_cast<std::size_t>(n));
+  {
+    std::size_t e = 0;
+    for (idx_t i = 0; i < n; ++i) {
+      for (idx_t j : a.row_cols(i)) {
+        const idx_t p = d.nnzOwner[e++];
+        S[static_cast<std::size_t>(j)].push_back(p);
+        T[static_cast<std::size_t>(i)].push_back(p);
+      }
+    }
+    for (auto& s : S) {
+      std::sort(s.begin(), s.end());
+      s.erase(std::unique(s.begin(), s.end()), s.end());
+    }
+    for (auto& t : T) {
+      std::sort(t.begin(), t.end());
+      t.erase(std::unique(t.begin(), t.end()), t.end());
+    }
+  }
+
+  // Baseline ledger under the input owners.
+  LoadLedger ledger(d.numProcs);
+  for (idx_t j = 0; j < n; ++j) {
+    ledger.apply(S[static_cast<std::size_t>(j)], T[static_cast<std::size_t>(j)],
+                 d.xOwner[static_cast<std::size_t>(j)], +1);
+  }
+  const weight_t before = ledger.max();
+
+  // Heaviest entries first: they move the most words, so placing them while
+  // the ledger is most flexible balances best.
+  std::vector<idx_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), idx_t{0});
+  std::sort(order.begin(), order.end(), [&](idx_t x, idx_t y) {
+    const std::size_t sx = S[static_cast<std::size_t>(x)].size() +
+                           T[static_cast<std::size_t>(x)].size();
+    const std::size_t sy = S[static_cast<std::size_t>(y)].size() +
+                           T[static_cast<std::size_t>(y)].size();
+    return sx != sy ? sx > sy : x < y;
+  });
+
+  Decomposition out = d;
+  for (idx_t j : order) {
+    const auto& Sj = S[static_cast<std::size_t>(j)];
+    const auto& Tj = T[static_cast<std::size_t>(j)];
+    std::vector<idx_t> candidates;
+    std::set_intersection(Sj.begin(), Sj.end(), Tj.begin(), Tj.end(),
+                          std::back_inserter(candidates));
+    if (candidates.empty()) continue;  // keep the existing (volume-optimal set empty)
+
+    const idx_t current = out.xOwner[static_cast<std::size_t>(j)];
+    ledger.apply(Sj, Tj, current, -1);
+    idx_t best = kInvalidIdx;
+    weight_t bestLoad = 0;
+    for (idx_t p : candidates) {
+      const weight_t load = ledger.words[static_cast<std::size_t>(p)];
+      if (best == kInvalidIdx || load < bestLoad) {
+        best = p;
+        bestLoad = load;
+      }
+    }
+    ledger.apply(Sj, Tj, best, +1);
+    out.xOwner[static_cast<std::size_t>(j)] = best;
+    out.yOwner[static_cast<std::size_t>(j)] = best;
+  }
+
+  VectorAssignResult result;
+  result.maxProcWordsBefore = before;
+  result.maxProcWordsAfter = ledger.max();
+  if (result.maxProcWordsAfter <= before) {
+    result.decomp = std::move(out);
+  } else {
+    // Greedy failed to help; keep the input assignment.
+    result.decomp = d;
+    result.maxProcWordsAfter = before;
+  }
+  return result;
+}
+
+}  // namespace fghp::model

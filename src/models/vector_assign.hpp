@@ -1,0 +1,30 @@
+// Vector-ownership optimization — the follow-up direction the paper's §3
+// leaves open: any owner(x_j) = owner(y_j) inside Λ(n_j) ∩ Λ(m_j) realizes
+// the same *total* volume (the lambda-1 cutsize), so the remaining freedom
+// can balance the *per-processor* communication loads (Table 2's "max"
+// column), the idea Uçar & Aykanat later developed into communication-
+// hypergraph models.
+//
+// The optimizer keeps the decomposition's nonzero placement fixed and
+// greedily re-assigns vector owners (heaviest entries first, to the
+// candidate processor with the smallest current send+receive load),
+// guaranteeing: total volume unchanged, symmetric partitioning preserved,
+// max per-processor volume never worse than the input assignment.
+#pragma once
+
+#include "models/decomposition.hpp"
+#include "sparse/csr.hpp"
+
+namespace fghp::model {
+
+struct VectorAssignResult {
+  Decomposition decomp;
+  weight_t maxProcWordsBefore = 0;
+  weight_t maxProcWordsAfter = 0;
+};
+
+/// Rebalances owner(x_j) = owner(y_j) within Λ(col j) ∩ Λ(row j) (entries
+/// whose intersection is empty keep their current owner). Deterministic.
+VectorAssignResult balance_vector_owners(const sparse::Csr& a, const Decomposition& d);
+
+}  // namespace fghp::model

@@ -1,0 +1,78 @@
+// Shared configuration for the multilevel partitioners (hypergraph and
+// graph). Defaults reproduce the paper's setup: eps = 0.03 (the "< 3%
+// imbalance" of §4), connectivity-minus-one objective, PaToH-style
+// agglomerative coarsening.
+#pragma once
+
+#include <cstdint>
+
+#include "hypergraph/metrics.hpp"
+#include "util/types.hpp"
+
+namespace fghp::part {
+
+enum class Coarsening {
+  kHeavyConnectivity,  ///< HCM: pairwise matching by shared-net cost
+  kAgglomerative,      ///< HCC: absorption clustering (PaToH default)
+  kRandomMatching,     ///< ablation baseline
+  kNone,               ///< ablation baseline: flat (no multilevel)
+};
+
+enum class InitialAlgo {
+  kGreedyGrowing,  ///< GHG: grow one side by best-gain moves from a seed
+  kRandom,         ///< random balanced assignment (+ FM)
+  kMixed,          ///< alternate both across the initial runs (default)
+};
+
+struct PartitionConfig {
+  /// Maximum allowed imbalance ratio eps of eq. (1).
+  double epsilon = 0.03;
+
+  /// Master seed; every run is deterministic in (inputs, seed).
+  std::uint64_t seed = 1;
+
+  /// Objective: eq. (3) connectivity-1 (the paper) or eq. (2) cut-net.
+  hg::CutMetric metric = hg::CutMetric::kConnectivity;
+
+  /// HCM measures best on fine-grain hypergraphs (ablation A1); the
+  /// agglomerative policy trades a little quality for fewer levels.
+  Coarsening coarsening = Coarsening::kHeavyConnectivity;
+
+  /// Coarsening stops when this many vertices remain...
+  idx_t coarsenTo = 100;
+  /// ...or a level shrinks by less than this factor.
+  double minReductionFactor = 0.95;
+  idx_t maxCoarsenLevels = 64;
+
+  /// Nets larger than this are ignored while scoring mates (0 = auto:
+  /// max(64, |V|/20)). Huge nets are almost always cut anyway and scoring
+  /// through them costs O(|net|^2) per level.
+  idx_t maxNetSizeForMatching = 0;
+
+  /// Number of initial-partitioning attempts at the coarsest level.
+  idx_t numInitialRuns = 8;
+  InitialAlgo initial = InitialAlgo::kMixed;
+
+  /// FM refinement: maximum passes per level and the early-exit window
+  /// (abort a pass after this many consecutive moves without a new best,
+  /// scaled by vertex count but never below minFmMoves).
+  idx_t maxFmPasses = 3;
+  double fmEarlyExitFraction = 0.25;
+  idx_t minFmMoves = 128;
+
+  /// Greedy direct K-way polish after recursive bisection (extension over
+  /// the paper's PaToH pipeline; ablation A2 measures its effect).
+  bool kwayRefine = true;
+  idx_t kwayRefinePasses = 2;
+
+  /// Iterated V-cycles after recursive bisection: restricted coarsening +
+  /// multilevel K-way refinement (see partition/hg/vcycle.hpp). Each cycle
+  /// stops early when it yields no improvement.
+  idx_t vcycles = 2;
+
+  /// Independent full restarts of the hypergraph partitioner (different
+  /// derived seeds); the best cutsize wins. 1 = single run (default).
+  idx_t numRestarts = 1;
+};
+
+}  // namespace fghp::part

@@ -1,0 +1,16 @@
+// Multilevel graph bisection V-cycle.
+#pragma once
+
+#include <array>
+
+#include "graph/graph.hpp"
+#include "partition/config.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::part::gpb {
+
+gp::GPartition multilevel_gbisect(const gp::Graph& g, const std::array<weight_t, 2>& target,
+                                  const std::array<weight_t, 2>& maxWeight,
+                                  const PartitionConfig& cfg, Rng& rng);
+
+}  // namespace fghp::part::gpb

@@ -1,0 +1,25 @@
+// Initial graph bisection: Greedy Graph Growing and random balanced
+// assignment, FM-polished, best-of-N.
+#pragma once
+
+#include <array>
+
+#include "graph/graph.hpp"
+#include "partition/config.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::part::gpi {
+
+gp::GPartition random_gbisection(const gp::Graph& g, const std::array<weight_t, 2>& target,
+                                 Rng& rng);
+
+/// GGG: BFS-like growth of side 1 from a random seed, picking the candidate
+/// with the best edge-cut gain each step.
+gp::GPartition ggg_bisection(const gp::Graph& g, const std::array<weight_t, 2>& target,
+                             Rng& rng);
+
+gp::GPartition initial_gbisection(const gp::Graph& g, const std::array<weight_t, 2>& target,
+                                  const std::array<weight_t, 2>& maxWeight,
+                                  const PartitionConfig& cfg, Rng& rng);
+
+}  // namespace fghp::part::gpi

@@ -1,0 +1,58 @@
+#include "partition/gp/gkway.hpp"
+
+#include <cmath>
+
+#include "util/sparse_acc.hpp"
+
+namespace fghp::part::gpk {
+
+weight_t gkway_refine(const gp::Graph& g, gp::GPartition& p, const PartitionConfig& cfg,
+                      Rng& rng) {
+  FGHP_REQUIRE(p.complete(), "gkway_refine requires a complete partition");
+  const idx_t K = p.num_parts();
+  if (K <= 1) return 0;
+
+  const double avg = static_cast<double>(g.total_vertex_weight()) / static_cast<double>(K);
+  const auto cap = static_cast<weight_t>(std::floor(avg * (1.0 + cfg.epsilon) + 1e-9));
+
+  weight_t totalGain = 0;
+  SparseAccumulator<weight_t> toPart(K);
+
+  for (idx_t passNo = 0; passNo < cfg.kwayRefinePasses; ++passNo) {
+    weight_t passGain = 0;
+    for (idx_t v : rng.permutation(g.num_vertices())) {
+      const idx_t from = p.part_of(v);
+      // Edge weight towards each adjacent part; gain of moving to q is
+      // weight(q) - weight(from).
+      toPart.clear();
+      weight_t internal = 0;
+      for (const gp::Adj& a : g.neighbors(v)) {
+        const idx_t q = p.part_of(a.to);
+        if (q == from) {
+          internal += a.weight;
+        } else {
+          toPart.add(q, a.weight);
+        }
+      }
+      if (toPart.keys().empty()) continue;  // interior vertex
+
+      idx_t bestPart = kInvalidIdx;
+      weight_t bestGain = 0;
+      for (idx_t q : toPart.keys()) {
+        const weight_t gain = toPart.value(q) - internal;
+        if (gain > bestGain && p.part_weight(q) + g.vertex_weight(v) <= cap) {
+          bestGain = gain;
+          bestPart = q;
+        }
+      }
+      if (bestPart == kInvalidIdx) continue;
+      p.move(g, v, bestPart);
+      passGain += bestGain;
+    }
+    totalGain += passGain;
+    if (passGain == 0) break;
+  }
+  return totalGain;
+}
+
+}  // namespace fghp::part::gpk

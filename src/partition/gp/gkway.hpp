@@ -1,0 +1,19 @@
+// Greedy direct K-way refinement of a graph partition under the edge-cut
+// objective — the graph-side mirror of hgk::kway_refine, so the standard
+// graph model baseline gets the same post-RB polish as the hypergraph
+// models (keeping the Table 2 comparison apples-to-apples).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "partition/config.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::part::gpk {
+
+/// Runs cfg.kwayRefinePasses greedy passes (boundary vertices in random
+/// order, best strictly-positive-gain feasible move). Returns the total
+/// edge-cut improvement (>= 0). Balance (eq. 1, cfg.epsilon) is preserved.
+weight_t gkway_refine(const gp::Graph& g, gp::GPartition& p, const PartitionConfig& cfg,
+                      Rng& rng);
+
+}  // namespace fghp::part::gpk

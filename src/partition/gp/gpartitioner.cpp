@@ -1,0 +1,77 @@
+#include "partition/gp/gpartitioner.hpp"
+
+#include <cmath>
+
+#include "partition/gp/gkway.hpp"
+#include "partition/gp/grecursive.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace fghp::part {
+
+namespace {
+
+/// Repairs eq.-(1) violations left by recursive bisection: ejects
+/// minimum-cut-damage vertices from overloaded parts into the lightest part
+/// that still fits (mirror of hgk::kway_rebalance for graphs).
+void kway_grebalance(const gp::Graph& g, gp::GPartition& p, double epsilon, Rng& rng) {
+  const idx_t K = p.num_parts();
+  if (K <= 1) return;
+  const double avg = static_cast<double>(g.total_vertex_weight()) / static_cast<double>(K);
+  const auto cap = static_cast<weight_t>(std::floor(avg * (1.0 + epsilon) + 1e-9));
+
+  for (idx_t from = 0; from < K; ++from) {
+    while (p.part_weight(from) > cap) {
+      idx_t bestV = kInvalidIdx;
+      idx_t bestTo = kInvalidIdx;
+      weight_t bestDamage = 0;
+      for (idx_t v : rng.permutation(g.num_vertices())) {
+        if (p.part_of(v) != from || g.vertex_weight(v) == 0) continue;
+        idx_t to = kInvalidIdx;
+        for (idx_t q = 0; q < K; ++q) {
+          if (q == from || p.part_weight(q) + g.vertex_weight(v) > cap) continue;
+          if (to == kInvalidIdx || p.part_weight(q) < p.part_weight(to)) to = q;
+        }
+        if (to == kInvalidIdx) continue;
+        weight_t damage = 0;
+        for (const gp::Adj& a : g.neighbors(v)) {
+          if (p.part_of(a.to) == from) damage += a.weight;
+          if (p.part_of(a.to) == to) damage -= a.weight;
+        }
+        if (bestV == kInvalidIdx || damage < bestDamage) {
+          bestV = v;
+          bestTo = to;
+          bestDamage = damage;
+        }
+        if (bestDamage <= 0) break;
+      }
+      if (bestV == kInvalidIdx) break;
+      p.move(g, bestV, bestTo);
+    }
+  }
+}
+
+}  // namespace
+
+GpResult partition_graph(const gp::Graph& g, idx_t K, const PartitionConfig& cfg) {
+  FGHP_REQUIRE(K >= 1, "K must be positive");
+  WallTimer timer;
+  Rng rng(cfg.seed);
+
+  gprb::GRecursiveResult rb = gprb::partition_graph_recursive(g, K, cfg, rng);
+  if (K > 1 && !gp::is_balanced(g, rb.partition, cfg.epsilon)) {
+    kway_grebalance(g, rb.partition, cfg.epsilon, rng);
+  }
+  if (cfg.kwayRefine && K > 2) {
+    gpk::gkway_refine(g, rb.partition, cfg, rng);
+  }
+
+  GpResult out;
+  out.seconds = timer.seconds();
+  out.edgeCut = gp::edge_cut(g, rb.partition);
+  out.imbalance = gp::imbalance(g, rb.partition);
+  out.partition = std::move(rb.partition);
+  return out;
+}
+
+}  // namespace fghp::part

@@ -1,0 +1,22 @@
+// Public facade of the multilevel graph partitioner (the MeTiS-style engine
+// behind the standard graph model baseline).
+#pragma once
+
+#include "graph/gmetrics.hpp"
+#include "graph/graph.hpp"
+#include "partition/config.hpp"
+
+namespace fghp::part {
+
+struct GpResult {
+  gp::GPartition partition;
+  weight_t edgeCut = 0;
+  double imbalance = 0.0;
+  double seconds = 0.0;
+};
+
+/// Partitions g into K parts minimizing the weighted edge cut.
+/// Deterministic in (g, K, cfg.seed).
+GpResult partition_graph(const gp::Graph& g, idx_t K, const PartitionConfig& cfg);
+
+}  // namespace fghp::part

@@ -1,0 +1,102 @@
+#include "partition/gp/grecursive.hpp"
+
+#include <cmath>
+#include <tuple>
+
+#include "partition/gp/gbisect.hpp"
+#include "partition/gp/grefine.hpp"
+#include "partition/hg/recursive.hpp"  // per_level_epsilon
+
+namespace fghp::part::gprb {
+
+namespace {
+
+struct GSide {
+  gp::Graph sub;
+  std::vector<idx_t> toParent;
+};
+
+GSide extract_gside(const gp::Graph& g, const gp::GPartition& bisection, idx_t side) {
+  GSide out;
+  std::vector<idx_t> toSub(static_cast<std::size_t>(g.num_vertices()), kInvalidIdx);
+  for (idx_t v = 0; v < g.num_vertices(); ++v) {
+    if (bisection.part_of(v) == side) {
+      toSub[static_cast<std::size_t>(v)] = static_cast<idx_t>(out.toParent.size());
+      out.toParent.push_back(v);
+    }
+  }
+  const auto numSub = static_cast<idx_t>(out.toParent.size());
+  std::vector<weight_t> vwgt(static_cast<std::size_t>(numSub));
+  for (idx_t sv = 0; sv < numSub; ++sv)
+    vwgt[static_cast<std::size_t>(sv)] =
+        g.vertex_weight(out.toParent[static_cast<std::size_t>(sv)]);
+
+  std::vector<std::tuple<idx_t, idx_t, weight_t>> edges;
+  for (idx_t sv = 0; sv < numSub; ++sv) {
+    const idx_t v = out.toParent[static_cast<std::size_t>(sv)];
+    for (const gp::Adj& a : g.neighbors(v)) {
+      if (a.to <= v) continue;
+      const idx_t su = toSub[static_cast<std::size_t>(a.to)];
+      if (su != kInvalidIdx) edges.emplace_back(sv, su, a.weight);
+    }
+  }
+  out.sub = gp::Graph(numSub, std::move(edges), std::move(vwgt));
+  return out;
+}
+
+struct GRecurser {
+  const PartitionConfig& cfg;
+  double epsLevel;
+  std::vector<idx_t>& finalPart;
+  weight_t cutAccum = 0;
+
+  void run(const gp::Graph& g, const std::vector<idx_t>& toOrig, idx_t K, idx_t partOffset,
+           Rng rng) {
+    if (K == 1 || g.num_vertices() == 0) {
+      for (idx_t v = 0; v < g.num_vertices(); ++v)
+        finalPart[static_cast<std::size_t>(toOrig[static_cast<std::size_t>(v)])] = partOffset;
+      return;
+    }
+    const idx_t k0 = K / 2;
+    const idx_t k1 = K - k0;
+    const weight_t total = g.total_vertex_weight();
+    std::array<weight_t, 2> target;
+    target[0] = static_cast<weight_t>(std::llround(
+        static_cast<double>(total) * static_cast<double>(k0) / static_cast<double>(K)));
+    target[1] = total - target[0];
+    std::array<weight_t, 2> maxWeight = {
+        static_cast<weight_t>(std::floor(static_cast<double>(target[0]) * (1.0 + epsLevel))),
+        static_cast<weight_t>(std::floor(static_cast<double>(target[1]) * (1.0 + epsLevel)))};
+    maxWeight[0] = std::max(maxWeight[0], target[0]);
+    maxWeight[1] = std::max(maxWeight[1], target[1]);
+
+    Rng childRng0 = rng.spawn();
+    Rng childRng1 = rng.spawn();
+    gp::GPartition bisection = gpb::multilevel_gbisect(g, target, maxWeight, cfg, rng);
+    cutAccum += gpr::GraphFM::compute_cut(g, bisection);
+
+    for (idx_t side = 0; side < 2; ++side) {
+      GSide ext = extract_gside(g, bisection, side);
+      for (auto& v : ext.toParent) v = toOrig[static_cast<std::size_t>(v)];
+      run(ext.sub, ext.toParent, side == 0 ? k0 : k1, side == 0 ? partOffset : partOffset + k0,
+          side == 0 ? childRng0 : childRng1);
+    }
+  }
+};
+
+}  // namespace
+
+GRecursiveResult partition_graph_recursive(const gp::Graph& g, idx_t K,
+                                           const PartitionConfig& cfg, Rng& rng) {
+  FGHP_REQUIRE(K >= 1, "K must be positive");
+  std::vector<idx_t> finalPart(static_cast<std::size_t>(g.num_vertices()), kInvalidIdx);
+  GRecurser rec{cfg, hgrb::per_level_epsilon(cfg.epsilon, K), finalPart};
+
+  std::vector<idx_t> identity(static_cast<std::size_t>(g.num_vertices()));
+  for (idx_t v = 0; v < g.num_vertices(); ++v) identity[static_cast<std::size_t>(v)] = v;
+  rec.run(g, identity, K, 0, rng.spawn());
+
+  return {gp::GPartition(g, K, std::move(finalPart)), rec.cutAccum};
+}
+
+}  // namespace fghp::part::gprb

@@ -1,0 +1,20 @@
+// Recursive bisection of a graph to K parts (edge-cut objective). Cut edges
+// are dropped when recursing — their cost is fully paid at the level that
+// cut them, which telescopes to the K-way edge cut.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "partition/config.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::part::gprb {
+
+struct GRecursiveResult {
+  gp::GPartition partition;
+  weight_t sumOfBisectionCuts = 0;
+};
+
+GRecursiveResult partition_graph_recursive(const gp::Graph& g, idx_t K,
+                                           const PartitionConfig& cfg, Rng& rng);
+
+}  // namespace fghp::part::gprb

@@ -1,0 +1,37 @@
+// Boundary FM refinement for graph bisections (edge-cut objective).
+#pragma once
+
+#include <array>
+
+#include "graph/graph.hpp"
+#include "partition/config.hpp"
+#include "util/bucket_queue.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::part::gpr {
+
+class GraphFM {
+ public:
+  explicit GraphFM(const PartitionConfig& cfg) : cfg_(cfg) {}
+
+  /// Refines a complete 2-way partition in place under the side caps;
+  /// repairs balance first if needed. Returns the resulting edge cut.
+  weight_t refine(const gp::Graph& g, gp::GPartition& p,
+                  const std::array<weight_t, 2>& maxWeight, Rng& rng);
+
+  static weight_t compute_cut(const gp::Graph& g, const gp::GPartition& p);
+
+ private:
+  idx_t gain_of(const gp::Graph& g, const gp::GPartition& p, idx_t v) const;
+  weight_t pass(const gp::Graph& g, gp::GPartition& p,
+                const std::array<weight_t, 2>& maxWeight, weight_t startCut, Rng& rng);
+  void apply_move(const gp::Graph& g, gp::GPartition& p, idx_t v, bool updateGains);
+  void rebalance(const gp::Graph& g, gp::GPartition& p,
+                 const std::array<weight_t, 2>& maxWeight);
+
+  const PartitionConfig& cfg_;
+  std::array<BucketQueue, 2> queue_;
+  std::vector<char> locked_;
+};
+
+}  // namespace fghp::part::gpr

@@ -1,0 +1,25 @@
+// Multilevel bisection V-cycle: coarsen until small, split at the coarsest
+// level, project back and FM-refine at every level.
+#pragma once
+
+#include <array>
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/partition.hpp"
+#include "partition/config.hpp"
+#include "partition/hg/coarsen.hpp"  // FixedSides
+#include "util/rng.hpp"
+
+namespace fghp::part::hgb {
+
+/// Bisects h with side targets `target` (target[0]+target[1] == total vertex
+/// weight) under per-side caps maxWeight. Returns a complete 2-way partition;
+/// feasibility is best-effort (rebalance guarantees the caps whenever
+/// max(vertex weight) permits). Vertices pinned in `fixed` end up on their
+/// side (the paper's §3 pre-assigned vertices).
+hg::Partition multilevel_bisect(const hg::Hypergraph& h, const std::array<weight_t, 2>& target,
+                                const std::array<weight_t, 2>& maxWeight,
+                                const PartitionConfig& cfg, Rng& rng,
+                                const hgc::FixedSides& fixed = {});
+
+}  // namespace fghp::part::hgb

@@ -1,0 +1,62 @@
+// Multilevel coarsening for hypergraphs: vertex clustering (heavy
+// connectivity matching, agglomerative absorption clustering, random
+// matching) followed by contraction with single-pin-net removal and
+// identical-net merging (the PaToH memory/speed trick that matters most on
+// fine-grain hypergraphs, where many rows/columns share sparsity patterns).
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "partition/config.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::part::hgc {
+
+/// fine-vertex -> cluster-id map (ids need not be dense; contract() densifies).
+using ClusterMap = std::vector<idx_t>;
+
+/// Per-vertex bisection-side pin: -1 = free, 0 / 1 = fixed to that side
+/// (the paper's §3 pre-assigned vertices). Empty vector = nothing fixed.
+using FixedSides = std::vector<signed char>;
+
+/// Heavy Connectivity Matching: pairs each unmatched vertex with the
+/// unmatched neighbor sharing the largest total cost of common nets.
+/// Nets larger than maxNetSize are skipped while scoring. Vertices fixed to
+/// different sides never merge.
+ClusterMap cluster_hcm(const hg::Hypergraph& h, Rng& rng, idx_t maxNetSize,
+                       const FixedSides& fixed = {});
+
+/// Agglomerative (absorption) clustering: a vertex may join an existing
+/// cluster; candidate scores are sum of c_n / (|n| - 1) over shared nets;
+/// clusters are capped at maxClusterWeight. Fixed-side compatibility as in
+/// cluster_hcm.
+ClusterMap cluster_agglomerative(const hg::Hypergraph& h, Rng& rng, idx_t maxNetSize,
+                                 weight_t maxClusterWeight, const FixedSides& fixed = {});
+
+/// Random maximal matching (ablation baseline).
+ClusterMap cluster_random(const hg::Hypergraph& h, Rng& rng, const FixedSides& fixed = {});
+
+/// One coarsening level.
+struct CoarseLevel {
+  hg::Hypergraph coarse;
+  std::vector<idx_t> fineToCoarse;  ///< dense ids in [0, coarse.num_vertices())
+  FixedSides coarseFixed;           ///< side pins inherited by the clusters (may be empty)
+};
+
+/// Contracts `fine` under `clusters` (ids densified internally): coarse
+/// vertex weights are cluster sums; per-net pins are deduplicated;
+/// single-pin nets are dropped (they can never be cut); structurally
+/// identical nets are merged with summed costs. When `fixed` is non-empty,
+/// the coarse level inherits each cluster's side pin.
+CoarseLevel contract(const hg::Hypergraph& fine, const ClusterMap& clusters,
+                     const FixedSides& fixed = {});
+
+/// Runs one clustering pass per `cfg` and contracts. Convenience wrapper.
+CoarseLevel coarsen_one_level(const hg::Hypergraph& fine, const PartitionConfig& cfg, Rng& rng,
+                              const FixedSides& fixed = {});
+
+/// Effective net-size cutoff for matching (resolves the 0 = auto rule).
+idx_t effective_max_net_size(const hg::Hypergraph& h, const PartitionConfig& cfg);
+
+}  // namespace fghp::part::hgc

@@ -1,0 +1,245 @@
+#include "partition/hg/kway_refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/sparse_acc.hpp"
+
+namespace fghp::part::hgk {
+
+namespace {
+
+/// Association-list connectivity record of one net: (part, pin count) pairs.
+/// Nets in sparse-matrix hypergraphs have small connectivity, so linear
+/// scans beat hashing.
+class NetParts {
+ public:
+  idx_t count(idx_t part) const {
+    for (const auto& [p, c] : entries_)
+      if (p == part) return c;
+    return 0;
+  }
+
+  idx_t connectivity() const { return static_cast<idx_t>(entries_.size()); }
+
+  void add(idx_t part) {
+    for (auto& [p, c] : entries_) {
+      if (p == part) {
+        ++c;
+        return;
+      }
+    }
+    entries_.emplace_back(part, 1);
+  }
+
+  void remove(idx_t part) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].first == part) {
+        if (--entries_[i].second == 0) {
+          entries_[i] = entries_.back();
+          entries_.pop_back();
+        }
+        return;
+      }
+    }
+    FGHP_ASSERT(false && "part not present in net");
+  }
+
+  const std::vector<std::pair<idx_t, idx_t>>& entries() const { return entries_; }
+
+ private:
+  std::vector<std::pair<idx_t, idx_t>> entries_;
+};
+
+}  // namespace
+
+weight_t kway_refine(const hg::Hypergraph& h, hg::Partition& p, const PartitionConfig& cfg,
+                     Rng& rng, const std::vector<idx_t>& fixedPart) {
+  FGHP_REQUIRE(p.complete(), "kway_refine requires a complete partition");
+  const idx_t K = p.num_parts();
+  if (K <= 1) return 0;
+  auto is_fixed = [&](idx_t v) {
+    return !fixedPart.empty() && fixedPart[static_cast<std::size_t>(v)] != kInvalidIdx;
+  };
+
+  std::vector<NetParts> nets(static_cast<std::size_t>(h.num_nets()));
+  for (idx_t n = 0; n < h.num_nets(); ++n) {
+    for (idx_t v : h.pins(n)) nets[static_cast<std::size_t>(n)].add(p.part_of(v));
+  }
+
+  const double avg =
+      static_cast<double>(h.total_vertex_weight()) / static_cast<double>(K);
+  const auto cap = static_cast<weight_t>(std::floor(avg * (1.0 + cfg.epsilon)));
+
+  weight_t totalGain = 0;
+  SparseAccumulator<weight_t> gainTo(K);
+
+  for (idx_t passNo = 0; passNo < cfg.kwayRefinePasses; ++passNo) {
+    weight_t passGain = 0;
+    for (idx_t v : rng.permutation(h.num_vertices())) {
+      if (is_fixed(v)) continue;
+      const idx_t from = p.part_of(v);
+
+      // Gain of the "leave" side is part-independent; candidate targets are
+      // the other parts already touching v's nets.
+      weight_t leaveGain = 0;
+      weight_t incident = 0;
+      gainTo.clear();
+      bool boundary = false;
+      for (idx_t n : h.nets(v)) {
+        const auto& np = nets[static_cast<std::size_t>(n)];
+        incident += h.net_cost(n);
+        if (np.connectivity() > 1) boundary = true;
+        if (np.count(from) == 1) leaveGain += h.net_cost(n);
+        for (const auto& [q, c] : np.entries()) {
+          if (q != from) gainTo.add(q, h.net_cost(n));
+        }
+      }
+      if (!boundary) continue;
+
+      idx_t bestPart = kInvalidIdx;
+      weight_t bestGain = 0;
+      for (idx_t q : gainTo.keys()) {
+        // arriveLoss = sum of costs of v's nets NOT already touching q;
+        // equivalently incidentCost - gainTo[q].
+        const weight_t gain = leaveGain - (incident - gainTo.value(q));
+        if (gain > bestGain && p.part_weight(q) + h.vertex_weight(v) <= cap) {
+          bestGain = gain;
+          bestPart = q;
+        }
+      }
+      if (bestPart == kInvalidIdx) continue;
+
+      for (idx_t n : h.nets(v)) {
+        nets[static_cast<std::size_t>(n)].remove(from);
+        nets[static_cast<std::size_t>(n)].add(bestPart);
+      }
+      p.move(h, v, bestPart);
+      passGain += bestGain;
+    }
+    totalGain += passGain;
+    if (passGain == 0) break;
+  }
+  return totalGain;
+}
+
+idx_t kway_rebalance(const hg::Hypergraph& h, hg::Partition& p, double epsilon, Rng& rng,
+                     const std::vector<idx_t>& fixedPart) {
+  FGHP_REQUIRE(p.complete(), "kway_rebalance requires a complete partition");
+  const idx_t K = p.num_parts();
+  if (K <= 1) return 0;
+  auto is_fixed = [&](idx_t v) {
+    return !fixedPart.empty() && fixedPart[static_cast<std::size_t>(v)] != kInvalidIdx;
+  };
+  const double avg =
+      static_cast<double>(h.total_vertex_weight()) / static_cast<double>(K);
+  const auto cap = static_cast<weight_t>(std::floor(avg * (1.0 + epsilon) + 1e-9));
+
+  idx_t moved = 0;
+  // Iterate overloaded parts; for each, repeatedly eject the vertex whose
+  // departure costs the least additional cut, into the lightest part that
+  // can take it.
+  for (idx_t from = 0; from < K; ++from) {
+    while (p.part_weight(from) > cap) {
+      idx_t bestV = kInvalidIdx;
+      weight_t bestDamage = 0;
+      idx_t bestTo = kInvalidIdx;
+      for (idx_t v : rng.permutation(h.num_vertices())) {
+        if (p.part_of(v) != from || h.vertex_weight(v) == 0 || is_fixed(v)) continue;
+        // Destination: the lightest part that can still absorb v (heavy
+        // vertices may only fit some parts).
+        idx_t to = kInvalidIdx;
+        for (idx_t q = 0; q < K; ++q) {
+          if (q == from || p.part_weight(q) + h.vertex_weight(v) > cap) continue;
+          if (to == kInvalidIdx || p.part_weight(q) < p.part_weight(to)) to = q;
+        }
+        if (to == kInvalidIdx) continue;
+        // Damage = cost of nets newly stretched to `to` minus nets whose
+        // last `from` pin leaves.
+        weight_t damage = 0;
+        for (idx_t n : h.nets(v)) {
+          idx_t inFrom = 0;
+          bool touchesTo = false;
+          for (idx_t u : h.pins(n)) {
+            if (p.part_of(u) == from) ++inFrom;
+            if (p.part_of(u) == to) touchesTo = true;
+          }
+          if (!touchesTo) damage += h.net_cost(n);
+          if (inFrom == 1) damage -= h.net_cost(n);
+        }
+        if (bestV == kInvalidIdx || damage < bestDamage) {
+          bestV = v;
+          bestDamage = damage;
+          bestTo = to;
+        }
+        if (bestDamage <= 0) break;  // cannot do better than free
+      }
+      if (bestV == kInvalidIdx) break;  // single moves exhausted; try swaps below
+      p.move(h, bestV, bestTo);
+      ++moved;
+    }
+
+    // Cascade phase: a part can end up holding only near-cap heavy vertices
+    // (e.g. hub rows), with no destination roomy enough for any of them.
+    // Aggregate headroom into one target part by shifting its light
+    // vertices elsewhere, then relocate one heavy vertex into the room made.
+    int guard = 0;
+    while (p.part_weight(from) > cap && ++guard < 4 * K) {
+      // Lightest movable vertex of the overloaded part (minimal room needed).
+      idx_t v = kInvalidIdx;
+      for (idx_t x = 0; x < h.num_vertices(); ++x) {
+        if (p.part_of(x) != from || is_fixed(x) || h.vertex_weight(x) == 0) continue;
+        if (v == kInvalidIdx || h.vertex_weight(x) < h.vertex_weight(v)) v = x;
+      }
+      if (v == kInvalidIdx) break;
+      const weight_t wv = h.vertex_weight(v);
+
+      // Candidate targets in ascending weight: a light part whose own
+      // vertices are all heavy may be un-emptiable, so fall through to the
+      // next one rather than giving up.
+      std::vector<idx_t> targets;
+      for (idx_t q = 0; q < K; ++q) {
+        if (q != from) targets.push_back(q);
+      }
+      std::sort(targets.begin(), targets.end(), [&](idx_t x, idx_t y) {
+        return p.part_weight(x) < p.part_weight(y);
+      });
+
+      bool placed = false;
+      for (idx_t target : targets) {
+        // Make room in `target` by exporting its lightest vertices.
+        bool progress = true;
+        int guard2 = 0;
+        while (p.part_weight(target) + wv > cap && progress && ++guard2 < 10000) {
+          progress = false;
+          idx_t u = kInvalidIdx;
+          for (idx_t x = 0; x < h.num_vertices(); ++x) {
+            if (p.part_of(x) != target || is_fixed(x) || h.vertex_weight(x) == 0) continue;
+            if (u == kInvalidIdx || h.vertex_weight(x) < h.vertex_weight(u)) u = x;
+          }
+          if (u == kInvalidIdx) break;
+          idx_t dest = kInvalidIdx;
+          for (idx_t q = 0; q < K; ++q) {
+            if (q == from || q == target) continue;
+            if (p.part_weight(q) + h.vertex_weight(u) > cap) continue;
+            if (dest == kInvalidIdx || p.part_weight(q) < p.part_weight(dest)) dest = q;
+          }
+          if (dest == kInvalidIdx) break;
+          p.move(h, u, dest);
+          ++moved;
+          progress = true;
+        }
+        if (p.part_weight(target) + wv <= cap) {
+          p.move(h, v, target);
+          ++moved;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) break;  // global headroom genuinely exhausted
+    }
+  }
+  return moved;
+}
+
+}  // namespace fghp::part::hgk

@@ -1,0 +1,69 @@
+#include "partition/hg/partitioner.hpp"
+
+#include "partition/hg/kway_refine.hpp"
+#include "partition/hg/recursive.hpp"
+#include "partition/hg/vcycle.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace fghp::part {
+
+namespace {
+
+/// One full pipeline run: RB, balance repair, K-way polish, V-cycles.
+hg::Partition run_pipeline(const hg::Hypergraph& h, idx_t K, const PartitionConfig& cfg,
+                           Rng& rng, const std::vector<idx_t>& fixedPart) {
+  hgrb::RecursiveResult rb = hgrb::partition_recursive(h, K, cfg, rng, fixedPart);
+  if (K > 1 && !hg::is_balanced(h, rb.partition, cfg.epsilon)) {
+    // Integer rounding of per-level tolerances can compound on small
+    // sub-problems; repair before (or instead of) the quality polish.
+    hgk::kway_rebalance(h, rb.partition, cfg.epsilon, rng, fixedPart);
+  }
+  if (cfg.kwayRefine && K > 2 && cfg.metric == hg::CutMetric::kConnectivity) {
+    hgk::kway_refine(h, rb.partition, cfg, rng, fixedPart);
+  }
+  // V-cycles move whole clusters, which could smuggle a fixed vertex across
+  // parts; run them only on fully free instances.
+  if (K > 1 && cfg.metric == hg::CutMetric::kConnectivity && fixedPart.empty()) {
+    for (idx_t cycle = 0; cycle < cfg.vcycles; ++cycle) {
+      if (hgv::vcycle_refine(h, rb.partition, cfg, rng) == 0) break;
+    }
+  }
+  return std::move(rb.partition);
+}
+
+}  // namespace
+
+HgResult partition_hypergraph(const hg::Hypergraph& h, idx_t K, const PartitionConfig& cfg,
+                              const std::vector<idx_t>& fixedPart) {
+  FGHP_REQUIRE(K >= 1, "K must be positive");
+  FGHP_REQUIRE(cfg.numRestarts >= 1, "need at least one restart");
+  WallTimer timer;
+  Rng rng(cfg.seed);
+
+  hg::Partition best = run_pipeline(h, K, cfg, rng, fixedPart);
+  weight_t bestCut = hg::cutsize(h, best, cfg.metric);
+  for (idx_t restart = 1; restart < cfg.numRestarts; ++restart) {
+    Rng restartRng = rng.spawn();
+    hg::Partition candidate = run_pipeline(h, K, cfg, restartRng, fixedPart);
+    const weight_t cut = hg::cutsize(h, candidate, cfg.metric);
+    // Prefer a feasible candidate, then the lower cut.
+    const bool candFeasible = hg::is_balanced(h, candidate, cfg.epsilon);
+    const bool bestFeasible = hg::is_balanced(h, best, cfg.epsilon);
+    if ((candFeasible && !bestFeasible) ||
+        (candFeasible == bestFeasible && cut < bestCut)) {
+      best = std::move(candidate);
+      bestCut = cut;
+    }
+  }
+
+  HgResult out;
+  out.seconds = timer.seconds();
+  out.cutsize = bestCut;
+  out.numCutNets = hg::num_cut_nets(h, best);
+  out.imbalance = hg::imbalance(h, best);
+  out.partition = std::move(best);
+  return out;
+}
+
+}  // namespace fghp::part

@@ -1,0 +1,31 @@
+// Public facade of the multilevel hypergraph partitioner (the PaToH-style
+// engine the fine-grain and 1D hypergraph models run on).
+#pragma once
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/metrics.hpp"
+#include "hypergraph/partition.hpp"
+#include "partition/config.hpp"
+
+namespace fghp::part {
+
+struct HgResult {
+  hg::Partition partition;
+  weight_t cutsize = 0;       ///< under cfg.metric
+  idx_t numCutNets = 0;
+  double imbalance = 0.0;     ///< max part weight / avg - 1
+  double seconds = 0.0;       ///< wall-clock partitioning time
+};
+
+/// Partitions h into K equally-weighted parts minimizing cfg.metric.
+/// Deterministic in (h, K, cfg.seed).
+///
+/// `fixedPart` (optional; one entry per vertex, kInvalidIdx = free) pins
+/// vertices to parts — the paper's §3 accommodation of reduction problems
+/// whose input/output elements are pre-assigned to processors ("those part
+/// vertices must be fixed to corresponding parts during the partitioning").
+/// Fixed vertices are honored exactly; refinement never moves them.
+HgResult partition_hypergraph(const hg::Hypergraph& h, idx_t K, const PartitionConfig& cfg,
+                              const std::vector<idx_t>& fixedPart = {});
+
+}  // namespace fghp::part

@@ -1,0 +1,150 @@
+#include "partition/hg/recursive.hpp"
+
+#include <cmath>
+
+#include "hypergraph/metrics.hpp"
+#include "partition/hg/bisect.hpp"
+#include "partition/hg/refine.hpp"
+
+namespace fghp::part::hgrb {
+
+double per_level_epsilon(double epsilon, idx_t K) {
+  if (K <= 2) return epsilon;
+  const double levels = std::ceil(std::log2(static_cast<double>(K)));
+  return std::pow(1.0 + epsilon, 1.0 / levels) - 1.0;
+}
+
+SideExtract extract_side(const hg::Hypergraph& h, const hg::Partition& bisection, idx_t side,
+                         hg::CutMetric metric) {
+  FGHP_REQUIRE(bisection.num_parts() == 2, "extract_side expects a bisection");
+
+  SideExtract out;
+  std::vector<idx_t> toSub(static_cast<std::size_t>(h.num_vertices()), kInvalidIdx);
+  for (idx_t v = 0; v < h.num_vertices(); ++v) {
+    if (bisection.part_of(v) == side) {
+      toSub[static_cast<std::size_t>(v)] = static_cast<idx_t>(out.toParent.size());
+      out.toParent.push_back(v);
+    }
+  }
+  const auto numSub = static_cast<idx_t>(out.toParent.size());
+
+  std::vector<weight_t> vwgt(static_cast<std::size_t>(numSub));
+  for (idx_t sv = 0; sv < numSub; ++sv)
+    vwgt[static_cast<std::size_t>(sv)] =
+        h.vertex_weight(out.toParent[static_cast<std::size_t>(sv)]);
+
+  std::vector<idx_t> xpins{0};
+  std::vector<idx_t> pins;
+  std::vector<weight_t> costs;
+  for (idx_t n = 0; n < h.num_nets(); ++n) {
+    const auto pinSpan = h.pins(n);
+    idx_t inSide = 0;
+    bool cut = false;
+    for (idx_t v : pinSpan) {
+      if (bisection.part_of(v) == side) {
+        ++inSide;
+      } else {
+        cut = true;
+      }
+    }
+    if (inSide < 2) continue;
+    if (cut && metric == hg::CutMetric::kCutNet) continue;  // already fully paid
+    for (idx_t v : pinSpan) {
+      const idx_t sv = toSub[static_cast<std::size_t>(v)];
+      if (sv != kInvalidIdx) pins.push_back(sv);
+    }
+    xpins.push_back(static_cast<idx_t>(pins.size()));
+    costs.push_back(h.net_cost(n));
+  }
+
+  out.sub = hg::Hypergraph(numSub, std::move(xpins), std::move(pins), std::move(vwgt),
+                           std::move(costs));
+  return out;
+}
+
+namespace {
+
+struct Recurser {
+  const PartitionConfig& cfg;
+  double epsLevel;
+  std::vector<idx_t>& finalPart;          // indexed by original vertex id
+  const std::vector<idx_t>& fixedPart;    // original vertex -> pinned part (or empty)
+  weight_t cutAccum = 0;
+
+  void run(const hg::Hypergraph& h, const std::vector<idx_t>& toOrig, idx_t K,
+           idx_t partOffset, Rng rng) {
+    if (K == 1 || h.num_vertices() == 0) {
+      for (idx_t v = 0; v < h.num_vertices(); ++v)
+        finalPart[static_cast<std::size_t>(toOrig[static_cast<std::size_t>(v)])] = partOffset;
+      return;
+    }
+
+    const idx_t k0 = K / 2;
+    const idx_t k1 = K - k0;
+    const weight_t total = h.total_vertex_weight();
+    std::array<weight_t, 2> target;
+    target[0] = static_cast<weight_t>(
+        std::llround(static_cast<double>(total) * static_cast<double>(k0) /
+                     static_cast<double>(K)));
+    target[1] = total - target[0];
+    std::array<weight_t, 2> maxWeight = {
+        static_cast<weight_t>(std::floor(static_cast<double>(target[0]) * (1.0 + epsLevel))),
+        static_cast<weight_t>(std::floor(static_cast<double>(target[1]) * (1.0 + epsLevel)))};
+    // Degenerate tiny sub-problems: never cap below the targets themselves.
+    maxWeight[0] = std::max(maxWeight[0], target[0]);
+    maxWeight[1] = std::max(maxWeight[1], target[1]);
+
+    // Pin pre-assigned vertices to the side containing their final part.
+    hgc::FixedSides fixed;
+    if (!fixedPart.empty()) {
+      fixed.assign(static_cast<std::size_t>(h.num_vertices()), -1);
+      bool any = false;
+      for (idx_t v = 0; v < h.num_vertices(); ++v) {
+        const idx_t fp = fixedPart[static_cast<std::size_t>(toOrig[static_cast<std::size_t>(v)])];
+        if (fp == kInvalidIdx) continue;
+        FGHP_ASSERT(fp >= partOffset && fp < partOffset + K);
+        fixed[static_cast<std::size_t>(v)] = fp - partOffset < k0 ? 0 : 1;
+        any = true;
+      }
+      if (!any) fixed.clear();
+    }
+
+    Rng childRng0 = rng.spawn();
+    Rng childRng1 = rng.spawn();
+    hg::Partition bisection = hgb::multilevel_bisect(h, target, maxWeight, cfg, rng, fixed);
+    cutAccum += hgr::BisectionFM::compute_cut(h, bisection);
+
+    for (idx_t side = 0; side < 2; ++side) {
+      SideExtract ext = extract_side(h, bisection, side, cfg.metric);
+      // Rebase the extraction onto original vertex ids.
+      for (auto& v : ext.toParent) v = toOrig[static_cast<std::size_t>(v)];
+      run(ext.sub, ext.toParent, side == 0 ? k0 : k1, side == 0 ? partOffset : partOffset + k0,
+          side == 0 ? childRng0 : childRng1);
+    }
+  }
+};
+
+}  // namespace
+
+RecursiveResult partition_recursive(const hg::Hypergraph& h, idx_t K,
+                                    const PartitionConfig& cfg, Rng& rng,
+                                    const std::vector<idx_t>& fixedPart) {
+  FGHP_REQUIRE(K >= 1, "K must be positive");
+  FGHP_REQUIRE(fixedPart.empty() ||
+                   fixedPart.size() == static_cast<std::size_t>(h.num_vertices()),
+               "fixedPart size mismatch");
+  for (idx_t fp : fixedPart)
+    FGHP_REQUIRE(fp == kInvalidIdx || (fp >= 0 && fp < K), "fixed part out of range");
+
+  std::vector<idx_t> finalPart(static_cast<std::size_t>(h.num_vertices()), kInvalidIdx);
+  Recurser rec{cfg, per_level_epsilon(cfg.epsilon, K), finalPart, fixedPart};
+
+  std::vector<idx_t> identity(static_cast<std::size_t>(h.num_vertices()));
+  for (idx_t v = 0; v < h.num_vertices(); ++v) identity[static_cast<std::size_t>(v)] = v;
+  rec.run(h, identity, K, 0, rng.spawn());
+
+  RecursiveResult out{hg::Partition(h, K, std::move(finalPart)), rec.cutAccum};
+  return out;
+}
+
+}  // namespace fghp::part::hgrb

@@ -1,0 +1,47 @@
+// Recursive bisection to K parts with cut-net splitting.
+//
+// For the connectivity-1 objective (eq. 3), a net cut by a bisection keeps
+// contributing for every further part it gets split across; recursing with
+// the *restriction* of every net to each side (Çatalyürek–Aykanat's cut-net
+// splitting) makes the per-level cut costs telescope exactly to the K-way
+// connectivity-1 cutsize. For the cut-net objective (eq. 2) a cut net has
+// already paid its full cost and is dropped from both sides.
+#pragma once
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/partition.hpp"
+#include "partition/config.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::part::hgrb {
+
+/// Sub-hypergraph of one bisection side plus its vertex mapping.
+struct SideExtract {
+  hg::Hypergraph sub;
+  std::vector<idx_t> toParent;  ///< sub vertex -> parent vertex
+};
+
+/// Extracts the side's vertices; nets are restricted to the side (cut-net
+/// splitting) under kConnectivity, or dropped when cut under kCutNet. Nets
+/// that fall below 2 pins are dropped either way.
+SideExtract extract_side(const hg::Hypergraph& h, const hg::Partition& bisection, idx_t side,
+                         hg::CutMetric metric);
+
+struct RecursiveResult {
+  hg::Partition partition;       ///< final K-way partition on the input H
+  weight_t sumOfBisectionCuts;   ///< telescoped per-level cut costs
+};
+
+/// Partitions h into K parts by recursive multilevel bisection. Deterministic
+/// in (h, K, cfg.seed). `fixedPart` (optional; kInvalidIdx = free) pins
+/// vertices to final parts — the paper's §3 mechanism for reduction problems
+/// whose inputs/outputs are pre-assigned to processors.
+RecursiveResult partition_recursive(const hg::Hypergraph& h, idx_t K,
+                                    const PartitionConfig& cfg, Rng& rng,
+                                    const std::vector<idx_t>& fixedPart = {});
+
+/// Per-bisection imbalance tolerance such that the product over
+/// ceil(log2 K) levels stays within cfg.epsilon.
+double per_level_epsilon(double epsilon, idx_t K);
+
+}  // namespace fghp::part::hgrb

@@ -1,0 +1,28 @@
+// Iterated (V-cycle) K-way refinement: re-coarsen the hypergraph allowing
+// only same-part merges, so the induced coarse partition is exact, then
+// greedily refine from the coarsest level back down. Coarse-level moves
+// relocate whole clusters — e.g. all nonzeros of a column in the fine-grain
+// model — escaping the single-vertex plateaus that trap flat FM/greedy
+// refinement. The classic multilevel-refinement technique of hMETIS/MLPart,
+// applied here on top of recursive bisection.
+#pragma once
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/partition.hpp"
+#include "partition/config.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::part::hgv {
+
+/// Clustering constrained to merge only vertices of the same group
+/// (heavy-connectivity scores, pairwise matching).
+std::vector<idx_t> cluster_hcm_grouped(const hg::Hypergraph& h, Rng& rng, idx_t maxNetSize,
+                                       const std::vector<idx_t>& group);
+
+/// One V-cycle: restricted coarsening stack + greedy K-way refinement at
+/// every level, projected back to h. Balance (cfg.epsilon) is preserved.
+/// Returns the cutsize improvement (>= 0).
+weight_t vcycle_refine(const hg::Hypergraph& h, hg::Partition& p, const PartitionConfig& cfg,
+                       Rng& rng);
+
+}  // namespace fghp::part::hgv

@@ -1,0 +1,87 @@
+#include "sparse/convert.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fghp::sparse {
+
+Csr to_csr(Coo coo) {
+  coo.normalize();
+  const idx_t numRows = coo.num_rows();
+  const idx_t numCols = coo.num_cols();
+  const auto& ents = coo.entries();
+
+  std::vector<idx_t> rowPtr(static_cast<std::size_t>(numRows) + 1, 0);
+  for (const auto& t : ents) ++rowPtr[static_cast<std::size_t>(t.row) + 1];
+  for (std::size_t r = 0; r < static_cast<std::size_t>(numRows); ++r)
+    rowPtr[r + 1] += rowPtr[r];
+
+  std::vector<idx_t> colInd(ents.size());
+  std::vector<double> values(ents.size());
+  for (std::size_t i = 0; i < ents.size(); ++i) {
+    colInd[i] = ents[i].col;
+    values[i] = ents[i].value;
+  }
+  return Csr(numRows, numCols, std::move(rowPtr), std::move(colInd), std::move(values));
+}
+
+Coo to_coo(const Csr& a) {
+  Coo coo(a.num_rows(), a.num_cols());
+  for (idx_t r = 0; r < a.num_rows(); ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) coo.add(r, cols[k], vals[k]);
+  }
+  return coo;
+}
+
+Csr transpose(const Csr& a) {
+  const idx_t m = a.num_rows();
+  const idx_t n = a.num_cols();
+  const idx_t z = a.nnz();
+
+  std::vector<idx_t> rowPtr(static_cast<std::size_t>(n) + 1, 0);
+  for (idx_t c : a.col_ind()) ++rowPtr[static_cast<std::size_t>(c) + 1];
+  for (std::size_t c = 0; c < static_cast<std::size_t>(n); ++c) rowPtr[c + 1] += rowPtr[c];
+
+  std::vector<idx_t> colInd(static_cast<std::size_t>(z));
+  std::vector<double> values(static_cast<std::size_t>(z));
+  std::vector<idx_t> cursor(rowPtr.begin(), rowPtr.end() - 1);
+  // Row-major traversal emits each transposed row (= column of A) with
+  // strictly increasing column indices, so no per-row sort is needed.
+  for (idx_t r = 0; r < m; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const auto slot = static_cast<std::size_t>(cursor[static_cast<std::size_t>(cols[k])]++);
+      colInd[slot] = r;
+      values[slot] = vals[k];
+    }
+  }
+  return Csr(n, m, std::move(rowPtr), std::move(colInd), std::move(values));
+}
+
+Csr symmetrized_pattern(const Csr& a) {
+  FGHP_REQUIRE(a.is_square(), "symmetrized_pattern requires a square matrix");
+  Coo coo = to_coo(a);
+  for (idx_t r = 0; r < a.num_rows(); ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != r) coo.add(cols[k], r, vals[k]);
+    }
+  }
+  return to_csr(std::move(coo));
+}
+
+Csr with_full_diagonal(const Csr& a, double diagValue) {
+  FGHP_REQUIRE(a.is_square(), "with_full_diagonal requires a square matrix");
+  Coo coo = to_coo(a);
+  for (idx_t i = 0; i < a.num_rows(); ++i) {
+    if (!a.has_entry(i, i)) coo.add(i, i, diagValue);
+  }
+  return to_csr(std::move(coo));
+}
+
+}  // namespace fghp::sparse

@@ -1,0 +1,27 @@
+// Format conversions: COO <-> CSR, transposition, and pattern helpers.
+#pragma once
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace fghp::sparse {
+
+/// COO -> CSR. The input is normalized (sorted, duplicates summed) as a side
+/// effect of the conversion; the COO argument is consumed.
+Csr to_csr(Coo coo);
+
+/// CSR -> COO (already normalized).
+Coo to_coo(const Csr& a);
+
+/// Structural+numeric transpose. transpose(A) is also the CSC view of A.
+Csr transpose(const Csr& a);
+
+/// Pattern of A + A^T (square matrices): the symmetrized structure used by
+/// the standard graph model. Values are summed where both entries exist.
+Csr symmetrized_pattern(const Csr& a);
+
+/// Ensures every diagonal position is structurally present (missing ones are
+/// inserted with the given value). Used by tests and generators.
+Csr with_full_diagonal(const Csr& a, double diagValue = 1.0);
+
+}  // namespace fghp::sparse

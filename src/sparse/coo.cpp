@@ -1,0 +1,54 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fghp::sparse {
+
+Coo::Coo(idx_t numRows, idx_t numCols) : numRows_(numRows), numCols_(numCols) {
+  FGHP_REQUIRE(numRows >= 0 && numCols >= 0, "matrix dimensions must be non-negative");
+}
+
+void Coo::add(idx_t row, idx_t col, double value) {
+  FGHP_ASSERT(row >= 0 && row < numRows_);
+  FGHP_ASSERT(col >= 0 && col < numCols_);
+  entries_.push_back({row, col, value});
+}
+
+void Coo::normalize() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+        entries_[out - 1].col == entries_[i].col) {
+      entries_[out - 1].value += entries_[i].value;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+bool Coo::is_normalized() const {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const auto& a = entries_[i - 1];
+    const auto& b = entries_[i];
+    if (a.row > b.row || (a.row == b.row && a.col >= b.col)) return false;
+  }
+  return true;
+}
+
+void Coo::symmetrize() {
+  FGHP_REQUIRE(numRows_ == numCols_, "symmetrize requires a square matrix");
+  const std::size_t n = entries_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Triplet t = entries_[i];
+    if (t.row != t.col) entries_.push_back({t.col, t.row, t.value});
+  }
+}
+
+}  // namespace fghp::sparse

@@ -1,0 +1,45 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+
+namespace fghp::sparse {
+
+Csr::Csr(idx_t numRows, idx_t numCols, std::vector<idx_t> rowPtr,
+         std::vector<idx_t> colInd, std::vector<double> values)
+    : numRows_(numRows),
+      numCols_(numCols),
+      rowPtr_(std::move(rowPtr)),
+      colInd_(std::move(colInd)),
+      values_(std::move(values)) {
+  FGHP_REQUIRE(numRows_ >= 0 && numCols_ >= 0, "dimensions must be non-negative");
+  FGHP_REQUIRE(rowPtr_.size() == static_cast<std::size_t>(numRows_) + 1,
+               "rowPtr must have numRows+1 entries");
+  FGHP_REQUIRE(rowPtr_.front() == 0, "rowPtr[0] must be 0");
+  for (std::size_t r = 0; r < static_cast<std::size_t>(numRows_); ++r) {
+    FGHP_REQUIRE(rowPtr_[r] <= rowPtr_[r + 1], "rowPtr must be monotone");
+  }
+  const auto total = static_cast<std::size_t>(rowPtr_.back());
+  FGHP_REQUIRE(colInd_.size() == total, "colInd size must equal rowPtr.back()");
+  FGHP_REQUIRE(values_.size() == total, "values size must equal rowPtr.back()");
+  for (idx_t r = 0; r < numRows_; ++r) {
+    const auto cols = row_cols(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      FGHP_REQUIRE(cols[k] >= 0 && cols[k] < numCols_, "column index out of range");
+      if (k > 0) FGHP_REQUIRE(cols[k - 1] < cols[k], "columns must be strictly increasing per row");
+    }
+  }
+}
+
+bool Csr::has_entry(idx_t row, idx_t col) const {
+  const auto cols = row_cols(row);
+  return std::binary_search(cols.begin(), cols.end(), col);
+}
+
+idx_t Csr::num_diag_entries() const {
+  idx_t count = 0;
+  const idx_t n = std::min(numRows_, numCols_);
+  for (idx_t i = 0; i < n; ++i) count += has_entry(i, i) ? 1 : 0;
+  return count;
+}
+
+}  // namespace fghp::sparse

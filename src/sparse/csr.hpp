@@ -1,0 +1,72 @@
+// Compressed Sparse Row matrix — the workhorse format of the library.
+//
+// A Csr also doubles as the CSC view of its transpose: `transpose(A)` gives
+// column-major access to A, which the models use to enumerate column nonzero
+// patterns.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace fghp::sparse {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Takes ownership of fully-formed CSR arrays. rowPtr must have
+  /// numRows + 1 monotone entries with rowPtr[0] == 0; colInd/values sizes
+  /// must equal rowPtr.back(); column indices must be in range and strictly
+  /// increasing within each row. Violations throw std::invalid_argument.
+  Csr(idx_t numRows, idx_t numCols, std::vector<idx_t> rowPtr,
+      std::vector<idx_t> colInd, std::vector<double> values);
+
+  idx_t num_rows() const { return numRows_; }
+  idx_t num_cols() const { return numCols_; }
+  idx_t nnz() const { return numRows_ == 0 ? 0 : rowPtr_[static_cast<std::size_t>(numRows_)]; }
+  bool is_square() const { return numRows_ == numCols_; }
+
+  /// Number of stored entries in a row.
+  idx_t row_size(idx_t row) const {
+    return rowPtr_[static_cast<std::size_t>(row) + 1] - rowPtr_[static_cast<std::size_t>(row)];
+  }
+
+  /// Column indices of a row, sorted ascending.
+  std::span<const idx_t> row_cols(idx_t row) const {
+    FGHP_ASSERT(row >= 0 && row < numRows_);
+    const auto b = static_cast<std::size_t>(rowPtr_[static_cast<std::size_t>(row)]);
+    const auto e = static_cast<std::size_t>(rowPtr_[static_cast<std::size_t>(row) + 1]);
+    return {colInd_.data() + b, e - b};
+  }
+
+  /// Values of a row, aligned with row_cols().
+  std::span<const double> row_vals(idx_t row) const {
+    const auto b = static_cast<std::size_t>(rowPtr_[static_cast<std::size_t>(row)]);
+    const auto e = static_cast<std::size_t>(rowPtr_[static_cast<std::size_t>(row) + 1]);
+    return {values_.data() + b, e - b};
+  }
+
+  const std::vector<idx_t>& row_ptr() const { return rowPtr_; }
+  const std::vector<idx_t>& col_ind() const { return colInd_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// True if a_{row,col} is stored (binary search within the row).
+  bool has_entry(idx_t row, idx_t col) const;
+
+  /// Number of stored diagonal entries (square matrices only).
+  idx_t num_diag_entries() const;
+
+  friend bool operator==(const Csr&, const Csr&) = default;
+
+ private:
+  idx_t numRows_ = 0;
+  idx_t numCols_ = 0;
+  std::vector<idx_t> rowPtr_{0};
+  std::vector<idx_t> colInd_;
+  std::vector<double> values_;
+};
+
+}  // namespace fghp::sparse

@@ -1,0 +1,379 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "sparse/coo.hpp"
+#include "sparse/convert.hpp"
+#include "util/assert.hpp"
+
+namespace fghp::sparse {
+
+namespace {
+
+/// Random off-diagonal value in [-1, 1] \ {0}-ish; keeps SpMV numerically
+/// nontrivial without blowing up iterative-solver examples.
+double rand_val(Rng& rng) { return rng.uniform01() * 2.0 - 1.0 + 1e-3; }
+
+}  // namespace
+
+Csr stencil2d(idx_t nx, idx_t ny) {
+  FGHP_REQUIRE(nx > 0 && ny > 0, "grid dimensions must be positive");
+  const idx_t n = nx * ny;
+  Coo coo(n, n);
+  auto id = [nx](idx_t x, idx_t y) { return y * nx + x; };
+  for (idx_t y = 0; y < ny; ++y) {
+    for (idx_t x = 0; x < nx; ++x) {
+      const idx_t v = id(x, y);
+      coo.add(v, v, 4.0);
+      if (x > 0) coo.add(v, id(x - 1, y), -1.0);
+      if (x + 1 < nx) coo.add(v, id(x + 1, y), -1.0);
+      if (y > 0) coo.add(v, id(x, y - 1), -1.0);
+      if (y + 1 < ny) coo.add(v, id(x, y + 1), -1.0);
+    }
+  }
+  return to_csr(std::move(coo));
+}
+
+Csr stencil3d(idx_t nx, idx_t ny, idx_t nz, double keepProb, std::uint64_t seed) {
+  FGHP_REQUIRE(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+  FGHP_REQUIRE(keepProb >= 0.0 && keepProb <= 1.0, "keepProb must be in [0,1]");
+  Rng rng(seed);
+  const idx_t n = nx * ny * nz;
+  Coo coo(n, n);
+  auto id = [nx, ny](idx_t x, idx_t y, idx_t z) { return (z * ny + y) * nx + x; };
+  for (idx_t z = 0; z < nz; ++z) {
+    for (idx_t y = 0; y < ny; ++y) {
+      for (idx_t x = 0; x < nx; ++x) {
+        const idx_t v = id(x, y, z);
+        coo.add(v, v, 6.0);
+        // Each symmetric pair is decided once, at its lexicographically
+        // smaller endpoint, so kept pairs stay structurally symmetric.
+        auto maybe = [&](idx_t u) {
+          if (rng.bernoulli(keepProb)) {
+            const double w = rand_val(rng);
+            coo.add(v, u, w);
+            coo.add(u, v, w);
+          }
+        };
+        if (x + 1 < nx) maybe(id(x + 1, y, z));
+        if (y + 1 < ny) maybe(id(x, y + 1, z));
+        if (z + 1 < nz) maybe(id(x, y, z + 1));
+      }
+    }
+  }
+  return to_csr(std::move(coo));
+}
+
+Csr geometric_matrix(const GeometricParams& p, std::uint64_t seed) {
+  FGHP_REQUIRE(p.n > 0, "n must be positive");
+  FGHP_REQUIRE(p.avgOffDiagDeg > 0.0, "avgOffDiagDeg must be positive");
+  FGHP_REQUIRE(p.minOffDiagDeg <= p.maxOffDiagDeg, "degree floor exceeds cap");
+  Rng rng(seed);
+  const idx_t n = p.n;
+
+  std::vector<double> px(static_cast<std::size_t>(n)), py(static_cast<std::size_t>(n));
+  for (idx_t i = 0; i < n; ++i) {
+    px[static_cast<std::size_t>(i)] = rng.uniform01();
+    py[static_cast<std::size_t>(i)] = rng.uniform01();
+  }
+
+  // Expected degree of a radius-r geometric graph with density n is n*pi*r^2.
+  const double r = std::sqrt(p.avgOffDiagDeg / (M_PI * static_cast<double>(n)));
+  const double r2 = r * r;
+  const idx_t cells = std::max<idx_t>(1, static_cast<idx_t>(1.0 / r));
+  const double cellSize = 1.0 / static_cast<double>(cells);
+
+  // Grid hash: cell -> points, for O(n * avgDeg) neighbor search.
+  std::vector<std::vector<idx_t>> grid(static_cast<std::size_t>(cells) *
+                                       static_cast<std::size_t>(cells));
+  auto cell_of = [&](double x) {
+    return std::min<idx_t>(cells - 1, static_cast<idx_t>(x / cellSize));
+  };
+  for (idx_t i = 0; i < n; ++i) {
+    const auto cx = cell_of(px[static_cast<std::size_t>(i)]);
+    const auto cy = cell_of(py[static_cast<std::size_t>(i)]);
+    grid[static_cast<std::size_t>(cy) * static_cast<std::size_t>(cells) +
+         static_cast<std::size_t>(cx)]
+        .push_back(i);
+  }
+
+  std::vector<idx_t> degree(static_cast<std::size_t>(n), 0);
+  std::vector<std::pair<idx_t, idx_t>> edges;
+  for (idx_t i = 0; i < n; ++i) {
+    const auto cx = cell_of(px[static_cast<std::size_t>(i)]);
+    const auto cy = cell_of(py[static_cast<std::size_t>(i)]);
+    for (idx_t dy = -1; dy <= 1; ++dy) {
+      for (idx_t dx = -1; dx <= 1; ++dx) {
+        const idx_t gx = cx + dx, gy = cy + dy;
+        if (gx < 0 || gy < 0 || gx >= cells || gy >= cells) continue;
+        for (idx_t j : grid[static_cast<std::size_t>(gy) * static_cast<std::size_t>(cells) +
+                            static_cast<std::size_t>(gx)]) {
+          if (j <= i) continue;  // each pair once
+          if (degree[static_cast<std::size_t>(i)] >= p.maxOffDiagDeg) break;
+          if (degree[static_cast<std::size_t>(j)] >= p.maxOffDiagDeg) continue;
+          const double ddx = px[static_cast<std::size_t>(i)] - px[static_cast<std::size_t>(j)];
+          const double ddy = py[static_cast<std::size_t>(i)] - py[static_cast<std::size_t>(j)];
+          if (ddx * ddx + ddy * ddy <= r2) {
+            edges.emplace_back(i, j);
+            ++degree[static_cast<std::size_t>(i)];
+            ++degree[static_cast<std::size_t>(j)];
+          }
+        }
+      }
+    }
+  }
+
+  // Degree floor: deficient vertices link to random partners (spatially
+  // uninformed, but floors affect only a handful of vertices).
+  for (idx_t i = 0; i < n; ++i) {
+    int guard = 0;
+    while (degree[static_cast<std::size_t>(i)] < p.minOffDiagDeg && ++guard < 1000) {
+      const idx_t j = rng.uniform(0, n - 1);
+      if (j == i || degree[static_cast<std::size_t>(j)] >= p.maxOffDiagDeg) continue;
+      edges.emplace_back(std::min(i, j), std::max(i, j));
+      ++degree[static_cast<std::size_t>(i)];
+      ++degree[static_cast<std::size_t>(j)];
+    }
+  }
+
+  // Hubs: a few vertices with much higher degree than the radius graph
+  // produces (FEM matrices often carry a handful of dense rows from
+  // constraints or master nodes).
+  for (idx_t hub = 0; hub < p.numHubs; ++hub) {
+    const idx_t i = rng.uniform(0, n - 1);
+    int guard = 0;
+    while (degree[static_cast<std::size_t>(i)] < p.hubDegree && ++guard < 8 * p.hubDegree) {
+      const idx_t j = rng.uniform(0, n - 1);
+      if (j == i) continue;
+      edges.emplace_back(std::min(i, j), std::max(i, j));
+      ++degree[static_cast<std::size_t>(i)];
+      ++degree[static_cast<std::size_t>(j)];
+    }
+  }
+
+  Coo coo(n, n);
+  for (idx_t i = 0; i < n; ++i) {
+    if (p.includeDiagonal) coo.add(i, i, static_cast<double>(degree[static_cast<std::size_t>(i)]) + 1.0);
+  }
+  for (const auto& [i, j] : edges) {
+    const double w = rand_val(rng);
+    coo.add(i, j, w);
+    coo.add(j, i, w);
+  }
+  Csr out = to_csr(std::move(coo));
+  // Duplicate hub picks collapse in normalize(); the degree targets are
+  // approximate by design.
+  return out;
+}
+
+Csr skewed_square(const SkewedParams& p, std::uint64_t seed) {
+  FGHP_REQUIRE(p.n > 0, "n must be positive");
+  FGHP_REQUIRE(p.targetNnz >= p.n, "targetNnz too small");
+  FGHP_REQUIRE(p.maxColDegree < p.n, "maxColDegree must be < n");
+  FGHP_REQUIRE(p.alpha > 1.0, "alpha must exceed 1");
+  Rng rng(seed);
+  const idx_t n = p.n;
+
+  // --- Column degree plan -------------------------------------------------
+  std::vector<idx_t> colDeg(static_cast<std::size_t>(n), 0);
+  weight_t budget = p.targetNnz;
+  if (p.includeDiagonal) budget -= n;
+
+  // A handful of very dense columns carry the tail of Table 1's "max".
+  std::vector<idx_t> perm = rng.permutation(n);
+  for (idx_t d = 0; d < p.numDenseCols && d < n; ++d) {
+    const idx_t deg = rng.uniform(static_cast<idx_t>(0.6 * static_cast<double>(p.maxColDegree)),
+                                  p.maxColDegree);
+    colDeg[static_cast<std::size_t>(perm[static_cast<std::size_t>(d)])] = deg;
+    budget -= deg;
+  }
+
+  // Remaining budget: a guaranteed floor per column plus truncated Pareto
+  // samples rescaled to spend exactly what is left.
+  const idx_t colFloor =
+      std::max<idx_t>(0, p.minPerCol - (p.includeDiagonal ? 1 : 0));
+  budget -= static_cast<weight_t>(colFloor) * (n - p.numDenseCols);
+  const double xmin = 1.0;
+  const double invAlpha = 1.0 / (p.alpha - 1.0);
+  std::vector<double> raw(static_cast<std::size_t>(n), 0.0);
+  double rawSum = 0.0;
+  for (idx_t c = p.numDenseCols; c < n; ++c) {
+    const double u = std::max(1e-12, rng.uniform01());
+    const double d = std::min(static_cast<double>(p.maxColDegree) * 0.5,
+                              xmin * std::pow(u, -invAlpha));
+    raw[static_cast<std::size_t>(perm[static_cast<std::size_t>(c)])] = d;
+    rawSum += d;
+  }
+  const double scale =
+      rawSum > 0.0 ? static_cast<double>(std::max<weight_t>(budget, 0)) / rawSum : 0.0;
+  for (idx_t c = p.numDenseCols; c < n; ++c) {
+    const idx_t col = perm[static_cast<std::size_t>(c)];
+    const double want = raw[static_cast<std::size_t>(col)] * scale;
+    idx_t d = static_cast<idx_t>(want);
+    if (rng.bernoulli(want - static_cast<double>(d))) ++d;  // stochastic rounding
+    colDeg[static_cast<std::size_t>(col)] =
+        std::min<idx_t>(colFloor + d, p.maxColDegree);
+  }
+
+  // --- Pin placement ------------------------------------------------------
+  Coo coo(n, n);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(static_cast<std::size_t>(p.targetNnz) * 2);
+  auto key = [n](idx_t r, idx_t c) {
+    return static_cast<std::uint64_t>(r) * static_cast<std::uint64_t>(n) +
+           static_cast<std::uint64_t>(c);
+  };
+  std::vector<idx_t> rowDeg(static_cast<std::size_t>(n), 0);
+  auto place = [&](idx_t r, idx_t c) {
+    if (used.insert(key(r, c)).second) {
+      coo.add(r, c, rand_val(rng));
+      ++rowDeg[static_cast<std::size_t>(r)];
+      return true;
+    }
+    return false;
+  };
+
+  if (p.includeDiagonal) {
+    for (idx_t i = 0; i < n; ++i) place(i, i);
+  }
+  const idx_t blocks = std::max<idx_t>(1, std::min(p.numBlocks, n));
+  auto block_range = [&](idx_t c, idx_t& lo, idx_t& hi) {
+    const idx_t b = static_cast<idx_t>(
+        static_cast<std::int64_t>(c) * blocks / n);
+    lo = static_cast<idx_t>(static_cast<std::int64_t>(b) * n / blocks);
+    hi = static_cast<idx_t>(static_cast<std::int64_t>(b + 1) * n / blocks);
+  };
+  std::vector<char> dense(static_cast<std::size_t>(n), 0);
+  for (idx_t d = 0; d < p.numDenseCols && d < n; ++d)
+    dense[static_cast<std::size_t>(perm[static_cast<std::size_t>(d)])] = 1;
+
+  for (idx_t c = 0; c < n; ++c) {
+    const idx_t want = colDeg[static_cast<std::size_t>(c)];
+    idx_t placed = 0;
+    int guard = 0;
+    idx_t lo = 0, hi = n;
+    const bool local = blocks > 1 && !dense[static_cast<std::size_t>(c)];
+    if (local) block_range(c, lo, hi);
+    while (placed < want && ++guard < 8 * want + 64) {
+      idx_t r;
+      const bool stayLocal = local && rng.bernoulli(p.localFraction);
+      if (!stayLocal && local && p.couplingWidth > 0 &&
+          !rng.bernoulli(p.uniformCrossFraction)) {
+        // Staircase: cross pins concentrate in the head of the next block.
+        const idx_t nextLo = hi % n;
+        const idx_t width = std::min<idx_t>(p.couplingWidth, n - 1);
+        r = (nextLo + rng.uniform(0, width - 1)) % n;
+      } else {
+        const idx_t span = stayLocal ? hi - lo : n;
+        const idx_t base = stayLocal ? lo : 0;
+        if (rng.bernoulli(p.bandFraction)) {
+          const idx_t off = rng.uniform(-p.bandWidth, p.bandWidth);
+          r = base + (((c - base + off) % span) + span) % span;  // band within span
+        } else {
+          r = base + rng.uniform(0, span - 1);
+        }
+      }
+      if (place(r, c)) ++placed;
+    }
+    // Spill: a column whose degree exceeds the distinct rows reachable
+    // through its block + coupling window cannot finish locally; place the
+    // remainder anywhere so the nonzero budget is met.
+    int spillGuard = 0;
+    while (placed < want && ++spillGuard < 8 * want + 64) {
+      if (place(rng.uniform(0, n - 1), c)) ++placed;
+    }
+  }
+
+  // --- Row floor ----------------------------------------------------------
+  for (idx_t r = 0; r < n; ++r) {
+    int guard = 0;
+    while (rowDeg[static_cast<std::size_t>(r)] < p.minPerRow && ++guard < 1000) {
+      place(r, rng.uniform(0, n - 1));
+    }
+  }
+  return to_csr(std::move(coo));
+}
+
+Csr block_ring(const BlockRingParams& p, std::uint64_t seed) {
+  FGHP_REQUIRE(p.numBlocks > 0 && p.blockSize > 1, "blocks must be non-trivial");
+  Rng rng(seed);
+  const idx_t n = p.numBlocks * p.blockSize;
+  Coo coo(n, n);
+  std::unordered_set<std::uint64_t> used;
+  auto key = [n](idx_t r, idx_t c) {
+    return static_cast<std::uint64_t>(r) * static_cast<std::uint64_t>(n) +
+           static_cast<std::uint64_t>(c);
+  };
+  auto link = [&](idx_t i, idx_t j) {
+    if (i == j) return;
+    const idx_t a = std::min(i, j), b = std::max(i, j);
+    if (used.insert(key(a, b)).second) {
+      const double w = rand_val(rng);
+      coo.add(a, b, w);
+      coo.add(b, a, w);
+    }
+  };
+
+  for (idx_t i = 0; i < n; ++i) coo.add(i, i, 8.0);
+
+  for (idx_t blk = 0; blk < p.numBlocks; ++blk) {
+    const idx_t base = blk * p.blockSize;
+    const idx_t nextBase = ((blk + 1) % p.numBlocks) * p.blockSize;
+    for (idx_t v = 0; v < p.blockSize; ++v) {
+      for (idx_t k = 0; k < p.intraPicksPerNode; ++k)
+        link(base + v, base + rng.uniform(0, p.blockSize - 1));
+      for (idx_t k = 0; k < p.ringPicksPerNode; ++k)
+        link(base + v, nextBase + rng.uniform(0, p.blockSize - 1));
+    }
+  }
+
+  for (idx_t h = 0; h < p.numHubs; ++h) {
+    const idx_t hub = rng.uniform(0, n - 1);
+    for (idx_t k = 0; k < p.hubDegree; ++k) link(hub, rng.uniform(0, n - 1));
+  }
+  return to_csr(std::move(coo));
+}
+
+Csr random_square(idx_t n, idx_t nnzPerRow, std::uint64_t seed, bool withDiagonal) {
+  FGHP_REQUIRE(n > 0, "n must be positive");
+  FGHP_REQUIRE(nnzPerRow >= 1 && nnzPerRow <= n, "nnzPerRow out of range");
+  Rng rng(seed);
+  Coo coo(n, n);
+  for (idx_t r = 0; r < n; ++r) {
+    if (withDiagonal) coo.add(r, r, static_cast<double>(nnzPerRow));
+    const idx_t extra = nnzPerRow - (withDiagonal ? 1 : 0);
+    for (idx_t k = 0; k < extra; ++k) coo.add(r, rng.uniform(0, n - 1), rand_val(rng));
+  }
+  Csr a = to_csr(std::move(coo));  // duplicates collapse; rows end up <= nnzPerRow
+  return a;
+}
+
+Csr banded(idx_t n, idx_t halfBandwidth) {
+  FGHP_REQUIRE(n > 0 && halfBandwidth >= 0, "invalid band parameters");
+  Coo coo(n, n);
+  for (idx_t r = 0; r < n; ++r) {
+    const idx_t lo = std::max<idx_t>(0, r - halfBandwidth);
+    const idx_t hi = std::min<idx_t>(n - 1, r + halfBandwidth);
+    for (idx_t c = lo; c <= hi; ++c) coo.add(r, c, r == c ? 2.0 : -0.5);
+  }
+  return to_csr(std::move(coo));
+}
+
+Csr dense_square(idx_t n) {
+  FGHP_REQUIRE(n > 0 && n <= 4096, "dense_square is for small matrices");
+  Coo coo(n, n);
+  for (idx_t r = 0; r < n; ++r)
+    for (idx_t c = 0; c < n; ++c) coo.add(r, c, r == c ? 2.0 : 0.5);
+  return to_csr(std::move(coo));
+}
+
+Csr identity(idx_t n) {
+  FGHP_REQUIRE(n > 0, "n must be positive");
+  Coo coo(n, n);
+  for (idx_t i = 0; i < n; ++i) coo.add(i, i, 1.0);
+  return to_csr(std::move(coo));
+}
+
+}  // namespace fghp::sparse

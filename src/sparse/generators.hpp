@@ -1,0 +1,105 @@
+// Synthetic sparse-matrix generators.
+//
+// The paper evaluates on 14 matrices from the UF collection / netlib LP sets
+// that are not redistributable here, so sparse/testsuite.hpp builds synthetic
+// structural analogs from these parameterized generators:
+//
+//  * stencil2d / stencil3d   — PDE discretizations (sherman3-class),
+//  * geometric_matrix        — power networks, FEM meshes (bcspwr10,
+//                              vibrobox-class): random geometric graphs with
+//                              degree floors/caps,
+//  * skewed_square           — LP constraint matrices (ken/cre/cq9/...-class):
+//                              modest row degrees, heavy-tailed column degrees
+//                              with a handful of very dense columns,
+//  * block_ring              — block-structured optimization problems
+//                              (finan512-class): many small coupled blocks
+//                              plus global hub rows,
+//  * random_square / banded / dense_square / identity — test utilities.
+//
+// All generators are deterministic in (parameters, seed).
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::sparse {
+
+/// 5-point Laplacian pattern on an nx-by-ny grid (values: 4 on the diagonal,
+/// -1 off-diagonal). Symmetric, full diagonal.
+Csr stencil2d(idx_t nx, idx_t ny);
+
+/// 7-point pattern on an nx*ny*nz grid where each symmetric neighbor pair is
+/// kept with probability keepProb (1.0 = full stencil). Full diagonal.
+Csr stencil3d(idx_t nx, idx_t ny, idx_t nz, double keepProb, std::uint64_t seed);
+
+struct GeometricParams {
+  idx_t n = 0;             ///< number of vertices (rows/cols)
+  double avgOffDiagDeg = 4.0;  ///< target mean off-diagonal entries per row
+  idx_t minOffDiagDeg = 1;     ///< floor, enforced by padding with near neighbors
+  idx_t maxOffDiagDeg = 64;    ///< cap, enforced during edge insertion
+  idx_t numHubs = 0;           ///< high-degree vertices (exempt from the cap)
+  idx_t hubDegree = 0;         ///< target off-diagonal degree of each hub
+  bool includeDiagonal = true;
+};
+
+/// Symmetric matrix of a random geometric graph on the unit square (radius
+/// chosen from avgOffDiagDeg; grid-hashed neighbor search).
+Csr geometric_matrix(const GeometricParams& p, std::uint64_t seed);
+
+struct SkewedParams {
+  idx_t n = 0;            ///< rows = cols
+  idx_t targetNnz = 0;    ///< approximate total nonzeros (within a few %)
+  idx_t minPerRow = 1;    ///< row floor, enforced by a padding pass
+  idx_t minPerCol = 0;    ///< column floor, enforced in the degree plan
+  idx_t maxColDegree = 100;  ///< degree of the densest columns
+  idx_t numDenseCols = 8;    ///< columns drawn near maxColDegree (globally coupled)
+  double alpha = 1.7;     ///< power-law exponent of the remaining column degrees
+  double bandFraction = 0.35;  ///< fraction of local pins placed near the diagonal
+  idx_t bandWidth = 128;       ///< half-width of the diagonal band (wraps)
+  /// Block-angular structure (multicommodity / staircase LPs): ordinary
+  /// columns place a pin inside their own contiguous block with probability
+  /// localFraction, anywhere otherwise. numBlocks = 1 disables it.
+  idx_t numBlocks = 1;
+  double localFraction = 0.9;
+  /// Staircase coupling: when > 0, cross-block pins land in the first
+  /// couplingWidth rows of the *next* block instead of uniformly at random —
+  /// many columns then share few coupling rows, the structure that lets a
+  /// 2D (per-nonzero) decomposition beat any 1D row partition.
+  idx_t couplingWidth = 0;
+  /// Fraction of cross-block pins that ignore the coupling window and land
+  /// uniformly anywhere (unstructured coupling that no model can avoid
+  /// paying for; raises the absolute volume floor).
+  double uniformCrossFraction = 0.0;
+  bool includeDiagonal = true;
+};
+
+/// Nonsymmetric square LP-like matrix with heavy-tailed column degrees.
+Csr skewed_square(const SkewedParams& p, std::uint64_t seed);
+
+struct BlockRingParams {
+  idx_t numBlocks = 8;
+  idx_t blockSize = 64;
+  idx_t intraPicksPerNode = 3;  ///< random in-block partners per node (symmetric)
+  idx_t ringPicksPerNode = 0;   ///< partners in the next block (ring coupling)
+  idx_t numHubs = 0;            ///< global hub vertices
+  idx_t hubDegree = 0;          ///< connections per hub (symmetric)
+};
+
+/// Block-structured symmetric matrix: blocks of locally random coupling, a
+/// ring between consecutive blocks, and optional global hubs. Full diagonal.
+Csr block_ring(const BlockRingParams& p, std::uint64_t seed);
+
+/// Square matrix with ~nnzPerRow uniformly random entries per row
+/// (diagonal optionally guaranteed). General-purpose test workload.
+Csr random_square(idx_t n, idx_t nnzPerRow, std::uint64_t seed, bool withDiagonal = true);
+
+/// Band matrix: all entries with |i-j| <= halfBandwidth.
+Csr banded(idx_t n, idx_t halfBandwidth);
+
+/// Fully dense square pattern (small n only).
+Csr dense_square(idx_t n);
+
+/// Identity pattern.
+Csr identity(idx_t n);
+
+}  // namespace fghp::sparse

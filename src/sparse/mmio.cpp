@@ -1,0 +1,121 @@
+#include "sparse/mmio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sparse/convert.hpp"
+
+namespace fghp::sparse {
+
+namespace {
+
+[[noreturn]] void fail(long line, const std::string& what) {
+  std::ostringstream os;
+  os << "MatrixMarket parse error at line " << line << ": " << what;
+  throw std::runtime_error(os.str());
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Csr read_matrix_market(std::istream& in) {
+  std::string line;
+  long lineNo = 0;
+
+  if (!std::getline(in, line)) fail(1, "empty input");
+  ++lineNo;
+
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (tag != "%%MatrixMarket") fail(lineNo, "missing %%MatrixMarket banner");
+  object = lower(object);
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (object != "matrix") fail(lineNo, "unsupported object '" + object + "'");
+  if (format != "coordinate") fail(lineNo, "only coordinate format is supported");
+  const bool pattern = field == "pattern";
+  if (field != "real" && field != "integer" && field != "pattern")
+    fail(lineNo, "unsupported field '" + field + "'");
+  const bool symmetric = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  if (!symmetric && !skew && symmetry != "general")
+    fail(lineNo, "unsupported symmetry '" + symmetry + "'");
+
+  // Skip comments / blank lines until the size line.
+  long rows = -1, cols = -1, declared = -1;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sz(line);
+    if (!(sz >> rows >> cols >> declared)) fail(lineNo, "malformed size line");
+    break;
+  }
+  if (rows < 0) fail(lineNo, "missing size line");
+  if (rows == 0 || cols == 0) {
+    if (declared != 0) fail(lineNo, "empty matrix cannot declare nonzeros");
+    return to_csr(Coo(static_cast<idx_t>(rows), static_cast<idx_t>(cols)));
+  }
+
+  Coo coo(static_cast<idx_t>(rows), static_cast<idx_t>(cols));
+  long seen = 0;
+  while (seen < declared && std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream es(line);
+    long r, c;
+    double v = 1.0;
+    if (!(es >> r >> c)) fail(lineNo, "malformed entry");
+    if (!pattern && !(es >> v)) fail(lineNo, "missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols) fail(lineNo, "index out of range");
+    const auto ri = static_cast<idx_t>(r - 1);
+    const auto ci = static_cast<idx_t>(c - 1);
+    if ((symmetric || skew) && ci > ri)
+      fail(lineNo, "upper-triangle entry in symmetric storage");
+    if (skew && ci == ri) fail(lineNo, "diagonal entry in skew-symmetric storage");
+    coo.add(ri, ci, v);
+    if ((symmetric || skew) && ri != ci) coo.add(ci, ri, skew ? -v : v);
+    ++seen;
+  }
+  if (seen != declared) fail(lineNo, "fewer entries than declared");
+  return to_csr(std::move(coo));
+}
+
+Csr read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Csr& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by fghp\n";
+  out << a.num_rows() << ' ' << a.num_cols() << ' ' << a.nnz() << '\n';
+  std::ostringstream body;
+  body.precision(17);
+  for (idx_t r = 0; r < a.num_rows(); ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      body << (r + 1) << ' ' << (cols[k] + 1) << ' ' << vals[k] << '\n';
+    }
+  }
+  out << body.str();
+}
+
+void write_matrix_market_file(const std::string& path, const Csr& a) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_matrix_market(out, a);
+}
+
+}  // namespace fghp::sparse

@@ -1,0 +1,31 @@
+// Matrix Market (.mtx) reader / writer.
+//
+// Supports the coordinate format with real / integer / pattern fields and
+// general / symmetric / skew-symmetric symmetry (symmetric storage is
+// expanded on read). This is the bridge to the *real* test matrices of the
+// paper (University of Florida collection, netlib LP sets) when they are
+// available; the bundled synthetic suite (sparse/testsuite.hpp) stands in
+// for them offline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace fghp::sparse {
+
+/// Parses a Matrix Market stream. Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+Csr read_matrix_market(std::istream& in);
+
+/// Convenience file wrapper; throws std::runtime_error if unreadable.
+Csr read_matrix_market_file(const std::string& path);
+
+/// Writes `a` in coordinate/real/general form (1-based indices).
+void write_matrix_market(std::ostream& out, const Csr& a);
+
+/// Convenience file wrapper; throws std::runtime_error if unwritable.
+void write_matrix_market_file(const std::string& path, const Csr& a);
+
+}  // namespace fghp::sparse

@@ -1,0 +1,53 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "sparse/convert.hpp"
+
+namespace fghp::sparse {
+
+MatrixStats compute_stats(const Csr& a) {
+  MatrixStats s;
+  s.numRows = a.num_rows();
+  s.numCols = a.num_cols();
+  s.nnz = a.nnz();
+
+  auto degree_stats = [](const Csr& m, idx_t& mn, idx_t& mx, double& avg) {
+    mn = m.num_rows() == 0 ? 0 : std::numeric_limits<idx_t>::max();
+    mx = 0;
+    for (idx_t r = 0; r < m.num_rows(); ++r) {
+      const idx_t d = m.row_size(r);
+      mn = std::min(mn, d);
+      mx = std::max(mx, d);
+    }
+    avg = m.num_rows() == 0 ? 0.0
+                            : static_cast<double>(m.nnz()) / static_cast<double>(m.num_rows());
+  };
+
+  degree_stats(a, s.minPerRow, s.maxPerRow, s.avgPerRow);
+  const Csr at = transpose(a);
+  degree_stats(at, s.minPerCol, s.maxPerCol, s.avgPerCol);
+
+  s.minPerRowCol = std::min(s.minPerRow, s.minPerCol);
+  s.maxPerRowCol = std::max(s.maxPerRow, s.maxPerCol);
+  const auto denom = static_cast<double>(s.numRows) + static_cast<double>(s.numCols);
+  s.avgPerRowCol = denom == 0.0 ? 0.0 : 2.0 * static_cast<double>(s.nnz) / denom;
+
+  if (a.is_square()) {
+    s.numDiagEntries = a.num_diag_entries();
+    s.structurallySymmetric = (a.row_ptr() == at.row_ptr() && a.col_ind() == at.col_ind());
+  }
+  return s;
+}
+
+std::string to_string(const MatrixStats& s) {
+  std::ostringstream os;
+  os << s.numRows << 'x' << s.numCols << ", nnz=" << s.nnz << ", per-row/col min="
+     << s.minPerRowCol << " max=" << s.maxPerRowCol << " avg=" << s.avgPerRowCol
+     << (s.structurallySymmetric ? ", symmetric" : ", nonsymmetric");
+  return os.str();
+}
+
+}  // namespace fghp::sparse

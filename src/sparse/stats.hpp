@@ -1,0 +1,41 @@
+// Structural statistics of a sparse matrix — the quantities reported in the
+// paper's Table 1 (rows/cols, total nonzeros, min/max/avg nonzeros per
+// row/column).
+#pragma once
+
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace fghp::sparse {
+
+struct MatrixStats {
+  idx_t numRows = 0;
+  idx_t numCols = 0;
+  idx_t nnz = 0;
+
+  idx_t minPerRow = 0;
+  idx_t maxPerRow = 0;
+  double avgPerRow = 0.0;
+
+  idx_t minPerCol = 0;
+  idx_t maxPerCol = 0;
+  double avgPerCol = 0.0;
+
+  /// min/max over rows AND columns combined, as Table 1 reports a single
+  /// "per row/col" triple for square matrices.
+  idx_t minPerRowCol = 0;
+  idx_t maxPerRowCol = 0;
+  double avgPerRowCol = 0.0;
+
+  idx_t numDiagEntries = 0;  ///< structurally present diagonal entries
+  bool structurallySymmetric = false;
+};
+
+/// Computes all statistics in one pass over the matrix (plus one transpose).
+MatrixStats compute_stats(const Csr& a);
+
+/// One-line human-readable summary.
+std::string to_string(const MatrixStats& s);
+
+}  // namespace fghp::sparse

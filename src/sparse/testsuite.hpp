@@ -1,0 +1,46 @@
+// The paper's 14-matrix test suite (Table 1), reproduced as deterministic
+// synthetic structural analogs (see DESIGN.md §3 for the substitution
+// rationale). Each entry records the paper's reference statistics so the
+// Table 1 bench can print paper-vs-generated side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace fghp::sparse {
+
+/// Table 1 reference row (the paper's reported values).
+struct PaperStats {
+  idx_t rows = 0;      ///< number of rows/cols
+  idx_t nnz = 0;       ///< total nonzeros
+  idx_t minPerRowCol = 0;
+  idx_t maxPerRowCol = 0;
+  double avgPerRowCol = 0.0;
+};
+
+struct SuiteEntry {
+  std::string name;        ///< paper's matrix name (e.g. "ken-11")
+  std::string domain;      ///< application domain, for documentation
+  PaperStats paper;        ///< Table 1 values
+  bool symmetric = false;  ///< structural symmetry of the analog
+};
+
+/// The 14 suite entries in the paper's order (increasing nonzero count).
+const std::vector<SuiteEntry>& suite();
+
+/// Looks up a suite entry by name; throws std::invalid_argument if unknown.
+const SuiteEntry& suite_entry(const std::string& name);
+
+/// Generates the synthetic analog of a named matrix.
+///
+/// scale in (0, 1] shrinks rows and nonzeros proportionally (quick-mode
+/// benches); scale == 1 reproduces the Table 1 dimensions. Deterministic in
+/// (name, seed, scale).
+Csr make_matrix(const std::string& name, std::uint64_t seed = 1, double scale = 1.0);
+
+/// Names of all suite matrices in paper order.
+std::vector<std::string> suite_names();
+
+}  // namespace fghp::sparse

@@ -1,0 +1,30 @@
+#include "spmv/costmodel.hpp"
+
+#include <algorithm>
+
+namespace fghp::spmv {
+
+CostEstimate estimate_cost(const sparse::Csr& a, const model::Decomposition& d,
+                           const comm::CommStats& stats, const CostParams& params) {
+  const model::LoadStats loads = model::compute_loads(a, d);
+
+  CostEstimate est;
+  est.computeSeconds =
+      2.0 * static_cast<double>(loads.maxLoad) * params.gamma;  // one mul + one add per nonzero
+
+  double commMax = 0.0;
+  for (idx_t p = 0; p < d.numProcs; ++p) {
+    const double words =
+        static_cast<double>(stats.sendWords[static_cast<std::size_t>(p)] +
+                            stats.recvWords[static_cast<std::size_t>(p)]);
+    const double msgs = static_cast<double>(stats.messagesHandled[static_cast<std::size_t>(p)]);
+    commMax = std::max(commMax, params.alpha * msgs + params.beta * words);
+  }
+  est.commSeconds = commMax;
+  est.totalSeconds = est.computeSeconds + est.commSeconds;
+  est.serialSeconds = 2.0 * static_cast<double>(a.nnz()) * params.gamma;
+  est.speedup = est.totalSeconds > 0.0 ? est.serialSeconds / est.totalSeconds : 0.0;
+  return est;
+}
+
+}  // namespace fghp::spmv

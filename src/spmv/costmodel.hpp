@@ -1,0 +1,31 @@
+// Alpha-beta-gamma BSP cost model: translates a decomposition's
+// communication statistics into an estimated parallel SpMV time (and the
+// implied speedup), so the benches can show that lower volume actually buys
+// wall-clock time under realistic machine ratios.
+#pragma once
+
+#include "comm/volume.hpp"
+#include "models/decomposition.hpp"
+#include "sparse/csr.hpp"
+
+namespace fghp::spmv {
+
+struct CostParams {
+  double alpha = 5e-6;  ///< per-message latency (s); ~ classic cluster
+  double beta = 2e-9;   ///< per-word transfer time (s/word)
+  double gamma = 5e-10; ///< per-flop compute time (s/flop)
+};
+
+struct CostEstimate {
+  double computeSeconds = 0.0;  ///< max over processors of 2*nnz_p*gamma
+  double commSeconds = 0.0;     ///< max over processors of alpha*msgs + beta*words
+  double totalSeconds = 0.0;
+  double serialSeconds = 0.0;   ///< 2*Z*gamma
+  double speedup = 0.0;         ///< serial / total
+};
+
+/// Estimates one distributed SpMV under the BSP max-over-processors model.
+CostEstimate estimate_cost(const sparse::Csr& a, const model::Decomposition& d,
+                           const comm::CommStats& stats, const CostParams& params = {});
+
+}  // namespace fghp::spmv

@@ -1,0 +1,24 @@
+// Serial simulation of the distributed SpMV: executes the plan's expand /
+// local-multiply / fold phases processor by processor, counting every word
+// and message, and returns the assembled global y.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spmv/plan.hpp"
+
+namespace fghp::spmv {
+
+struct ExecStats {
+  weight_t wordsSent = 0;   ///< total words moved (expand + fold)
+  idx_t messagesSent = 0;   ///< directed messages (expand + fold)
+};
+
+/// Runs one distributed y = A x under the plan. The plan must come from the
+/// same matrix (same dimensions / nonzero placement). stats, if non-null,
+/// receives the exact traffic counts (equal to comm::analyze's totals).
+std::vector<double> execute(const SpmvPlan& plan, std::span<const double> x,
+                            ExecStats* stats = nullptr);
+
+}  // namespace fghp::spmv

@@ -1,0 +1,122 @@
+#include "spmv/executor_mt.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace fghp::spmv {
+
+std::vector<double> execute_mt(const SpmvPlan& plan, std::span<const double> x,
+                               idx_t numThreads, ExecStats* stats) {
+  FGHP_REQUIRE(x.size() == static_cast<std::size_t>(plan.numCols), "x size mismatch");
+  const idx_t K = plan.numProcs;
+
+  idx_t workers = numThreads;
+  if (workers <= 0) workers = K;
+  const auto hw = static_cast<idx_t>(std::thread::hardware_concurrency());
+  if (hw > 0) workers = std::min(workers, hw);
+  workers = std::min(workers, K);
+  workers = std::max<idx_t>(workers, 1);
+
+  // Mailboxes: xOut[p][s] is the buffer for p's s-th expand send; the
+  // receiver indexes it via Msg::pairIndex. Same for fold.
+  std::vector<std::vector<std::vector<double>>> xOut(static_cast<std::size_t>(K));
+  std::vector<std::vector<std::vector<double>>> yOut(static_cast<std::size_t>(K));
+  for (idx_t p = 0; p < K; ++p) {
+    const auto& pp = plan.procs[static_cast<std::size_t>(p)];
+    xOut[static_cast<std::size_t>(p)].resize(pp.xSends.size());
+    yOut[static_cast<std::size_t>(p)].resize(pp.ySends.size());
+    for (std::size_t s = 0; s < pp.xSends.size(); ++s)
+      xOut[static_cast<std::size_t>(p)][s].resize(pp.xSends[s].ids.size());
+    for (std::size_t s = 0; s < pp.ySends.size(); ++s)
+      yOut[static_cast<std::size_t>(p)][s].resize(pp.ySends[s].ids.size());
+  }
+
+  std::vector<std::unordered_map<idx_t, double>> xCache(static_cast<std::size_t>(K));
+  std::vector<std::unordered_map<idx_t, double>> partial(static_cast<std::size_t>(K));
+  std::vector<double> y(static_cast<std::size_t>(plan.numRows), 0.0);
+  std::atomic<weight_t> words{0};
+  std::atomic<idx_t> msgs{0};
+
+  std::barrier sync(static_cast<std::ptrdiff_t>(workers));
+
+  auto worker = [&](idx_t wid) {
+    // Superstep 1: load owned x and fill expand mailboxes.
+    for (idx_t p = wid; p < K; p += workers) {
+      const auto& pp = plan.procs[static_cast<std::size_t>(p)];
+      auto& cache = xCache[static_cast<std::size_t>(p)];
+      for (idx_t j : pp.ownedX) cache[j] = x[static_cast<std::size_t>(j)];
+      for (std::size_t s = 0; s < pp.xSends.size(); ++s) {
+        const Msg& m = pp.xSends[s];
+        for (std::size_t k = 0; k < m.ids.size(); ++k)
+          xOut[static_cast<std::size_t>(p)][s][k] = x[static_cast<std::size_t>(m.ids[k])];
+        words.fetch_add(static_cast<weight_t>(m.ids.size()), std::memory_order_relaxed);
+        msgs.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    sync.arrive_and_wait();
+
+    // Superstep 2: drain expand mailboxes, multiply locally, fill fold
+    // mailboxes.
+    for (idx_t p = wid; p < K; p += workers) {
+      const auto& pp = plan.procs[static_cast<std::size_t>(p)];
+      auto& cache = xCache[static_cast<std::size_t>(p)];
+      for (const Msg& m : pp.xRecvs) {
+        const auto& buf =
+            xOut[static_cast<std::size_t>(m.peer)][static_cast<std::size_t>(m.pairIndex)];
+        for (std::size_t k = 0; k < m.ids.size(); ++k) cache[m.ids[k]] = buf[k];
+      }
+      auto& part = partial[static_cast<std::size_t>(p)];
+      for (std::size_t e = 0; e < pp.rows.size(); ++e) {
+        const auto it = cache.find(pp.cols[e]);
+        FGHP_ASSERT(it != cache.end());
+        part[pp.rows[e]] += pp.vals[e] * it->second;
+      }
+      for (std::size_t s = 0; s < pp.ySends.size(); ++s) {
+        const Msg& m = pp.ySends[s];
+        for (std::size_t k = 0; k < m.ids.size(); ++k) {
+          const auto it = part.find(m.ids[k]);
+          FGHP_ASSERT(it != part.end());
+          yOut[static_cast<std::size_t>(p)][s][k] = it->second;
+        }
+        words.fetch_add(static_cast<weight_t>(m.ids.size()), std::memory_order_relaxed);
+        msgs.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    sync.arrive_and_wait();
+
+    // Superstep 3: owners accumulate their own partial plus remote partials
+    // in plan order (same order as the serial executor). Each y_i has a
+    // unique owner, so writes to y are disjoint across processors.
+    for (idx_t p = wid; p < K; p += workers) {
+      const auto& pp = plan.procs[static_cast<std::size_t>(p)];
+      const auto& part = partial[static_cast<std::size_t>(p)];
+      for (idx_t i : pp.ownedY) {
+        const auto it = part.find(i);
+        if (it != part.end()) y[static_cast<std::size_t>(i)] += it->second;
+      }
+      for (const Msg& m : pp.yRecvs) {
+        const auto& buf =
+            yOut[static_cast<std::size_t>(m.peer)][static_cast<std::size_t>(m.pairIndex)];
+        for (std::size_t k = 0; k < m.ids.size(); ++k)
+          y[static_cast<std::size_t>(m.ids[k])] += buf[k];
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (idx_t w = 0; w < workers; ++w) pool.emplace_back(worker, w);
+  for (auto& t : pool) t.join();
+
+  if (stats != nullptr) {
+    stats->wordsSent = words.load();
+    stats->messagesSent = msgs.load();
+  }
+  return y;
+}
+
+}  // namespace fghp::spmv

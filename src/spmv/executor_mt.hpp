@@ -1,0 +1,24 @@
+// Multi-threaded BSP execution of the distributed SpMV plan: every logical
+// processor runs the expand / multiply / fold supersteps separated by
+// barriers, with lock-free mailboxes (each (src, dst) message has a
+// dedicated preallocated buffer written only by src and read only by dst,
+// strictly after the barrier). Demonstrates that the schedules are a real
+// parallel program, not just an accounting device.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spmv/executor.hpp"
+#include "spmv/plan.hpp"
+
+namespace fghp::spmv {
+
+/// Runs one distributed y = A x with `numThreads` worker threads (0 = one
+/// per logical processor, capped at hardware concurrency). Logical
+/// processors are distributed round-robin over the workers. Produces the
+/// same y as execute() (identical per-partial summation order).
+std::vector<double> execute_mt(const SpmvPlan& plan, std::span<const double> x,
+                               idx_t numThreads = 0, ExecStats* stats = nullptr);
+
+}  // namespace fghp::spmv

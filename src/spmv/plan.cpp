@@ -1,0 +1,114 @@
+#include "spmv/plan.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace fghp::spmv {
+
+weight_t SpmvPlan::total_words() const {
+  weight_t words = 0;
+  for (const auto& p : procs) {
+    for (const auto& m : p.xSends) words += static_cast<weight_t>(m.ids.size());
+    for (const auto& m : p.ySends) words += static_cast<weight_t>(m.ids.size());
+  }
+  return words;
+}
+
+idx_t SpmvPlan::total_messages() const {
+  idx_t msgs = 0;
+  for (const auto& p : procs)
+    msgs += static_cast<idx_t>(p.xSends.size() + p.ySends.size());
+  return msgs;
+}
+
+SpmvPlan build_plan(const sparse::Csr& a, const model::Decomposition& d) {
+  model::validate(a, d);
+  const idx_t K = d.numProcs;
+  const idx_t n = a.num_rows();
+
+  SpmvPlan plan;
+  plan.numProcs = K;
+  plan.numRows = n;
+  plan.numCols = a.num_cols();
+  plan.procs.resize(static_cast<std::size_t>(K));
+
+  // Local nonzeros + ownership lists.
+  {
+    std::size_t e = 0;
+    for (idx_t i = 0; i < n; ++i) {
+      const auto cols = a.row_cols(i);
+      const auto vals = a.row_vals(i);
+      for (std::size_t k = 0; k < cols.size(); ++k, ++e) {
+        auto& pp = plan.procs[static_cast<std::size_t>(d.nnzOwner[e])];
+        pp.rows.push_back(i);
+        pp.cols.push_back(cols[k]);
+        pp.vals.push_back(vals[k]);
+      }
+    }
+  }
+  for (idx_t j = 0; j < a.num_cols(); ++j)
+    plan.procs[static_cast<std::size_t>(d.xOwner[static_cast<std::size_t>(j)])]
+        .ownedX.push_back(j);
+  for (idx_t i = 0; i < n; ++i)
+    plan.procs[static_cast<std::size_t>(d.yOwner[static_cast<std::size_t>(i)])]
+        .ownedY.push_back(i);
+
+  // Expand needs: which processors use column j. (src=owner, dst=needer, id=j)
+  // Fold contributions: (src=contributor, dst=y owner, id=i).
+  std::map<std::pair<idx_t, idx_t>, std::vector<idx_t>> expand, fold;
+  {
+    // Need sets per column / contributor sets per row, deduplicated.
+    std::vector<std::vector<idx_t>> colNeed(static_cast<std::size_t>(a.num_cols()));
+    std::vector<std::vector<idx_t>> rowContrib(static_cast<std::size_t>(n));
+    std::size_t e = 0;
+    for (idx_t i = 0; i < n; ++i) {
+      for (idx_t j : a.row_cols(i)) {
+        const idx_t p = d.nnzOwner[e++];
+        colNeed[static_cast<std::size_t>(j)].push_back(p);
+        rowContrib[static_cast<std::size_t>(i)].push_back(p);
+      }
+    }
+    auto dedupe = [](std::vector<idx_t>& v) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    for (idx_t j = 0; j < a.num_cols(); ++j) {
+      auto& need = colNeed[static_cast<std::size_t>(j)];
+      dedupe(need);
+      const idx_t owner = d.xOwner[static_cast<std::size_t>(j)];
+      for (idx_t p : need) {
+        if (p != owner) expand[{owner, p}].push_back(j);
+      }
+    }
+    for (idx_t i = 0; i < n; ++i) {
+      auto& contrib = rowContrib[static_cast<std::size_t>(i)];
+      dedupe(contrib);
+      const idx_t owner = d.yOwner[static_cast<std::size_t>(i)];
+      for (idx_t p : contrib) {
+        if (p != owner) fold[{p, owner}].push_back(i);
+      }
+    }
+  }
+
+  // Materialize messages; std::map iteration gives deterministic order.
+  auto emit = [&](const std::map<std::pair<idx_t, idx_t>, std::vector<idx_t>>& msgs,
+                  std::vector<Msg> ProcPlan::* sendList,
+                  std::vector<Msg> ProcPlan::* recvList) {
+    for (const auto& [key, ids] : msgs) {
+      const auto [src, dst] = key;
+      auto& sender = plan.procs[static_cast<std::size_t>(src)];
+      auto& receiver = plan.procs[static_cast<std::size_t>(dst)];
+      const auto sendIndex = static_cast<idx_t>((sender.*sendList).size());
+      (sender.*sendList).push_back({dst, ids, kInvalidIdx});
+      (receiver.*recvList).push_back({src, ids, sendIndex});
+    }
+  };
+  emit(expand, &ProcPlan::xSends, &ProcPlan::xRecvs);
+  emit(fold, &ProcPlan::ySends, &ProcPlan::yRecvs);
+
+  return plan;
+}
+
+}  // namespace fghp::spmv

@@ -1,0 +1,52 @@
+// Distributed SpMV plan: per-processor local nonzeros and the exact
+// expand/fold message schedules derived from a decomposition. The plan's
+// word/message totals are, by construction, the quantities comm::analyze
+// reports — the executors assert that equivalence at runtime.
+#pragma once
+
+#include <vector>
+
+#include "models/decomposition.hpp"
+#include "sparse/csr.hpp"
+
+namespace fghp::spmv {
+
+/// One message of the schedule: the ids (column indices for expand, row
+/// indices for fold) whose values travel between `peer` and this processor.
+struct Msg {
+  idx_t peer = kInvalidIdx;
+  std::vector<idx_t> ids;
+  /// For receives: index of the matching entry in the peer's send list
+  /// (lets the threaded executor read the right mailbox without searching).
+  idx_t pairIndex = kInvalidIdx;
+};
+
+struct ProcPlan {
+  /// Local nonzeros in global coordinates.
+  std::vector<idx_t> rows, cols;
+  std::vector<double> vals;
+
+  std::vector<idx_t> ownedX;  ///< columns whose x value this processor owns
+  std::vector<idx_t> ownedY;  ///< rows whose y value this processor owns
+
+  std::vector<Msg> xSends;  ///< expand phase, outgoing
+  std::vector<Msg> xRecvs;  ///< expand phase, incoming
+  std::vector<Msg> ySends;  ///< fold phase, outgoing partials
+  std::vector<Msg> yRecvs;  ///< fold phase, incoming partials
+};
+
+struct SpmvPlan {
+  idx_t numProcs = 0;
+  idx_t numRows = 0;
+  idx_t numCols = 0;
+  std::vector<ProcPlan> procs;
+
+  weight_t total_words() const;    ///< expand + fold words
+  idx_t total_messages() const;    ///< directed messages, both phases
+};
+
+/// Builds the schedules. Deterministic: ids inside every message and the
+/// messages themselves are sorted.
+SpmvPlan build_plan(const sparse::Csr& a, const model::Decomposition& d);
+
+}  // namespace fghp::spmv

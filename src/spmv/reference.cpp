@@ -1,0 +1,26 @@
+#include "spmv/reference.hpp"
+
+#include "util/assert.hpp"
+
+namespace fghp::spmv {
+
+void multiply_into(const sparse::Csr& a, std::span<const double> x, std::span<double> y) {
+  FGHP_REQUIRE(x.size() == static_cast<std::size_t>(a.num_cols()), "x size mismatch");
+  FGHP_REQUIRE(y.size() == static_cast<std::size_t>(a.num_rows()), "y size mismatch");
+  for (idx_t i = 0; i < a.num_rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      acc += vals[k] * x[static_cast<std::size_t>(cols[k])];
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+std::vector<double> multiply(const sparse::Csr& a, std::span<const double> x) {
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows()));
+  multiply_into(a, x, y);
+  return y;
+}
+
+}  // namespace fghp::spmv

@@ -1,0 +1,18 @@
+// Serial CSR sparse matrix-vector product — the correctness oracle for the
+// distributed executors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace fghp::spmv {
+
+/// y = A x (dense x of size num_cols; returns y of size num_rows).
+std::vector<double> multiply(const sparse::Csr& a, std::span<const double> x);
+
+/// y = A x into a preallocated y (overwritten).
+void multiply_into(const sparse::Csr& a, std::span<const double> x, std::span<double> y);
+
+}  // namespace fghp::spmv

@@ -1,0 +1,42 @@
+#include "spmv/transpose.hpp"
+
+#include "sparse/convert.hpp"
+#include "util/assert.hpp"
+
+namespace fghp::spmv {
+
+model::Decomposition transpose_decomposition(const sparse::Csr& a,
+                                             const model::Decomposition& d) {
+  model::validate(a, d);
+
+  model::Decomposition dt;
+  dt.numProcs = d.numProcs;
+  dt.xOwner = d.yOwner;  // A^T consumes w, indexed by A's rows
+  dt.yOwner = d.xOwner;  // and produces z, indexed by A's columns
+
+  // Remap per-entry owners into the transpose's (column-major-of-A) entry
+  // order by replaying the counting sort transpose() uses.
+  const idx_t n = a.num_cols();
+  std::vector<idx_t> colStart(static_cast<std::size_t>(n) + 1, 0);
+  for (idx_t j : a.col_ind()) ++colStart[static_cast<std::size_t>(j) + 1];
+  for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j)
+    colStart[j + 1] += colStart[j];
+
+  dt.nnzOwner.resize(d.nnzOwner.size());
+  std::vector<idx_t> cursor(colStart.begin(), colStart.end() - 1);
+  std::size_t e = 0;
+  for (idx_t i = 0; i < a.num_rows(); ++i) {
+    for (idx_t j : a.row_cols(i)) {
+      dt.nnzOwner[static_cast<std::size_t>(cursor[static_cast<std::size_t>(j)]++)] =
+          d.nnzOwner[e++];
+    }
+  }
+  return dt;
+}
+
+SpmvPlan build_transpose_plan(const sparse::Csr& a, const model::Decomposition& d) {
+  const sparse::Csr at = sparse::transpose(a);
+  return build_plan(at, transpose_decomposition(a, d));
+}
+
+}  // namespace fghp::spmv

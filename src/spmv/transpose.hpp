@@ -1,0 +1,25 @@
+// Transpose products under the *same* decomposition: iterative methods like
+// BiCG/QMR need z = A^T w alongside y = A x. Entry a_ij's owner multiplies
+// a_ij * w_i into the partial z_j, so the expand and fold roles simply swap
+// (w expands along rows, z folds along columns) — and the fine-grain
+// hypergraph's lambda-1 cutsize prices BOTH products: total transpose
+// traffic equals total forward traffic under conformal vectors.
+#pragma once
+
+#include "models/decomposition.hpp"
+#include "spmv/plan.hpp"
+#include "sparse/csr.hpp"
+
+namespace fghp::spmv {
+
+/// The decomposition of A^T induced by d: same per-entry owners (remapped to
+/// the transpose's entry order), x/y ownership swapped.
+model::Decomposition transpose_decomposition(const sparse::Csr& a,
+                                             const model::Decomposition& d);
+
+/// Plan computing z = A^T w with the forward decomposition's data placement.
+/// Execute with the usual executors against transpose(a)'s dimensions
+/// (w has a.num_rows() entries, z has a.num_cols()).
+SpmvPlan build_transpose_plan(const sparse::Csr& a, const model::Decomposition& d);
+
+}  // namespace fghp::spmv

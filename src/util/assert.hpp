@@ -1,0 +1,38 @@
+// Lightweight assertion / precondition macros.
+//
+// FGHP_ASSERT  — internal invariant; compiled out in NDEBUG builds.
+// FGHP_REQUIRE — public API precondition; always checked, throws
+//                std::invalid_argument with a formatted message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fghp {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "FGHP_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace fghp
+
+#ifdef NDEBUG
+#define FGHP_ASSERT(expr) ((void)0)
+#else
+#define FGHP_ASSERT(expr) \
+  ((expr) ? (void)0 : ::fghp::assert_fail(#expr, __FILE__, __LINE__))
+#endif
+
+#define FGHP_REQUIRE(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream fghp_oss_;                                    \
+      fghp_oss_ << "precondition violated: " << (msg) << " [" << #expr \
+                << "]";                                                \
+      throw std::invalid_argument(fghp_oss_.str());                    \
+    }                                                                  \
+  } while (0)

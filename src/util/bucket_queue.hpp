@@ -1,0 +1,154 @@
+// Gain-bucket priority structure for Fiduccia–Mattheyses refinement.
+//
+// Classic FM bucket list: items (vertices) carry small integer gains in
+// [-maxGain, +maxGain]; each bucket is an intrusive doubly-linked list so
+// insert / remove / reprioritize are O(1) and pop-max is amortized O(1) via a
+// descending max-pointer. LIFO order within a bucket (the traditional FM
+// tie-break that favours recently touched vertices).
+#pragma once
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace fghp {
+
+class BucketQueue {
+ public:
+  /// numItems — id universe [0, numItems); maxGain — |gain| bound.
+  BucketQueue(idx_t numItems, idx_t maxGain) { reset(numItems, maxGain); }
+
+  BucketQueue() = default;
+
+  /// Re-dimensions and clears the structure.
+  void reset(idx_t numItems, idx_t maxGain);
+
+  /// Clears all buckets, keeping capacity.
+  void clear();
+
+  bool contains(idx_t item) const {
+    return prev_[static_cast<std::size_t>(item)] != kNotQueued;
+  }
+
+  bool empty() const { return size_ == 0; }
+  idx_t size() const { return size_; }
+
+  /// Inserts item with the given gain. Item must not already be queued.
+  void push(idx_t item, idx_t gain);
+
+  /// Removes a queued item.
+  void remove(idx_t item);
+
+  /// Changes the gain of a queued item (O(1): unlink + relink).
+  void update(idx_t item, idx_t newGain);
+
+  /// Adds delta to a queued item's gain.
+  void adjust(idx_t item, idx_t delta) { update(item, gain(item) + delta); }
+
+  /// Gain of a queued item.
+  idx_t gain(idx_t item) const {
+    FGHP_ASSERT(contains(item));
+    return gain_[static_cast<std::size_t>(item)];
+  }
+
+  /// Highest gain currently queued. Queue must be non-empty.
+  idx_t max_gain();
+
+  /// Removes and returns an item with the highest gain.
+  idx_t pop_max();
+
+ private:
+  static constexpr idx_t kNotQueued = -2;
+  static constexpr idx_t kNil = -1;
+
+  std::size_t bucket_of(idx_t gain) const {
+    FGHP_ASSERT(gain >= -maxGain_ && gain <= maxGain_);
+    return static_cast<std::size_t>(gain + maxGain_);
+  }
+
+  void unlink(idx_t item);
+
+  idx_t maxGain_ = 0;
+  idx_t size_ = 0;
+  idx_t cursor_ = 0;               // highest possibly-non-empty bucket index
+  std::vector<idx_t> head_;        // bucket -> first item (kNil if empty)
+  std::vector<idx_t> next_, prev_; // intrusive links; prev_ == kNotQueued when absent
+  std::vector<idx_t> gain_;        // item -> current gain
+};
+
+inline void BucketQueue::reset(idx_t numItems, idx_t maxGain) {
+  FGHP_ASSERT(numItems >= 0 && maxGain >= 0);
+  maxGain_ = maxGain;
+  size_ = 0;
+  cursor_ = 0;
+  head_.assign(static_cast<std::size_t>(2 * maxGain + 1), kNil);
+  next_.assign(static_cast<std::size_t>(numItems), kNil);
+  prev_.assign(static_cast<std::size_t>(numItems), kNotQueued);
+  gain_.assign(static_cast<std::size_t>(numItems), 0);
+}
+
+inline void BucketQueue::clear() {
+  size_ = 0;
+  cursor_ = 0;
+  std::fill(head_.begin(), head_.end(), kNil);
+  std::fill(prev_.begin(), prev_.end(), kNotQueued);
+}
+
+inline void BucketQueue::push(idx_t item, idx_t gain) {
+  FGHP_ASSERT(!contains(item));
+  const std::size_t b = bucket_of(gain);
+  const std::size_t it = static_cast<std::size_t>(item);
+  gain_[it] = gain;
+  next_[it] = head_[b];
+  prev_[it] = kNil;  // head marker: prev==kNil means "first in bucket"
+  if (head_[b] != kNil) prev_[static_cast<std::size_t>(head_[b])] = item;
+  head_[b] = item;
+  if (static_cast<idx_t>(b) > cursor_) cursor_ = static_cast<idx_t>(b);
+  ++size_;
+}
+
+inline void BucketQueue::unlink(idx_t item) {
+  const std::size_t it = static_cast<std::size_t>(item);
+  const idx_t nxt = next_[it];
+  const idx_t prv = prev_[it];
+  if (prv == kNil) {
+    head_[bucket_of(gain_[it])] = nxt;
+  } else {
+    next_[static_cast<std::size_t>(prv)] = nxt;
+  }
+  if (nxt != kNil) prev_[static_cast<std::size_t>(nxt)] = prv;
+  prev_[it] = kNotQueued;
+}
+
+inline void BucketQueue::remove(idx_t item) {
+  FGHP_ASSERT(contains(item));
+  unlink(item);
+  --size_;
+}
+
+inline void BucketQueue::update(idx_t item, idx_t newGain) {
+  FGHP_ASSERT(contains(item));
+  if (gain_[static_cast<std::size_t>(item)] == newGain) return;
+  unlink(item);
+  --size_;
+  push(item, newGain);
+}
+
+inline idx_t BucketQueue::max_gain() {
+  FGHP_ASSERT(!empty());
+  while (head_[static_cast<std::size_t>(cursor_)] == kNil) {
+    FGHP_ASSERT(cursor_ > 0);
+    --cursor_;
+  }
+  return cursor_ - maxGain_;
+}
+
+inline idx_t BucketQueue::pop_max() {
+  const idx_t g = max_gain();
+  const idx_t item = head_[bucket_of(g)];
+  remove(item);
+  return item;
+}
+
+}  // namespace fghp

@@ -1,0 +1,48 @@
+// Environment-variable driven options for the benchmark harnesses
+// (FGHP_SEEDS, FGHP_FULL, FGHP_MATRICES, ...), plus tiny argv helpers for the
+// example CLIs. Centralized so every bench documents and parses knobs the
+// same way.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fghp {
+
+/// Reads an environment variable; nullopt if unset or empty.
+std::optional<std::string> env_str(const char* name);
+
+/// Integer env var with default; throws std::invalid_argument on garbage.
+long env_long(const char* name, long fallback);
+
+/// Boolean env var: unset/"0"/"false"/"no" => false, anything else => true.
+bool env_flag(const char* name, bool fallback = false);
+
+/// Comma-separated list env var (trimmed, empty items dropped).
+std::vector<std::string> env_list(const char* name);
+
+/// Minimal positional/flag argv scanner for the example programs:
+/// flags are "--name value" or "--name=value"; positionals kept in order.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  /// Value of --name, or nullopt.
+  std::optional<std::string> flag(const std::string& name) const;
+
+  /// Value of --name as long, or fallback.
+  long flag_long(const std::string& name, long fallback) const;
+
+  /// Presence of a bare switch --name (no value).
+  bool has_switch(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> flags_;
+  std::vector<std::string> switches_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fghp

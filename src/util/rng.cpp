@@ -1,0 +1,83 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace fghp {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // All-zero state is the one forbidden state of xoshiro; splitmix64 cannot
+  // produce four zeros from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  FGHP_ASSERT(bound > 0);
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+idx_t Rng::uniform(idx_t lo, idx_t hi) {
+  FGHP_ASSERT(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<idx_t>(next_below(span));
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::vector<idx_t> Rng::permutation(idx_t n) {
+  std::vector<idx_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), idx_t{0});
+  shuffle(perm);
+  return perm;
+}
+
+Rng Rng::spawn() { return Rng(next()); }
+
+}  // namespace fghp

@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation.
+//
+// The partitioners must be reproducible given a seed (the paper averages over
+// 50 seeded runs), so we ship our own generator rather than rely on
+// implementation-defined std::shuffle/std::mt19937 distribution details:
+//  * splitmix64 — seed expansion,
+//  * xoshiro256** — the workhorse stream,
+//  * bias-free bounded integers, Fisher-Yates shuffle, random permutations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace fghp {
+
+/// splitmix64 step; used to expand a user seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound), bias-free (Lemire's method with rejection).
+  /// bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform idx_t in [lo, hi] inclusive. Requires lo <= hi.
+  idx_t uniform(idx_t lo, idx_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Random permutation of {0, ..., n-1}.
+  std::vector<idx_t> permutation(idx_t n);
+
+  /// Derives an independent child stream (e.g. per recursion branch).
+  Rng spawn();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace fghp

@@ -1,0 +1,65 @@
+// Sparse accumulator ("SPA"): dense array + touched-list, the standard trick
+// for accumulating scores over a tiny, changing subset of a huge universe in
+// O(#touched) per round (used by coarsening to score candidate mates, by the
+// hypergraph builder to dedupe pins, and by the comm analyzer to collect
+// per-column processor sets).
+#pragma once
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace fghp {
+
+template <typename Value>
+class SparseAccumulator {
+ public:
+  explicit SparseAccumulator(idx_t universe = 0) { reset(universe); }
+
+  /// Re-dimensions to a new universe size and clears.
+  void reset(idx_t universe) {
+    value_.assign(static_cast<std::size_t>(universe), Value{});
+    mark_.assign(static_cast<std::size_t>(universe), false);
+    touched_.clear();
+  }
+
+  idx_t universe() const { return static_cast<idx_t>(value_.size()); }
+
+  /// Adds delta to slot key, registering it as touched on first contact.
+  void add(idx_t key, Value delta) {
+    const auto k = static_cast<std::size_t>(key);
+    FGHP_ASSERT(k < value_.size());
+    if (!mark_[k]) {
+      mark_[k] = true;
+      value_[k] = Value{};
+      touched_.push_back(key);
+    }
+    value_[k] += delta;
+  }
+
+  /// True if key was touched since the last clear().
+  bool touched(idx_t key) const { return mark_[static_cast<std::size_t>(key)]; }
+
+  /// Current value of a touched slot (Value{} if untouched).
+  Value value(idx_t key) const {
+    const auto k = static_cast<std::size_t>(key);
+    return mark_[k] ? value_[k] : Value{};
+  }
+
+  /// Keys touched since last clear, in first-touch order.
+  const std::vector<idx_t>& keys() const { return touched_; }
+
+  /// O(#touched) reset for the next round.
+  void clear() {
+    for (idx_t key : touched_) mark_[static_cast<std::size_t>(key)] = false;
+    touched_.clear();
+  }
+
+ private:
+  std::vector<Value> value_;
+  std::vector<bool> mark_;
+  std::vector<idx_t> touched_;
+};
+
+}  // namespace fghp

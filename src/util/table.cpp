@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace fghp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FGHP_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  FGHP_REQUIRE(row.size() == headers_.size(), "row width must match headers");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.push_back({kSepMarker}); }
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSepMarker) continue;
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      if (c == 0) {
+        os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      } else {
+        os << std::string(width[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    os << '\n';
+  };
+
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+
+  std::ostringstream os;
+  emit_row(os, headers_);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSepMarker) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      emit_row(os, row);
+    }
+  }
+  return os.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace fghp

@@ -1,0 +1,37 @@
+// Column-aligned ASCII table printer used by the benchmark harnesses to
+// regenerate the paper's tables in a readable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fghp {
+
+class Table {
+ public:
+  /// Column headers define the column count; every later row must match it.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a data row (strings pre-formatted by the caller).
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Formats numbers with fixed precision; convenience for callers.
+  static std::string num(double v, int precision = 2);
+  static std::string num(long long v);
+
+  /// Renders the table; every column is right-aligned except the first.
+  std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  static constexpr const char* kSepMarker = "\x01sep";
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fghp

@@ -1,0 +1,12 @@
+#include "util/timer.hpp"
+
+namespace fghp {
+
+void WallTimer::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double WallTimer::seconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+}  // namespace fghp

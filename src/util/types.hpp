@@ -1,0 +1,20 @@
+// Fundamental index and weight types shared by every module.
+#pragma once
+
+#include <cstdint>
+
+namespace fghp {
+
+/// Index type for rows, columns, vertices, nets and pins. 32-bit signed is
+/// enough for the paper's scale (hundreds of thousands of nonzeros) while
+/// halving memory traffic versus 64-bit indices.
+using idx_t = std::int32_t;
+
+/// Accumulation type for vertex weights, volumes and cut sizes. 64-bit so
+/// sums over all pins can never overflow.
+using weight_t = std::int64_t;
+
+/// Invalid / unassigned sentinel for idx_t quantities (part ids, matches...).
+inline constexpr idx_t kInvalidIdx = -1;
+
+}  // namespace fghp

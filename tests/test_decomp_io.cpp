@@ -1,0 +1,100 @@
+// Decomposition serialization round-trips and malformed-input diagnostics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "models/decomp_io.hpp"
+#include "models/finegrain.hpp"
+#include "sparse/generators.hpp"
+
+namespace fghp::model {
+namespace {
+
+Decomposition sample(const sparse::Csr& a, idx_t K, std::uint64_t seed) {
+  part::PartitionConfig cfg;
+  cfg.seed = seed;
+  return run_finegrain(a, K, cfg).decomp;
+}
+
+TEST(DecompIo, RoundTripStream) {
+  const sparse::Csr a = sparse::random_square(80, 5, 1);
+  const Decomposition d = sample(a, 6, 2);
+  std::ostringstream out;
+  write_decomposition(out, d);
+  std::istringstream in(out.str());
+  const Decomposition e = read_decomposition(in);
+  EXPECT_EQ(e.numProcs, d.numProcs);
+  EXPECT_EQ(e.nnzOwner, d.nnzOwner);
+  EXPECT_EQ(e.xOwner, d.xOwner);
+  EXPECT_EQ(e.yOwner, d.yOwner);
+  EXPECT_NO_THROW(validate(a, e));
+}
+
+TEST(DecompIo, RoundTripFile) {
+  const sparse::Csr a = sparse::random_square(40, 4, 3);
+  const Decomposition d = sample(a, 4, 4);
+  const std::string path = ::testing::TempDir() + "/fghp_decomp_roundtrip.txt";
+  write_decomposition_file(path, d);
+  const Decomposition e = read_decomposition_file(path);
+  EXPECT_EQ(e.nnzOwner, d.nnzOwner);
+}
+
+TEST(DecompIo, AsymmetricVectorsSurvive) {
+  const sparse::Csr a = sparse::random_square(30, 4, 5);
+  Decomposition d = sample(a, 3, 6);
+  d.yOwner[0] = (d.yOwner[0] + 1) % 3;  // break symmetry deliberately
+  std::ostringstream out;
+  write_decomposition(out, d);
+  std::istringstream in(out.str());
+  const Decomposition e = read_decomposition(in);
+  EXPECT_EQ(e.yOwner, d.yOwner);
+  EXPECT_FALSE(symmetric_vectors(e));
+}
+
+Decomposition parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_decomposition(in);
+}
+
+TEST(DecompIo, RejectsMissingBanner) {
+  EXPECT_THROW(parse("procs 2\nnnz 0\nvec 0\n"), std::runtime_error);
+}
+
+TEST(DecompIo, RejectsBadVersion) {
+  EXPECT_THROW(parse("fghp-decomposition 9\nprocs 2\nnnz 0\nvec 0\n"), std::runtime_error);
+}
+
+TEST(DecompIo, RejectsOwnerOutOfRange) {
+  EXPECT_THROW(parse("fghp-decomposition 1\nprocs 2\nnnz 1\n5\nvec 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("fghp-decomposition 1\nprocs 2\nnnz 0\nvec 1\n0 7\n"),
+               std::runtime_error);
+}
+
+TEST(DecompIo, RejectsTruncation) {
+  EXPECT_THROW(parse("fghp-decomposition 1\nprocs 2\nnnz 3\n0\n1\n"), std::runtime_error);
+}
+
+TEST(DecompIo, ErrorMentionsLine) {
+  try {
+    parse("fghp-decomposition 1\nprocs 2\nnnz 1\nbogus\nvec 0\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(DecompIo, MissingFileThrows) {
+  EXPECT_THROW(read_decomposition_file("/nonexistent/x.decomp"), std::runtime_error);
+}
+
+TEST(DecompIo, ValidateCatchesMatrixMismatch) {
+  const sparse::Csr a = sparse::random_square(30, 4, 7);
+  const sparse::Csr b = sparse::random_square(31, 4, 8);
+  const Decomposition d = sample(a, 4, 9);
+  EXPECT_NO_THROW(validate(a, d));
+  EXPECT_THROW(validate(b, d), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fghp::model

@@ -1,0 +1,102 @@
+// Graph substrate tests: adjacency construction, edge merging, partition
+// bookkeeping, edge-cut metric.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/gmetrics.hpp"
+#include "graph/graph.hpp"
+
+namespace fghp::gp {
+namespace {
+
+Graph path4() {
+  // 0 - 1 - 2 - 3 with weights 1, 2, 3.
+  return Graph(4, {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}});
+}
+
+TEST(Graph, BasicAccessors) {
+  const Graph g = path4();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.total_edge_weight(), 6);
+  EXPECT_EQ(g.total_vertex_weight(), 4);  // default unit weights
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.max_incident_weight(), 5);  // vertex 2: 2 + 3
+}
+
+TEST(Graph, NeighborsBidirectional) {
+  const Graph g = path4();
+  std::set<idx_t> n1;
+  for (const Adj& a : g.neighbors(1)) n1.insert(a.to);
+  EXPECT_EQ(n1, (std::set<idx_t>{0, 2}));
+  for (const Adj& a : g.neighbors(2)) {
+    if (a.to == 3) {
+      EXPECT_EQ(a.weight, 3);
+    }
+  }
+}
+
+TEST(Graph, ParallelEdgesMerge) {
+  const Graph g(2, {{0, 1, 1}, {1, 0, 2}, {0, 1, 3}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.neighbors(0)[0].weight, 6);
+}
+
+TEST(Graph, VertexWeightsRespected) {
+  const Graph g(3, {{0, 1, 1}}, {5, 2, 3});
+  EXPECT_EQ(g.total_vertex_weight(), 10);
+  EXPECT_EQ(g.vertex_weight(0), 5);
+}
+
+TEST(Graph, RejectsBadEdges) {
+  EXPECT_THROW(Graph(2, {{0, 0, 1}}), std::invalid_argument);   // self loop
+  EXPECT_THROW(Graph(2, {{0, 5, 1}}), std::invalid_argument);   // out of range
+  EXPECT_THROW(Graph(2, {{0, 1, -1}}), std::invalid_argument);  // negative weight
+  EXPECT_THROW(Graph(2, {}, {1}), std::invalid_argument);       // weight count
+}
+
+TEST(Graph, IsolatedVerticesAllowed) {
+  const Graph g(3, {});
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.degree(1), 0);
+}
+
+TEST(GPartitionT, AssignMoveWeights) {
+  const Graph g(4, {{0, 1, 1}}, {1, 2, 3, 4});
+  GPartition p(g, 2);
+  for (idx_t v = 0; v < 4; ++v) p.assign(g, v, v < 2 ? 0 : 1);
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.part_weight(0), 3);
+  EXPECT_EQ(p.part_weight(1), 7);
+  p.move(g, 3, 0);
+  EXPECT_EQ(p.part_weight(0), 7);
+  EXPECT_EQ(p.part_weight(1), 3);
+}
+
+TEST(GPartitionT, AdoptValidates) {
+  const Graph g = path4();
+  EXPECT_NO_THROW(GPartition(g, 2, {0, 0, 1, 1}));
+  EXPECT_THROW(GPartition(g, 2, {0, 0, 2, 1}), std::invalid_argument);
+  EXPECT_THROW(GPartition(g, 2, {0, 0}), std::invalid_argument);
+}
+
+TEST(GMetrics, EdgeCut) {
+  const Graph g = path4();
+  EXPECT_EQ(edge_cut(g, GPartition(g, 2, {0, 0, 1, 1})), 2);
+  EXPECT_EQ(edge_cut(g, GPartition(g, 2, {0, 1, 0, 1})), 6);
+  EXPECT_EQ(edge_cut(g, GPartition(g, 1, {0, 0, 0, 0})), 0);
+}
+
+TEST(GMetrics, ImbalanceAndBalance) {
+  const Graph g(4, {}, {1, 1, 1, 5});
+  const GPartition p(g, 2, {0, 0, 0, 1});
+  // Weights 3 and 5, avg 4 => imbalance 0.25.
+  EXPECT_NEAR(imbalance(g, p), 0.25, 1e-12);
+  EXPECT_TRUE(is_balanced(g, p, 0.25));
+  EXPECT_FALSE(is_balanced(g, p, 0.2));
+}
+
+}  // namespace
+}  // namespace fghp::gp

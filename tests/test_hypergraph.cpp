@@ -1,0 +1,270 @@
+// Hypergraph substrate tests: construction, builder, partition object,
+// metrics (validated against brute-force recomputation), validation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hypergraph/builder.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/metrics.hpp"
+#include "hypergraph/partition.hpp"
+#include "hypergraph/validate.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::hg {
+namespace {
+
+/// The running example: 5 vertices, 3 nets.
+Hypergraph example() {
+  HypergraphBuilder b(5);
+  b.add_net(std::vector<idx_t>{0, 1, 2});
+  b.add_net(std::vector<idx_t>{2, 3});
+  b.add_net(std::vector<idx_t>{0, 3, 4}, 2);
+  return std::move(b).build();
+}
+
+/// Random hypergraph for property tests.
+Hypergraph random_hg(idx_t numVerts, idx_t numNets, idx_t maxNetSize, Rng& rng) {
+  HypergraphBuilder b(numVerts);
+  for (idx_t n = 0; n < numNets; ++n) {
+    std::set<idx_t> pins;
+    const idx_t size = rng.uniform(1, maxNetSize);
+    while (static_cast<idx_t>(pins.size()) < size)
+      pins.insert(rng.uniform(0, numVerts - 1));
+    std::vector<idx_t> pv(pins.begin(), pins.end());
+    b.add_net(pv, rng.uniform(1, 3));
+  }
+  for (idx_t v = 0; v < numVerts; ++v) b.set_vertex_weight(v, rng.uniform(1, 4));
+  return std::move(b).build();
+}
+
+/// Brute-force lambda-1 / cut-net cutsizes for cross-checking.
+weight_t brute_cutsize(const Hypergraph& h, const Partition& p, CutMetric metric) {
+  weight_t total = 0;
+  for (idx_t n = 0; n < h.num_nets(); ++n) {
+    std::set<idx_t> parts;
+    for (idx_t v : h.pins(n)) parts.insert(p.part_of(v));
+    if (parts.size() > 1) {
+      total += metric == CutMetric::kCutNet
+                   ? h.net_cost(n)
+                   : h.net_cost(n) * (static_cast<weight_t>(parts.size()) - 1);
+    }
+  }
+  return total;
+}
+
+// ----------------------------------------------------------- structure ----
+
+TEST(Hypergraph, BasicAccessors) {
+  const Hypergraph h = example();
+  EXPECT_EQ(h.num_vertices(), 5);
+  EXPECT_EQ(h.num_nets(), 3);
+  EXPECT_EQ(h.num_pins(), 8);
+  EXPECT_EQ(h.net_size(0), 3);
+  EXPECT_EQ(h.net_size(1), 2);
+  EXPECT_EQ(h.net_cost(2), 2);
+  EXPECT_EQ(h.vertex_weight(0), 1);
+  EXPECT_EQ(h.total_vertex_weight(), 5);
+}
+
+TEST(Hypergraph, InverseIncidence) {
+  const Hypergraph h = example();
+  EXPECT_EQ(h.vertex_degree(0), 2);
+  EXPECT_EQ(h.vertex_degree(1), 1);
+  EXPECT_EQ(h.vertex_degree(2), 2);
+  std::set<idx_t> nets0(h.nets(0).begin(), h.nets(0).end());
+  EXPECT_EQ(nets0, (std::set<idx_t>{0, 2}));
+  std::set<idx_t> nets4(h.nets(4).begin(), h.nets(4).end());
+  EXPECT_EQ(nets4, (std::set<idx_t>{2}));
+}
+
+TEST(Hypergraph, RejectsBadInputs) {
+  EXPECT_THROW(Hypergraph(2, {0, 1}, {5}, {1, 1}, {1}), std::invalid_argument);  // pin range
+  EXPECT_THROW(Hypergraph(2, {0, 1}, {0, 1}, {1, 1}, {1}), std::invalid_argument);  // pins size
+  EXPECT_THROW(Hypergraph(2, {0, 1}, {0}, {1}, {1}), std::invalid_argument);  // weights size
+  EXPECT_THROW(Hypergraph(2, {0, 1}, {0}, {1, -1}, {1}), std::invalid_argument);  // neg weight
+  EXPECT_THROW(Hypergraph(2, {0, 1}, {0}, {1, 1}, {-1}), std::invalid_argument);  // neg cost
+}
+
+TEST(Hypergraph, EmptyHypergraph) {
+  const Hypergraph h(0, {0}, {}, {}, {});
+  EXPECT_EQ(h.num_vertices(), 0);
+  EXPECT_EQ(h.num_nets(), 0);
+  EXPECT_TRUE(validate(h).empty());
+}
+
+// ------------------------------------------------------------- builder ----
+
+TEST(Builder, AddVertexAndPins) {
+  HypergraphBuilder b(2);
+  const idx_t v = b.add_vertex(7);
+  EXPECT_EQ(v, 2);
+  const idx_t n = b.add_empty_net(3);
+  b.add_pin(n, 0);
+  b.add_pin(n, v);
+  const Hypergraph h = std::move(b).build();
+  EXPECT_EQ(h.vertex_weight(2), 7);
+  EXPECT_EQ(h.net_size(0), 2);
+  EXPECT_EQ(h.net_cost(0), 3);
+}
+
+TEST(Builder, RejectsDuplicatePinAtBuild) {
+  HypergraphBuilder b(3);
+  const idx_t n = b.add_empty_net();
+  b.add_pin(n, 1);
+  b.add_pin(n, 1);
+  EXPECT_THROW(std::move(b).build(), std::invalid_argument);
+}
+
+TEST(Builder, RejectsOutOfRange) {
+  HypergraphBuilder b(2);
+  EXPECT_THROW(b.add_pin(0, 0), std::invalid_argument);  // no net yet
+  const idx_t n = b.add_empty_net();
+  EXPECT_THROW(b.add_pin(n, 5), std::invalid_argument);
+  EXPECT_THROW(b.set_vertex_weight(9, 1), std::invalid_argument);
+}
+
+TEST(Builder, BuiltHypergraphValidates) {
+  Rng rng(3);
+  const Hypergraph h = random_hg(40, 30, 6, rng);
+  EXPECT_TRUE(validate(h).empty());
+}
+
+// ----------------------------------------------------------- partition ----
+
+TEST(Partition, AssignAndMoveMaintainWeights) {
+  const Hypergraph h = example();
+  Partition p(h, 2);
+  EXPECT_FALSE(p.complete());
+  for (idx_t v = 0; v < 5; ++v) p.assign(h, v, v % 2);
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.part_weight(0), 3);
+  EXPECT_EQ(p.part_weight(1), 2);
+  p.move(h, 0, 1);
+  EXPECT_EQ(p.part_weight(0), 2);
+  EXPECT_EQ(p.part_weight(1), 3);
+  p.move(h, 0, 1);  // no-op move to same part
+  EXPECT_EQ(p.part_weight(1), 3);
+}
+
+TEST(Partition, AdoptAssignment) {
+  const Hypergraph h = example();
+  Partition p(h, 3, {0, 1, 2, 0, 1});
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.part_weight(0), 2);
+  EXPECT_EQ(p.part_weight(2), 1);
+  EXPECT_THROW(Partition(h, 2, {0, 1, 2, 0, 1}), std::invalid_argument);  // part 2 out of range
+  EXPECT_THROW(Partition(h, 2, {0, 1}), std::invalid_argument);           // wrong size
+}
+
+// -------------------------------------------------------------- metrics ----
+
+TEST(Metrics, ConnectivityOfExample) {
+  const Hypergraph h = example();
+  const Partition p(h, 2, {0, 0, 1, 1, 0});
+  EXPECT_EQ(net_connectivity(h, p, 0), 2);  // {0,1}
+  EXPECT_EQ(net_connectivity(h, p, 1), 1);  // {1}
+  EXPECT_EQ(net_connectivity(h, p, 2), 2);  // {0,1}
+  EXPECT_EQ(net_connectivity_set(h, p, 2), (std::vector<idx_t>{0, 1}));
+}
+
+TEST(Metrics, CutsizeBothMetrics) {
+  const Hypergraph h = example();
+  const Partition p(h, 2, {0, 0, 1, 1, 0});
+  // Net 0 cut (cost 1, lambda 2), net 1 uncut, net 2 cut (cost 2, lambda 2).
+  EXPECT_EQ(cutsize(h, p, CutMetric::kCutNet), 3);
+  EXPECT_EQ(cutsize(h, p, CutMetric::kConnectivity), 3);
+  EXPECT_EQ(num_cut_nets(h, p), 2);
+}
+
+TEST(Metrics, ConnectivityExceedsCutNetForKGreaterThan2) {
+  const Hypergraph h = example();
+  const Partition p(h, 3, {0, 1, 2, 0, 1});
+  // Net 0: parts {0,1,2} lambda 3; net 1: {2,0} lambda 2; net 2: {0,0,1} lambda 2.
+  EXPECT_EQ(cutsize(h, p, CutMetric::kCutNet), 1 + 1 + 2);
+  EXPECT_EQ(cutsize(h, p, CutMetric::kConnectivity), 2 + 1 + 2);
+}
+
+TEST(Metrics, CutsizeMatchesBruteForceOnRandomInstances) {
+  Rng rng(17);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Hypergraph h = random_hg(30, 25, 8, rng);
+    const idx_t K = rng.uniform(2, 6);
+    std::vector<idx_t> assign(30);
+    for (auto& a : assign) a = rng.uniform(0, K - 1);
+    const Partition p(h, K, std::move(assign));
+    EXPECT_EQ(cutsize(h, p, CutMetric::kConnectivity),
+              brute_cutsize(h, p, CutMetric::kConnectivity));
+    EXPECT_EQ(cutsize(h, p, CutMetric::kCutNet),
+              brute_cutsize(h, p, CutMetric::kCutNet));
+  }
+}
+
+TEST(Metrics, ImbalanceAndBalanceCheck) {
+  const Hypergraph h = example();  // total weight 5
+  const Partition p(h, 2, {0, 0, 0, 1, 1});
+  // Weights 3 and 2, avg 2.5 => imbalance 0.2.
+  EXPECT_NEAR(imbalance(h, p), 0.2, 1e-12);
+  EXPECT_NEAR(percent_imbalance(h, p), 20.0, 1e-9);
+  EXPECT_TRUE(is_balanced(h, p, 0.2));
+  EXPECT_FALSE(is_balanced(h, p, 0.1));
+}
+
+TEST(Metrics, PerfectBalance) {
+  const Hypergraph h = example();
+  const Partition p(h, 5, {0, 1, 2, 3, 4});
+  EXPECT_NEAR(imbalance(h, p), 0.0, 1e-12);
+  EXPECT_TRUE(is_balanced(h, p, 0.0));
+}
+
+TEST(Metrics, CutsizeRequiresComplete) {
+  const Hypergraph h = example();
+  Partition p(h, 2);
+  p.assign(h, 0, 0);
+  EXPECT_THROW(cutsize(h, p, CutMetric::kConnectivity), std::invalid_argument);
+}
+
+TEST(Metrics, ZeroCostNetsAreFree) {
+  HypergraphBuilder b(4);
+  b.add_net(std::vector<idx_t>{0, 1}, 0);  // cut but free
+  b.add_net(std::vector<idx_t>{2, 3}, 2);
+  const Hypergraph h = std::move(b).build();
+  const Partition p(h, 2, {0, 1, 0, 1});
+  EXPECT_EQ(cutsize(h, p, CutMetric::kConnectivity), 2);
+  EXPECT_EQ(num_cut_nets(h, p), 2);  // cut-net count ignores cost
+}
+
+TEST(Metrics, SinglePinAndEmptyNetsNeverCut) {
+  std::vector<idx_t> xpins = {0, 1, 1};
+  std::vector<idx_t> pins = {0};
+  const Hypergraph h(2, std::move(xpins), std::move(pins), {1, 1}, {3, 3});
+  const Partition p(h, 2, {0, 1});
+  EXPECT_EQ(cutsize(h, p, CutMetric::kConnectivity), 0);
+  EXPECT_EQ(num_cut_nets(h, p), 0);
+}
+
+TEST(Metrics, LargeCostsAccumulateInWeightT) {
+  HypergraphBuilder b(2);
+  b.add_net(std::vector<idx_t>{0, 1}, weight_t{1} << 40);
+  const Hypergraph h = std::move(b).build();
+  const Partition p(h, 2, {0, 1});
+  EXPECT_EQ(cutsize(h, p, CutMetric::kConnectivity), weight_t{1} << 40);
+}
+
+// ------------------------------------------------------------- validate ----
+
+TEST(Validate, FlagsDuplicatePins) {
+  // Construct directly (builder would reject).
+  const Hypergraph h(3, {0, 3}, {1, 1, 2}, {1, 1, 1}, {1});
+  const auto problems = validate(h);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("duplicate"), std::string::npos);
+  EXPECT_THROW(validate_or_throw(h), std::logic_error);
+}
+
+TEST(Validate, AcceptsExample) {
+  EXPECT_NO_THROW(validate_or_throw(example()));
+}
+
+}  // namespace
+}  // namespace fghp::hg

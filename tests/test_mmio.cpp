@@ -1,0 +1,145 @@
+// Matrix Market reader/writer tests, including symmetry expansion and
+// malformed-input diagnostics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/convert.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/mmio.hpp"
+
+namespace fghp::sparse {
+namespace {
+
+Csr parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_matrix_market(in);
+}
+
+TEST(Mmio, ReadsGeneralReal) {
+  const Csr a = parse(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 4\n"
+      "1 1 1.5\n"
+      "1 3 -2\n"
+      "2 2 3\n"
+      "3 1 4\n");
+  EXPECT_EQ(a.num_rows(), 3);
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_DOUBLE_EQ(a.row_vals(0)[0], 1.5);
+  EXPECT_TRUE(a.has_entry(0, 2));
+  EXPECT_TRUE(a.has_entry(2, 0));
+}
+
+TEST(Mmio, ExpandsSymmetricStorage) {
+  const Csr a = parse(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 2\n"
+      "2 1 5\n"
+      "3 3 1\n");
+  EXPECT_EQ(a.nnz(), 4);  // (2,1) expands to (1,2)
+  EXPECT_TRUE(a.has_entry(0, 1));
+  EXPECT_DOUBLE_EQ(a.row_vals(0)[1], 5.0);
+}
+
+TEST(Mmio, ExpandsSkewSymmetric) {
+  const Csr a = parse(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3\n");
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.row_vals(0)[0], -3.0);
+  EXPECT_DOUBLE_EQ(a.row_vals(1)[0], 3.0);
+}
+
+TEST(Mmio, PatternFieldGetsUnitValues) {
+  const Csr a = parse(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.row_vals(0)[0], 1.0);
+}
+
+TEST(Mmio, IntegerField) {
+  const Csr a = parse(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "1 1 1\n"
+      "1 1 7\n");
+  EXPECT_DOUBLE_EQ(a.row_vals(0)[0], 7.0);
+}
+
+TEST(Mmio, RejectsMissingBanner) {
+  EXPECT_THROW(parse("1 1 0\n"), std::runtime_error);
+}
+
+TEST(Mmio, RejectsArrayFormat) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"),
+               std::runtime_error);
+}
+
+TEST(Mmio, RejectsComplexField) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"),
+               std::runtime_error);
+}
+
+TEST(Mmio, RejectsOutOfRangeIndex) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n"),
+               std::runtime_error);
+}
+
+TEST(Mmio, RejectsUpperTriangleInSymmetric) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 1\n"),
+               std::runtime_error);
+}
+
+TEST(Mmio, RejectsTruncatedEntries) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n"),
+               std::runtime_error);
+}
+
+TEST(Mmio, ErrorMentionsLineNumber) {
+  try {
+    parse("%%MatrixMarket matrix coordinate real general\n2 2 1\nbogus\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Mmio, WriteReadRoundTrip) {
+  const Csr a = random_square(40, 5, 77);
+  std::ostringstream out;
+  write_matrix_market(out, a);
+  const Csr b = parse(out.str());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Mmio, RoundTripPreservesValuesExactly) {
+  Coo coo(2, 2);
+  coo.add(0, 0, 1.0 / 3.0);
+  coo.add(1, 1, -2.718281828459045);
+  const Csr a = to_csr(std::move(coo));
+  std::ostringstream out;
+  write_matrix_market(out, a);
+  const Csr b = parse(out.str());
+  EXPECT_DOUBLE_EQ(b.row_vals(0)[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(b.row_vals(1)[0], -2.718281828459045);
+}
+
+TEST(Mmio, FileRoundTrip) {
+  const Csr a = random_square(25, 4, 123);
+  const std::string path = ::testing::TempDir() + "/fghp_roundtrip.mtx";
+  write_matrix_market_file(path, a);
+  EXPECT_EQ(read_matrix_market_file(path), a);
+}
+
+TEST(Mmio, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/dir/x.mtx"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fghp::sparse

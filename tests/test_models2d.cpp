@@ -1,0 +1,232 @@
+// Tests for the extended 2D schemes (jagged, hypergraph-orthogonal) and the
+// vector-ownership balancer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "comm/volume.hpp"
+#include "models/checkerboard.hpp"
+#include "models/finegrain.hpp"
+#include "models/jagged.hpp"
+#include "models/orthogonal.hpp"
+#include "models/vector_assign.hpp"
+#include "spmv/executor.hpp"
+#include "spmv/plan.hpp"
+#include "spmv/reference.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/testsuite.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::model {
+namespace {
+
+std::vector<double> random_x(idx_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform01() * 2.0 - 1.0;
+  return x;
+}
+
+void expect_correct_spmv(const sparse::Csr& a, const Decomposition& d) {
+  const spmv::SpmvPlan plan = spmv::build_plan(a, d);
+  const auto x = random_x(a.num_cols(), 3);
+  const auto y = spmv::execute(plan, x);
+  const auto yRef = spmv::multiply(a, x);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], yRef[i], 1e-9 * (1.0 + std::abs(yRef[i])));
+}
+
+// --------------------------------------------------------------- jagged ----
+
+class JaggedGrids : public ::testing::TestWithParam<std::pair<idx_t, idx_t>> {};
+
+TEST_P(JaggedGrids, ValidConformalAndCorrect) {
+  const auto [pr, pc] = GetParam();
+  const sparse::Csr a = sparse::random_square(150, 6, 5);
+  part::PartitionConfig cfg;
+  const ModelRun run = run_jagged(a, pr, pc, cfg);
+  EXPECT_EQ(run.decomp.numProcs, pr * pc);
+  EXPECT_TRUE(symmetric_vectors(run.decomp));
+  expect_correct_spmv(a, run.decomp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, JaggedGrids,
+                         ::testing::Values(std::pair<idx_t, idx_t>{1, 1},
+                                           std::pair<idx_t, idx_t>{1, 4},
+                                           std::pair<idx_t, idx_t>{4, 1},
+                                           std::pair<idx_t, idx_t>{2, 3},
+                                           std::pair<idx_t, idx_t>{4, 4}));
+
+TEST(Jagged, StripeStructure) {
+  // All nonzeros of a row live inside one grid row (the defining property).
+  const sparse::Csr a = sparse::random_square(120, 5, 7);
+  part::PartitionConfig cfg;
+  const idx_t pr = 3, pc = 2;
+  const ModelRun run = run_jagged(a, pr, pc, cfg);
+  std::size_t e = 0;
+  for (idx_t i = 0; i < a.num_rows(); ++i) {
+    std::set<idx_t> gridRows;
+    for (idx_t k = 0; k < a.row_size(i); ++k) gridRows.insert(run.decomp.nnzOwner[e++] / pc);
+    EXPECT_LE(gridRows.size(), 1u) << "row " << i << " spans stripes";
+  }
+}
+
+TEST(Jagged, KFactorization) {
+  const sparse::Csr a = sparse::random_square(100, 5, 9);
+  part::PartitionConfig cfg;
+  EXPECT_EQ(run_jagged_k(a, 12, cfg).decomp.numProcs, 12);
+  EXPECT_EQ(run_jagged_k(a, 7, cfg).decomp.numProcs, 7);
+}
+
+TEST(Jagged, BeatsCartesianCheckerboardOnStructuredMatrix) {
+  const sparse::Csr a = sparse::make_matrix("sherman3", 3, 0.3);
+  part::PartitionConfig cfg;
+  const auto jag = comm::analyze(a, run_jagged_k(a, 16, cfg).decomp).totalWords;
+  const auto cb = comm::analyze(a, checkerboard_decompose_k(a, 16)).totalWords;
+  EXPECT_LT(jag, cb);
+}
+
+// ----------------------------------------------------------- orthogonal ----
+
+class OrthogonalGrids : public ::testing::TestWithParam<std::pair<idx_t, idx_t>> {};
+
+TEST_P(OrthogonalGrids, ValidConformalAndCorrect) {
+  const auto [pr, pc] = GetParam();
+  const sparse::Csr a = sparse::random_square(150, 6, 11);
+  part::PartitionConfig cfg;
+  const ModelRun run = run_orthogonal(a, pr, pc, cfg);
+  EXPECT_EQ(run.decomp.numProcs, pr * pc);
+  EXPECT_TRUE(symmetric_vectors(run.decomp));
+  expect_correct_spmv(a, run.decomp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, OrthogonalGrids,
+                         ::testing::Values(std::pair<idx_t, idx_t>{1, 1},
+                                           std::pair<idx_t, idx_t>{2, 2},
+                                           std::pair<idx_t, idx_t>{2, 4},
+                                           std::pair<idx_t, idx_t>{4, 4}));
+
+TEST(Orthogonal, GridMessageStructure) {
+  // Expand messages stay within grid columns; fold within grid rows.
+  const sparse::Csr a = sparse::random_square(200, 6, 13);
+  part::PartitionConfig cfg;
+  const idx_t pr = 3, pc = 3;
+  const ModelRun run = run_orthogonal(a, pr, pc, cfg);
+  const auto& d = run.decomp;
+  // Nonzero (i, j) sits at (rowPart(i), colPart(j)); x_j's owner shares
+  // colPart(j), so every x_j transfer stays within one grid column.
+  std::size_t e = 0;
+  for (idx_t i = 0; i < a.num_rows(); ++i) {
+    for (idx_t j : a.row_cols(i)) {
+      const idx_t owner = d.xOwner[static_cast<std::size_t>(j)];
+      const idx_t user = d.nnzOwner[e++];
+      EXPECT_EQ(owner % pc, user % pc) << "expand crosses grid columns";
+      EXPECT_EQ(d.yOwner[static_cast<std::size_t>(i)] / pc, user / pc)
+          << "fold crosses grid rows";
+    }
+  }
+}
+
+TEST(Orthogonal, BeatsCartesianCheckerboard) {
+  const sparse::Csr a = sparse::make_matrix("bcspwr10", 5, 0.3);
+  part::PartitionConfig cfg;
+  const auto ort = comm::analyze(a, run_orthogonal_k(a, 16, cfg).decomp).totalWords;
+  const auto cb = comm::analyze(a, checkerboard_decompose_k(a, 16)).totalWords;
+  EXPECT_LT(ort, cb);
+}
+
+TEST(Jagged, MatrixWithEmptyRowsAndColumns) {
+  sparse::Coo coo(40, 40);
+  Rng rng(31);
+  for (int e = 0; e < 120; ++e) {
+    // Rows/cols 30..39 stay empty.
+    coo.add(rng.uniform(0, 29), rng.uniform(0, 29), 1.0);
+  }
+  const sparse::Csr a = to_csr(std::move(coo));
+  part::PartitionConfig cfg;
+  const ModelRun run = run_jagged(a, 2, 2, cfg);
+  EXPECT_NO_THROW(validate(a, run.decomp));
+  EXPECT_TRUE(symmetric_vectors(run.decomp));
+  expect_correct_spmv(a, run.decomp);
+}
+
+TEST(Orthogonal, MatrixWithEmptyRowsAndColumns) {
+  sparse::Coo coo(40, 40);
+  Rng rng(33);
+  for (int e = 0; e < 120; ++e) {
+    coo.add(rng.uniform(0, 29), rng.uniform(0, 29), 1.0);
+  }
+  const sparse::Csr a = to_csr(std::move(coo));
+  part::PartitionConfig cfg;
+  const ModelRun run = run_orthogonal(a, 2, 2, cfg);
+  EXPECT_NO_THROW(validate(a, run.decomp));
+  expect_correct_spmv(a, run.decomp);
+}
+
+TEST(Jagged, RejectsRectangularAndBadGrid) {
+  const sparse::Csr rect(2, 3, {0, 1, 2}, {0, 1}, {1.0, 1.0});
+  part::PartitionConfig cfg;
+  EXPECT_THROW(run_jagged(rect, 2, 2, cfg), std::invalid_argument);
+  const sparse::Csr sq = sparse::random_square(20, 3, 35);
+  EXPECT_THROW(run_jagged(sq, 0, 2, cfg), std::invalid_argument);
+  EXPECT_THROW(run_orthogonal(sq, 2, 0, cfg), std::invalid_argument);
+}
+
+// -------------------------------------------------------- vector assign ----
+
+TEST(VectorAssign, PreservesTotalVolumeAndSymmetry) {
+  const sparse::Csr a = sparse::random_square(150, 6, 17);
+  part::PartitionConfig cfg;
+  const ModelRun run = model::run_finegrain(a, 8, cfg);
+  const comm::CommStats before = comm::analyze(a, run.decomp);
+
+  const VectorAssignResult r = balance_vector_owners(a, run.decomp);
+  EXPECT_TRUE(symmetric_vectors(r.decomp));
+  const comm::CommStats after = comm::analyze(a, r.decomp);
+  EXPECT_EQ(after.totalWords, before.totalWords);
+  EXPECT_LE(after.maxProcWords, before.maxProcWords);
+  EXPECT_EQ(r.maxProcWordsBefore, before.maxProcWords);
+  EXPECT_EQ(r.maxProcWordsAfter, after.maxProcWords);
+}
+
+TEST(VectorAssign, ImprovesSkewedDiagonalAssignment) {
+  // Force a terrible initial owner map: everything on processor 0 — the
+  // optimizer must spread the communication endpoints.
+  const sparse::Csr a = sparse::random_square(120, 6, 19);
+  part::PartitionConfig cfg;
+  ModelRun run = model::run_finegrain(a, 8, cfg);
+  // Processor 0 owns every vector entry (still valid, just imbalanced).
+  std::fill(run.decomp.xOwner.begin(), run.decomp.xOwner.end(), 0);
+  std::fill(run.decomp.yOwner.begin(), run.decomp.yOwner.end(), 0);
+  const comm::CommStats before = comm::analyze(a, run.decomp);
+  const VectorAssignResult r = balance_vector_owners(a, run.decomp);
+  const comm::CommStats after = comm::analyze(a, r.decomp);
+  EXPECT_LT(after.maxProcWords, before.maxProcWords);
+  // Total volume may only shrink (owners move into the connectivity sets).
+  EXPECT_LE(after.totalWords, before.totalWords);
+}
+
+TEST(VectorAssign, ExecutesCorrectlyAfterReassignment) {
+  const sparse::Csr a = sparse::random_square(130, 5, 23);
+  part::PartitionConfig cfg;
+  const ModelRun run = model::run_finegrain(a, 6, cfg);
+  const VectorAssignResult r = balance_vector_owners(a, run.decomp);
+  expect_correct_spmv(a, r.decomp);
+}
+
+TEST(VectorAssign, SingleProcessorNoOp) {
+  const sparse::Csr a = sparse::random_square(50, 4, 29);
+  Decomposition d;
+  d.numProcs = 1;
+  d.nnzOwner.assign(static_cast<std::size_t>(a.nnz()), 0);
+  d.xOwner.assign(50, 0);
+  d.yOwner.assign(50, 0);
+  const VectorAssignResult r = balance_vector_owners(a, d);
+  EXPECT_EQ(r.maxProcWordsAfter, 0);
+  EXPECT_EQ(r.decomp.xOwner, d.xOwner);
+}
+
+}  // namespace
+}  // namespace fghp::model

@@ -1,0 +1,163 @@
+// Metamorphic properties of the partitioning pipeline: transformations of
+// the input with predictable effects on the output, checked end to end.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "comm/volume.hpp"
+#include "hypergraph/builder.hpp"
+#include "hypergraph/metrics.hpp"
+#include "models/finegrain.hpp"
+#include "partition/hg/partitioner.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fghp {
+namespace {
+
+hg::Hypergraph random_hg(idx_t numVerts, idx_t numNets, idx_t maxNetSize, std::uint64_t seed,
+                         weight_t costScale = 1) {
+  Rng rng(seed);
+  hg::HypergraphBuilder b(numVerts);
+  for (idx_t n = 0; n < numNets; ++n) {
+    std::set<idx_t> pins;
+    const idx_t size = rng.uniform(2, maxNetSize);
+    while (static_cast<idx_t>(pins.size()) < size)
+      pins.insert(rng.uniform(0, numVerts - 1));
+    std::vector<idx_t> pv(pins.begin(), pins.end());
+    b.add_net(pv, rng.uniform(1, 3) * costScale);
+  }
+  return std::move(b).build();
+}
+
+TEST(Metamorphic, ScalingNetCostsScalesCutsize) {
+  // Same structure, costs x5: every partition's cutsize scales by exactly 5,
+  // so the partitioner's result (same seed) must too.
+  const hg::Hypergraph h1 = random_hg(120, 90, 6, 1, 1);
+  const hg::Hypergraph h5 = random_hg(120, 90, 6, 1, 5);
+  part::PartitionConfig cfg;
+  const part::HgResult r1 = part::partition_hypergraph(h1, 4, cfg);
+  // Evaluate h1's partition on h5: cutsize must be exactly 5x.
+  const hg::Partition p5(h5, 4, r1.partition.assignment());
+  EXPECT_EQ(hg::cutsize(h5, p5, hg::CutMetric::kConnectivity), 5 * r1.cutsize);
+}
+
+TEST(Metamorphic, ScalingVertexWeightsPreservesBalance) {
+  Rng rng(3);
+  hg::HypergraphBuilder b(150);
+  for (idx_t n = 0; n < 100; ++n) {
+    std::set<idx_t> pins;
+    while (pins.size() < 4) pins.insert(rng.uniform(0, 149));
+    std::vector<idx_t> pv(pins.begin(), pins.end());
+    b.add_net(pv);
+  }
+  for (idx_t v = 0; v < 150; ++v) b.set_vertex_weight(v, 7 * rng.uniform(1, 3));
+  const hg::Hypergraph h = std::move(b).build();
+  part::PartitionConfig cfg;
+  const part::HgResult r = part::partition_hypergraph(h, 5, cfg);
+  EXPECT_TRUE(hg::is_balanced(h, r.partition, cfg.epsilon));
+}
+
+TEST(Metamorphic, DisjointUnionPartitionsIndependently) {
+  // Two structurally disconnected halves: a 2-way partition should find the
+  // zero-cut split (each half is exactly half the weight).
+  hg::HypergraphBuilder b(200);
+  Rng rng(5);
+  for (idx_t n = 0; n < 150; ++n) {
+    const idx_t base = n % 2 == 0 ? 0 : 100;
+    std::set<idx_t> pins;
+    while (pins.size() < 3) pins.insert(base + rng.uniform(0, 99));
+    std::vector<idx_t> pv(pins.begin(), pins.end());
+    b.add_net(pv);
+  }
+  const hg::Hypergraph h = std::move(b).build();
+  part::PartitionConfig cfg;
+  const part::HgResult r = part::partition_hypergraph(h, 2, cfg);
+  EXPECT_EQ(r.cutsize, 0);
+}
+
+TEST(Metamorphic, MatrixTransposeSwapsExpandAndFold) {
+  // Partition A's fine-grain hypergraph; the same nonzero assignment applied
+  // to A^T swaps expand and fold exactly (the models are duals).
+  const sparse::Csr a = sparse::random_square(120, 5, 7);
+  const model::FineGrainModel m = model::build_finegrain(a);
+  part::PartitionConfig cfg;
+  const part::HgResult r = part::partition_hypergraph(m.h, 6, cfg);
+  const model::Decomposition d = model::decode_finegrain(a, m, r.partition);
+  const comm::CommStats fwd = comm::analyze(a, d);
+
+  // Build A^T's decomposition by symmetry: owner(a^T_ji) = owner(a_ij).
+  const sparse::Csr at = sparse::transpose(a);
+  model::Decomposition dt;
+  dt.numProcs = d.numProcs;
+  dt.xOwner = d.yOwner;
+  dt.yOwner = d.xOwner;
+  dt.nnzOwner.resize(d.nnzOwner.size());
+  {
+    std::vector<idx_t> cursor(static_cast<std::size_t>(at.num_rows()));
+    for (idx_t j = 0; j < at.num_rows(); ++j)
+      cursor[static_cast<std::size_t>(j)] = at.row_ptr()[static_cast<std::size_t>(j)];
+    std::size_t e = 0;
+    for (idx_t i = 0; i < a.num_rows(); ++i) {
+      for (idx_t j : a.row_cols(i)) {
+        dt.nnzOwner[static_cast<std::size_t>(cursor[static_cast<std::size_t>(j)]++)] =
+            d.nnzOwner[e++];
+      }
+    }
+  }
+  const comm::CommStats bwd = comm::analyze(at, dt);
+  EXPECT_EQ(fwd.expandWords, bwd.foldWords);
+  EXPECT_EQ(fwd.foldWords, bwd.expandWords);
+  EXPECT_EQ(fwd.totalWords, bwd.totalWords);
+}
+
+TEST(Metamorphic, AddingInternalNetsLeavesVolumeUnchanged) {
+  // Append nets fully contained in one part: cutsize is unchanged.
+  const hg::Hypergraph h = random_hg(100, 70, 5, 9);
+  part::PartitionConfig cfg;
+  const part::HgResult r = part::partition_hypergraph(h, 4, cfg);
+
+  hg::HypergraphBuilder b(100);
+  for (idx_t n = 0; n < h.num_nets(); ++n) {
+    const auto pins = h.pins(n);
+    std::vector<idx_t> pv(pins.begin(), pins.end());
+    b.add_net(pv, h.net_cost(n));
+  }
+  // Ten new nets, each drawn from a single existing part.
+  Rng rng(11);
+  for (int extra = 0; extra < 10; ++extra) {
+    const idx_t part = rng.uniform(0, 3);
+    std::vector<idx_t> pv;
+    for (idx_t v = 0; v < 100 && pv.size() < 3; ++v) {
+      if (r.partition.part_of(v) == part && rng.bernoulli(0.3)) pv.push_back(v);
+    }
+    if (pv.size() >= 2) b.add_net(pv, 5);
+  }
+  const hg::Hypergraph h2 = std::move(b).build();
+  const hg::Partition p2(h2, 4, r.partition.assignment());
+  EXPECT_EQ(hg::cutsize(h2, p2, hg::CutMetric::kConnectivity), r.cutsize);
+}
+
+TEST(Metamorphic, BlockDiagonalMatrixSplitsForFree) {
+  // B = diag(A, A) at K = 2: one block per processor is balanced with zero
+  // communication, and the partitioner must find it.
+  const sparse::Csr a = sparse::random_square(60, 4, 13);
+  sparse::Coo coo(120, 120);
+  for (idx_t i = 0; i < 60; ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      coo.add(i, cols[k], vals[k]);
+      coo.add(i + 60, cols[k] + 60, vals[k]);
+    }
+  }
+  const sparse::Csr b2 = to_csr(std::move(coo));
+  part::PartitionConfig cfg;
+  const model::ModelRun run = model::run_finegrain(b2, 2, cfg);
+  EXPECT_EQ(comm::analyze(b2, run.decomp).totalWords, 0);
+}
+
+}  // namespace
+}  // namespace fghp

@@ -1,0 +1,113 @@
+// Reordering utilities: permutations, bandwidth, RCM — plus the
+// permutation-invariance sanity property of the decomposition models.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/volume.hpp"
+#include "models/finegrain.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/reorder.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::sparse {
+namespace {
+
+TEST(Reorder, BandwidthBasics) {
+  EXPECT_EQ(bandwidth(identity(5)), 0);
+  EXPECT_EQ(bandwidth(banded(10, 3)), 3);
+  EXPECT_EQ(bandwidth(dense_square(4)), 3);
+  Coo coo(6, 6);
+  coo.add(0, 5, 1.0);
+  EXPECT_EQ(bandwidth(to_csr(std::move(coo))), 5);
+}
+
+TEST(Reorder, PermuteIdentityIsNoOp) {
+  const Csr a = random_square(30, 4, 1);
+  std::vector<idx_t> id(30);
+  std::iota(id.begin(), id.end(), idx_t{0});
+  EXPECT_EQ(permute_symmetric(a, id), a);
+}
+
+TEST(Reorder, PermuteMovesEntries) {
+  Coo coo(3, 3);
+  coo.add(0, 1, 7.0);
+  coo.add(2, 2, 3.0);
+  const Csr a = to_csr(std::move(coo));
+  const std::vector<idx_t> perm = {2, 0, 1};  // old i -> new perm[i]
+  const Csr b = permute_symmetric(a, perm);
+  EXPECT_TRUE(b.has_entry(2, 0));  // (0,1) -> (2,0)
+  EXPECT_TRUE(b.has_entry(1, 1));  // (2,2) -> (1,1)
+  EXPECT_DOUBLE_EQ(b.row_vals(2)[0], 7.0);
+}
+
+TEST(Reorder, PermuteRoundTrip) {
+  const Csr a = random_square(50, 5, 3);
+  Rng rng(5);
+  const std::vector<idx_t> perm = rng.permutation(50);
+  std::vector<idx_t> inverse(50);
+  for (idx_t i = 0; i < 50; ++i)
+    inverse[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+  EXPECT_EQ(permute_symmetric(permute_symmetric(a, perm), inverse), a);
+}
+
+TEST(Reorder, PermuteRejectsNonPermutation) {
+  const Csr a = identity(3);
+  EXPECT_THROW(permute_symmetric(a, {0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(permute_symmetric(a, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(permute_symmetric(a, {0, 1, 5}), std::invalid_argument);
+}
+
+TEST(Reorder, RcmIsAPermutation) {
+  const Csr a = random_square(80, 5, 7);
+  const auto perm = rcm_ordering(a);
+  std::vector<idx_t> sorted(perm);
+  std::sort(sorted.begin(), sorted.end());
+  for (idx_t i = 0; i < 80; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Reorder, RcmShrinksBandwidthOfShuffledMesh) {
+  // Take a banded mesh, scramble it, and check RCM recovers a small band.
+  const Csr mesh = stencil2d(20, 20);
+  Rng rng(9);
+  const auto scramble = rng.permutation(mesh.num_rows());
+  const Csr shuffled = permute_symmetric(mesh, scramble);
+  ASSERT_GT(bandwidth(shuffled), 100);  // scrambling destroyed the band
+  const Csr restored = permute_symmetric(shuffled, rcm_ordering(shuffled));
+  EXPECT_LT(bandwidth(restored), 40);   // mesh optimum is 20
+}
+
+TEST(Reorder, RcmHandlesDisconnectedComponents) {
+  // Two disjoint paths.
+  Coo coo(6, 6);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 1.0);
+  coo.add(4, 5, 1.0);
+  coo.add(5, 4, 1.0);
+  const Csr a = to_csr(std::move(coo));
+  const auto perm = rcm_ordering(a);
+  std::vector<idx_t> sorted(perm);
+  std::sort(sorted.begin(), sorted.end());
+  for (idx_t i = 0; i < 6; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Reorder, ModelVolumeInvariantUnderSymmetricPermutation) {
+  // Decomposition quality must not depend on the labeling: partition the
+  // permuted matrix with the same seed pipeline and compare volumes within
+  // a generous tolerance (tie-breaking differs, optimum does not).
+  const Csr a = random_square(150, 5, 11);
+  Rng rng(13);
+  const Csr b = permute_symmetric(a, rng.permutation(150));
+  part::PartitionConfig cfg;
+  const auto va =
+      comm::analyze(a, model::run_finegrain(a, 8, cfg).decomp).totalWords;
+  const auto vb =
+      comm::analyze(b, model::run_finegrain(b, 8, cfg).decomp).totalWords;
+  EXPECT_NEAR(static_cast<double>(va), static_cast<double>(vb),
+              0.35 * static_cast<double>(std::max(va, vb)) + 16.0);
+}
+
+}  // namespace
+}  // namespace fghp::sparse

@@ -1,0 +1,258 @@
+// Unit tests for the sparse substrate: COO, CSR, conversions, transpose,
+// statistics.
+#include <gtest/gtest.h>
+
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/stats.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::sparse {
+namespace {
+
+Csr small_example() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  // [ 4 0 5 ]
+  Coo coo(3, 3);
+  coo.add(0, 0, 1);
+  coo.add(0, 2, 2);
+  coo.add(1, 1, 3);
+  coo.add(2, 0, 4);
+  coo.add(2, 2, 5);
+  return to_csr(std::move(coo));
+}
+
+// ----------------------------------------------------------------- Coo ----
+
+TEST(Coo, NormalizeSortsAndMergesDuplicates) {
+  Coo coo(3, 3);
+  coo.add(2, 1, 1.0);
+  coo.add(0, 0, 2.0);
+  coo.add(2, 1, 3.0);
+  coo.add(0, 2, 1.0);
+  coo.normalize();
+  EXPECT_TRUE(coo.is_normalized());
+  ASSERT_EQ(coo.nnz(), 3);
+  EXPECT_EQ(coo.entries()[0], (Triplet{0, 0, 2.0}));
+  EXPECT_EQ(coo.entries()[1], (Triplet{0, 2, 1.0}));
+  EXPECT_EQ(coo.entries()[2], (Triplet{2, 1, 4.0}));
+}
+
+TEST(Coo, NormalizeKeepsStructuralZeros) {
+  Coo coo(2, 2);
+  coo.add(0, 1, 1.0);
+  coo.add(0, 1, -1.0);
+  coo.normalize();
+  ASSERT_EQ(coo.nnz(), 1);  // value 0.0 but structurally present
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 0.0);
+}
+
+TEST(Coo, SymmetrizeMirrorsOffDiagonals) {
+  Coo coo(3, 3);
+  coo.add(0, 1, 2.0);
+  coo.add(1, 1, 5.0);
+  coo.symmetrize();
+  coo.normalize();
+  EXPECT_EQ(coo.nnz(), 3);  // (0,1), (1,0), (1,1)
+  const Csr a = to_csr(std::move(coo));
+  EXPECT_TRUE(a.has_entry(1, 0));
+  EXPECT_DOUBLE_EQ(a.row_vals(1)[0], 2.0);
+}
+
+TEST(Coo, SymmetrizeRequiresSquare) {
+  Coo coo(2, 3);
+  EXPECT_THROW(coo.symmetrize(), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Csr ----
+
+TEST(Csr, BasicAccessors) {
+  const Csr a = small_example();
+  EXPECT_EQ(a.num_rows(), 3);
+  EXPECT_EQ(a.num_cols(), 3);
+  EXPECT_EQ(a.nnz(), 5);
+  EXPECT_TRUE(a.is_square());
+  EXPECT_EQ(a.row_size(0), 2);
+  EXPECT_EQ(a.row_size(1), 1);
+  ASSERT_EQ(a.row_cols(2).size(), 2u);
+  EXPECT_EQ(a.row_cols(2)[0], 0);
+  EXPECT_EQ(a.row_cols(2)[1], 2);
+  EXPECT_DOUBLE_EQ(a.row_vals(2)[1], 5.0);
+}
+
+TEST(Csr, HasEntry) {
+  const Csr a = small_example();
+  EXPECT_TRUE(a.has_entry(0, 2));
+  EXPECT_FALSE(a.has_entry(0, 1));
+  EXPECT_FALSE(a.has_entry(2, 1));
+}
+
+TEST(Csr, NumDiagEntries) {
+  const Csr a = small_example();
+  EXPECT_EQ(a.num_diag_entries(), 3);
+  Coo coo(2, 2);
+  coo.add(0, 1, 1.0);
+  EXPECT_EQ(to_csr(std::move(coo)).num_diag_entries(), 0);
+}
+
+TEST(Csr, RejectsMalformedArrays) {
+  EXPECT_THROW(Csr(2, 2, {0, 1}, {0}, {1.0}), std::invalid_argument);      // short rowPtr
+  EXPECT_THROW(Csr(2, 2, {0, 2, 1}, {0, 1}, {1.0, 1.0}), std::invalid_argument);  // non-monotone
+  EXPECT_THROW(Csr(1, 1, {0, 1}, {5}, {1.0}), std::invalid_argument);      // col out of range
+  EXPECT_THROW(Csr(1, 3, {0, 2}, {1, 1}, {1.0, 1.0}), std::invalid_argument);  // duplicate col
+  EXPECT_THROW(Csr(1, 3, {0, 2}, {2, 1}, {1.0, 1.0}), std::invalid_argument);  // unsorted
+}
+
+TEST(Csr, EmptyMatrix) {
+  const Csr a(0, 0, {0}, {}, {});
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_EQ(a.num_rows(), 0);
+}
+
+TEST(Csr, EmptyRowsAllowed) {
+  const Csr a(3, 3, {0, 0, 1, 1}, {2}, {1.0});
+  EXPECT_EQ(a.row_size(0), 0);
+  EXPECT_EQ(a.row_size(1), 1);
+  EXPECT_EQ(a.row_size(2), 0);
+}
+
+// ------------------------------------------------------------ convert ----
+
+TEST(Convert, CooCsrRoundTrip) {
+  const Csr a = small_example();
+  const Csr b = to_csr(to_coo(a));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Convert, TransposeTwiceIsIdentity) {
+  const Csr a = small_example();
+  EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Convert, TransposeMapsEntries) {
+  const Csr a = small_example();
+  const Csr at = transpose(a);
+  EXPECT_EQ(at.num_rows(), 3);
+  EXPECT_TRUE(at.has_entry(2, 0));   // a(0,2) -> at(2,0)
+  EXPECT_TRUE(at.has_entry(0, 2));   // a(2,0) -> at(0,2)
+  EXPECT_DOUBLE_EQ(at.row_vals(2)[0], 2.0);
+}
+
+TEST(Convert, TransposeRectangular) {
+  Coo coo(2, 4);
+  coo.add(0, 3, 7.0);
+  coo.add(1, 0, 2.0);
+  const Csr a = to_csr(std::move(coo));
+  const Csr at = transpose(a);
+  EXPECT_EQ(at.num_rows(), 4);
+  EXPECT_EQ(at.num_cols(), 2);
+  EXPECT_TRUE(at.has_entry(3, 0));
+  EXPECT_TRUE(at.has_entry(0, 1));
+}
+
+TEST(Convert, TransposeRandomProperty) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Csr a = random_square(50, 6, 1000 + trial);
+    const Csr at = transpose(a);
+    EXPECT_EQ(at.nnz(), a.nnz());
+    for (idx_t i = 0; i < a.num_rows(); ++i) {
+      for (idx_t j : a.row_cols(i)) EXPECT_TRUE(at.has_entry(j, i));
+    }
+  }
+}
+
+TEST(Convert, SymmetrizedPatternIsSymmetric) {
+  const Csr a = small_example();
+  const Csr s = symmetrized_pattern(a);
+  for (idx_t i = 0; i < s.num_rows(); ++i) {
+    for (idx_t j : s.row_cols(i)) EXPECT_TRUE(s.has_entry(j, i));
+  }
+  // a(0,2)=2 and a(2,0)=4 merge to 6 in both mirror positions.
+  EXPECT_DOUBLE_EQ(s.row_vals(0)[1], 6.0);
+}
+
+TEST(Convert, WithFullDiagonalInsertsMissing) {
+  Coo coo(3, 3);
+  coo.add(0, 1, 1.0);
+  const Csr a = to_csr(std::move(coo));
+  EXPECT_EQ(a.num_diag_entries(), 0);
+  const Csr b = with_full_diagonal(a, 9.0);
+  EXPECT_EQ(b.num_diag_entries(), 3);
+  EXPECT_EQ(b.nnz(), 4);
+  EXPECT_DOUBLE_EQ(b.row_vals(1)[0], 9.0);
+  // Existing entries untouched.
+  EXPECT_TRUE(b.has_entry(0, 1));
+}
+
+TEST(Convert, EmptyMatrixRoundTrips) {
+  const Csr a(0, 0, {0}, {}, {});
+  EXPECT_EQ(transpose(a).num_rows(), 0);
+  EXPECT_EQ(to_csr(to_coo(a)), a);
+}
+
+TEST(Convert, TransposeOfEmptyRowsAndCols) {
+  const Csr a(3, 4, {0, 0, 1, 1}, {2}, {5.0});
+  const Csr at = transpose(a);
+  EXPECT_EQ(at.num_rows(), 4);
+  EXPECT_EQ(at.num_cols(), 3);
+  EXPECT_EQ(at.nnz(), 1);
+  EXPECT_TRUE(at.has_entry(2, 1));
+}
+
+TEST(Convert, SymmetrizedPatternRejectsRectangular) {
+  const Csr a(2, 3, {0, 0, 1}, {2}, {1.0});
+  EXPECT_THROW(symmetrized_pattern(a), std::invalid_argument);
+  EXPECT_THROW(with_full_diagonal(a), std::invalid_argument);
+}
+
+TEST(Convert, WithFullDiagonalIdempotent) {
+  const Csr a = small_example();
+  EXPECT_EQ(with_full_diagonal(a), a);  // already full
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(Stats, SmallExample) {
+  const MatrixStats s = compute_stats(small_example());
+  EXPECT_EQ(s.numRows, 3);
+  EXPECT_EQ(s.nnz, 5);
+  EXPECT_EQ(s.minPerRow, 1);
+  EXPECT_EQ(s.maxPerRow, 2);
+  EXPECT_NEAR(s.avgPerRow, 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.minPerCol, 1);   // column 1
+  EXPECT_EQ(s.maxPerCol, 2);
+  EXPECT_EQ(s.minPerRowCol, 1);
+  EXPECT_EQ(s.maxPerRowCol, 2);
+  EXPECT_EQ(s.numDiagEntries, 3);
+  // (0,2)/(2,0) are both stored, so the pattern is symmetric even though
+  // the values differ.
+  EXPECT_TRUE(s.structurallySymmetric);
+}
+
+TEST(Stats, DetectsStructuralAsymmetry) {
+  Coo coo(2, 2);
+  coo.add(0, 1, 1.0);
+  const MatrixStats s = compute_stats(to_csr(std::move(coo)));
+  EXPECT_FALSE(s.structurallySymmetric);
+}
+
+TEST(Stats, DetectsStructuralSymmetry) {
+  const Csr a = stencil2d(4, 4);
+  const MatrixStats s = compute_stats(a);
+  EXPECT_TRUE(s.structurallySymmetric);
+  EXPECT_EQ(s.minPerRow, 3);  // corner: diag + 2 neighbors
+  EXPECT_EQ(s.maxPerRow, 5);
+}
+
+TEST(Stats, ToStringMentionsShape) {
+  const std::string s = to_string(compute_stats(small_example()));
+  EXPECT_NE(s.find("3x3"), std::string::npos);
+  EXPECT_NE(s.find("nnz=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fghp::sparse
