@@ -7,6 +7,8 @@
 //   FGHP_K         comma list of K values         (default "16,32,64")
 //   FGHP_MATRICES  comma list of suite names      (default: all 14)
 //   FGHP_FULL=1    shorthand for FGHP_SCALE=1.0, FGHP_SEEDS=3
+//   FGHP_THREADS   worker threads for the seed sweep and the task-parallel
+//                  recursive bisection (default: hardware concurrency)
 #pragma once
 
 #include <string>
@@ -20,6 +22,7 @@
 #include "sparse/testsuite.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace fghp::bench {
@@ -89,10 +92,17 @@ inline RunRecord run_once(const sparse::Csr& a, Model which, idx_t K, std::uint6
 }
 
 /// Averages run_once over `seeds` seeds (the paper averages over 50).
+/// Seeds are independent partitioner runs (each gets its own Rng from its
+/// seed), so they sweep in parallel on the shared pool; the reduction stays
+/// in seed order, making the averages identical to the serial sweep.
 inline RunRecord run_avg(const sparse::Csr& a, Model which, idx_t K, idx_t seeds) {
+  std::vector<RunRecord> recs(static_cast<std::size_t>(seeds));
+  parallel_for(ThreadPool::global(), seeds, [&](long s) {
+    recs[static_cast<std::size_t>(s)] =
+        run_once(a, which, K, static_cast<std::uint64_t>(s) + 1);
+  });
   RunRecord avg;
-  for (idx_t s = 0; s < seeds; ++s) {
-    const RunRecord r = run_once(a, which, K, static_cast<std::uint64_t>(s) + 1);
+  for (const RunRecord& r : recs) {
     avg.scaledTotal += r.scaledTotal;
     avg.scaledMax += r.scaledMax;
     avg.avgMsgs += r.avgMsgs;

@@ -1,12 +1,16 @@
 // Ablation A4 — partitioner runtime scaling: time versus matrix size (via
-// the suite's scale knob) and versus K, for all three models. The paper's
-// §4 expectation: the fine-grain model costs ~2.4x the 1D hypergraph model
-// and ~7.3x the graph model, because it has Z vertices and 2x the pins/nets.
+// the suite's scale knob) and versus K, for all three models, plus thread
+// scaling of the task-parallel recursive bisection with the per-phase
+// wall-clock breakdown. The paper's §4 expectation: the fine-grain model
+// costs ~2.4x the 1D hypergraph model and ~7.3x the graph model, because it
+// has Z vertices and 2x the pins/nets.
 //
-// Knobs: FGHP_MATRICES (first entry used; default ken-11), FGHP_K.
+// Knobs: FGHP_MATRICES (first entry used; default ken-11), FGHP_K,
+// FGHP_SCALE, FGHP_THREADS (upper bound of the thread sweep in (c)).
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "partition/phase_timers.hpp"
 
 int main() {
   using namespace fghp;
@@ -42,5 +46,39 @@ int main() {
                 Table::num(secs[0] > 0 ? secs[2] / secs[0] : 0.0, 1) + "x"});
   }
   tb.print();
+
+  // (c) Thread scaling of the fine-grain partitioner — the dominant cost of
+  // the whole reproduction. Deterministic across thread counts: the 'cut'
+  // column must be identical in every row (DESIGN.md invariant 7). Phase
+  // columns are CPU time summed over threads (they exceed wall time once the
+  // recursion tree forks).
+  const int maxThreads = ThreadPool::default_num_threads();
+  std::printf("\n(c) fine-grain thread scaling (K = 64, scale = %.2f, up to %d threads)\n",
+              env.scale, maxThreads);
+  std::vector<idx_t> threadCounts{1};
+  for (idx_t t = 2; t < static_cast<idx_t>(maxThreads); t *= 2) threadCounts.push_back(t);
+  if (maxThreads > 1) threadCounts.push_back(static_cast<idx_t>(maxThreads));
+  Table tc({"threads", "time[s]", "speedup", "cut", "coarsen[s]", "initial[s]", "refine[s]",
+            "extract[s]"});
+  double serialSecs = 0.0;
+  for (idx_t t : threadCounts) {
+    part::PartitionConfig cfg;
+    cfg.seed = 1;
+    cfg.numThreads = t;
+    const part::PhaseSnapshot before = part::phase_timers().snapshot();
+    const model::ModelRun run = model::run_finegrain(a, 64, cfg);
+    const part::PhaseSnapshot ph = part::phase_timers().snapshot() - before;
+    if (t == 1) serialSecs = run.partitionSeconds;
+    tc.add_row({Table::num(static_cast<long long>(t)), Table::num(run.partitionSeconds, 3),
+                Table::num(run.partitionSeconds > 0 ? serialSecs / run.partitionSeconds : 0.0,
+                           2) +
+                    "x",
+                Table::num(static_cast<long long>(run.objective)),
+                Table::num(ph[part::Phase::kCoarsen], 3),
+                Table::num(ph[part::Phase::kInitial], 3),
+                Table::num(ph[part::Phase::kRefine], 3),
+                Table::num(ph[part::Phase::kExtract], 3)});
+  }
+  tc.print();
   return 0;
 }

@@ -61,10 +61,12 @@ int main() {
 
   std::printf(
       "Table 2 — average communication requirements of the 2D fine-grain model vs the\n"
-      "1D graph and 1D hypergraph models (scale=%.2f, seeds=%d)\n"
+      "1D graph and 1D hypergraph models (scale=%.2f, seeds=%d, threads=%d)\n"
       "'tot' and 'max' are word counts scaled by the number of rows; '(paper)' is the\n"
-      "corresponding Table 2 value; 'time' normalization is vs the graph model.\n\n",
-      env.scale, static_cast<int>(env.seeds));
+      "corresponding Table 2 value; 'time' normalization is vs the graph model.\n"
+      "Seeds sweep in parallel (FGHP_THREADS=1 for a serial sweep); averages are\n"
+      "identical at any thread count.\n\n",
+      env.scale, static_cast<int>(env.seeds), ThreadPool::default_num_threads());
 
   Table t({"name", "K", "model", "tot", "(paper)", "max", "#msgs", "time[s]", "(norm)",
            "imbal%"});

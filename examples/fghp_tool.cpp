@@ -6,7 +6,7 @@
 //       Table 1-style statistics plus bandwidth before/after RCM
 //   fghp_tool partition <m.mtx> --model <finegrain|hyper1d|rownet|graph|
 //       checkerboard|jagged|orthogonal> --k 16 [--eps 0.03] [--seed 1]
-//       [--balance-vectors] [--out d.decomp]
+//       [--threads 0] [--balance-vectors] [--out d.decomp]
 //       decompose and report the Table 2 metrics; optionally save owners
 //   fghp_tool simulate <m.mtx> <d.decomp> [--reps 10] [--threads 0]
 //       load a saved decomposition, verify it, execute repeated distributed
@@ -48,7 +48,7 @@ int usage() {
                "  gen <suite-name> --out m.mtx [--scale S] [--seed N]\n"
                "  stats <m.mtx>\n"
                "  partition <m.mtx> --model M --k K [--eps E] [--seed N]\n"
-               "            [--balance-vectors] [--out d.decomp]\n"
+               "            [--threads T] [--balance-vectors] [--out d.decomp]\n"
                "  simulate <m.mtx> <d.decomp> [--reps R] [--threads T]\n");
   return 2;
 }
@@ -99,6 +99,9 @@ int cmd_partition(const ArgParser& args) {
   part::PartitionConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(args.flag_long("seed", 1));
   if (const auto eps = args.flag("eps")) cfg.epsilon = std::stod(*eps);
+  // 0 = auto (FGHP_THREADS / hardware); the partition is identical at any
+  // thread count, so --threads only trades wall time for cores.
+  cfg.numThreads = static_cast<idx_t>(args.flag_long("threads", 0));
 
   model::ModelRun run;
   if (modelName == "finegrain") {

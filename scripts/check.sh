@@ -9,6 +9,19 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure
 
+echo "--- ThreadSanitizer: task-parallel recursive bisection ---"
+cmake -B build-tsan -G Ninja -DFGHP_SANITIZE=thread \
+      -DFGHP_BUILD_BENCH=OFF -DFGHP_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build build-tsan --target test_parallel_rb
+FGHP_THREADS=8 ./build-tsan/tests/test_parallel_rb
+
+echo "--- Address/UB sanitizers: Matrix Market reader ---"
+cmake -B build-asan -G Ninja -DFGHP_SANITIZE=address,undefined \
+      -DFGHP_BUILD_BENCH=OFF -DFGHP_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build build-asan --target test_mmio test_sparse
+./build-asan/tests/test_mmio
+./build-asan/tests/test_sparse
+
 echo "--- examples ---"
 ./build/examples/quickstart --matrix sherman3 --scale 0.25 --k 8
 ./build/examples/anatomy_finegrain

@@ -73,6 +73,16 @@ struct PartitionConfig {
   /// Independent full restarts of the hypergraph partitioner (different
   /// derived seeds); the best cutsize wins. 1 = single run (default).
   idx_t numRestarts = 1;
+
+  /// Threads for task-parallel recursive bisection. 0 = auto (FGHP_THREADS
+  /// if set, else hardware concurrency); 1 = the serial code path. The
+  /// partition is identical at every thread count: each recursion branch's
+  /// Rng stream is derived before the branches fork.
+  idx_t numThreads = 0;
+
+  /// Sub-problems with fewer vertices than this recurse serially — forking
+  /// a task costs more than partitioning a tiny side.
+  idx_t minParallelVertices = 2048;
 };
 
 }  // namespace fghp::part

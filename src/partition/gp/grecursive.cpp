@@ -1,11 +1,13 @@
 #include "partition/gp/grecursive.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <tuple>
 
 #include "partition/gp/gbisect.hpp"
 #include "partition/gp/grefine.hpp"
 #include "partition/hg/recursive.hpp"  // per_level_epsilon
+#include "util/thread_pool.hpp"
 
 namespace fghp::part::gprb {
 
@@ -48,7 +50,10 @@ struct GRecurser {
   const PartitionConfig& cfg;
   double epsLevel;
   std::vector<idx_t>& finalPart;
-  weight_t cutAccum = 0;
+  ThreadPool* pool = nullptr;  // nullptr = serial recursion
+  // Subtrees write disjoint finalPart ranges; the cut total is the only
+  // shared accumulation, and integer adds commute.
+  std::atomic<weight_t> cutAccum{0};
 
   void run(const gp::Graph& g, const std::vector<idx_t>& toOrig, idx_t K, idx_t partOffset,
            Rng rng) {
@@ -70,17 +75,34 @@ struct GRecurser {
     maxWeight[0] = std::max(maxWeight[0], target[0]);
     maxWeight[1] = std::max(maxWeight[1], target[1]);
 
+    // Child streams are derived before the bisection consumes rng and before
+    // any fork, so results are identical at any thread count.
     Rng childRng0 = rng.spawn();
     Rng childRng1 = rng.spawn();
     gp::GPartition bisection = gpb::multilevel_gbisect(g, target, maxWeight, cfg, rng);
-    cutAccum += gpr::GraphFM::compute_cut(g, bisection);
+    cutAccum.fetch_add(gpr::GraphFM::compute_cut(g, bisection),
+                       std::memory_order_relaxed);
 
-    for (idx_t side = 0; side < 2; ++side) {
-      GSide ext = extract_gside(g, bisection, side);
-      for (auto& v : ext.toParent) v = toOrig[static_cast<std::size_t>(v)];
-      run(ext.sub, ext.toParent, side == 0 ? k0 : k1, side == 0 ? partOffset : partOffset + k0,
-          side == 0 ? childRng0 : childRng1);
+    if (pool != nullptr && g.num_vertices() >= cfg.minParallelVertices) {
+      TaskGroup fork(*pool);
+      fork.run([this, &g, &bisection, &toOrig, k0, partOffset, childRng0] {
+        descend(g, bisection, toOrig, 0, k0, partOffset, childRng0);
+      });
+      descend(g, bisection, toOrig, 1, k1, partOffset + k0, childRng1);
+      fork.wait();
+    } else {
+      descend(g, bisection, toOrig, 0, k0, partOffset, childRng0);
+      descend(g, bisection, toOrig, 1, k1, partOffset + k0, childRng1);
     }
+  }
+
+  /// Extracts one bisection side, rebases it and recurses into it.
+  void descend(const gp::Graph& g, const gp::GPartition& bisection,
+               const std::vector<idx_t>& toOrig, idx_t side, idx_t sideK,
+               idx_t sideOffset, Rng sideRng) {
+    GSide ext = extract_gside(g, bisection, side);
+    for (auto& v : ext.toParent) v = toOrig[static_cast<std::size_t>(v)];
+    run(ext.sub, ext.toParent, sideK, sideOffset, sideRng);
   }
 };
 
@@ -90,13 +112,15 @@ GRecursiveResult partition_graph_recursive(const gp::Graph& g, idx_t K,
                                            const PartitionConfig& cfg, Rng& rng) {
   FGHP_REQUIRE(K >= 1, "K must be positive");
   std::vector<idx_t> finalPart(static_cast<std::size_t>(g.num_vertices()), kInvalidIdx);
-  GRecurser rec{cfg, hgrb::per_level_epsilon(cfg.epsilon, K), finalPart};
+  GRecurser rec{cfg, hgrb::per_level_epsilon(cfg.epsilon, K), finalPart,
+                ThreadPool::for_request(cfg.numThreads)};
 
   std::vector<idx_t> identity(static_cast<std::size_t>(g.num_vertices()));
   for (idx_t v = 0; v < g.num_vertices(); ++v) identity[static_cast<std::size_t>(v)] = v;
   rec.run(g, identity, K, 0, rng.spawn());
 
-  return {gp::GPartition(g, K, std::move(finalPart)), rec.cutAccum};
+  return {gp::GPartition(g, K, std::move(finalPart)),
+          rec.cutAccum.load(std::memory_order_relaxed)};
 }
 
 }  // namespace fghp::part::gprb

@@ -5,6 +5,7 @@
 #include "partition/hg/coarsen.hpp"
 #include "partition/hg/initial.hpp"
 #include "partition/hg/refine.hpp"
+#include "partition/phase_timers.hpp"
 
 namespace fghp::part::hgb {
 
@@ -24,6 +25,7 @@ hg::Partition multilevel_bisect(const hg::Hypergraph& h, const std::array<weight
   const hg::Hypergraph* cur = &h;
   const hgc::FixedSides* curFixed = &fixed;
   if (cfg.coarsening != Coarsening::kNone) {
+    ScopedPhase phase(Phase::kCoarsen);
     for (idx_t lvl = 0; lvl < cfg.maxCoarsenLevels; ++lvl) {
       if (cur->num_vertices() <= cfg.coarsenTo) break;
       hgc::CoarseLevel next = hgc::coarsen_one_level(*cur, cfg, rng, *curFixed);
@@ -37,9 +39,13 @@ hg::Partition multilevel_bisect(const hg::Hypergraph& h, const std::array<weight
   }
 
   // --- Initial partitioning at the coarsest level --------------------------
-  hg::Partition p = hgi::initial_bisection(*cur, target, maxWeight, cfg, rng, *curFixed);
+  hg::Partition p = [&] {
+    ScopedPhase phase(Phase::kInitial);
+    return hgi::initial_bisection(*cur, target, maxWeight, cfg, rng, *curFixed);
+  }();
 
   // --- Uncoarsening + refinement -------------------------------------------
+  ScopedPhase refinePhase(Phase::kRefine);
   hgr::BisectionFM fm(cfg);
   fm.set_fixed(curFixed);
   fm.refine(*cur, p, maxWeight, rng);

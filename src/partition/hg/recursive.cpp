@@ -1,10 +1,13 @@
 #include "partition/hg/recursive.hpp"
 
+#include <atomic>
 #include <cmath>
 
 #include "hypergraph/metrics.hpp"
 #include "partition/hg/bisect.hpp"
 #include "partition/hg/refine.hpp"
+#include "partition/phase_timers.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fghp::part::hgrb {
 
@@ -69,7 +72,11 @@ struct Recurser {
   double epsLevel;
   std::vector<idx_t>& finalPart;          // indexed by original vertex id
   const std::vector<idx_t>& fixedPart;    // original vertex -> pinned part (or empty)
-  weight_t cutAccum = 0;
+  ThreadPool* pool = nullptr;             // nullptr = serial recursion
+  // The two subtrees of a bisection write disjoint finalPart ranges, so the
+  // only shared accumulation is the cut total; integer adds commute, keeping
+  // the sum exact and thread-count independent.
+  std::atomic<weight_t> cutAccum{0};
 
   void run(const hg::Hypergraph& h, const std::vector<idx_t>& toOrig, idx_t K,
            idx_t partOffset, Rng rng) {
@@ -109,18 +116,43 @@ struct Recurser {
       if (!any) fixed.clear();
     }
 
+    // Child streams are derived *before* the bisection consumes rng and
+    // before any fork, so every subtree sees the same stream at any thread
+    // count (DESIGN.md invariant 7).
     Rng childRng0 = rng.spawn();
     Rng childRng1 = rng.spawn();
     hg::Partition bisection = hgb::multilevel_bisect(h, target, maxWeight, cfg, rng, fixed);
-    cutAccum += hgr::BisectionFM::compute_cut(h, bisection);
+    cutAccum.fetch_add(hgr::BisectionFM::compute_cut(h, bisection),
+                       std::memory_order_relaxed);
 
-    for (idx_t side = 0; side < 2; ++side) {
-      SideExtract ext = extract_side(h, bisection, side, cfg.metric);
+    if (pool != nullptr && h.num_vertices() >= cfg.minParallelVertices) {
+      // Fork side 0; recurse into side 1 on this thread. Both sides extract
+      // from (h, bisection), which outlive the join below.
+      TaskGroup fork(*pool);
+      fork.run([this, &h, &bisection, &toOrig, k0, partOffset, childRng0] {
+        descend(h, bisection, toOrig, 0, k0, partOffset, childRng0);
+      });
+      descend(h, bisection, toOrig, 1, k1, partOffset + k0, childRng1);
+      fork.wait();
+    } else {
+      descend(h, bisection, toOrig, 0, k0, partOffset, childRng0);
+      descend(h, bisection, toOrig, 1, k1, partOffset + k0, childRng1);
+    }
+  }
+
+  /// Extracts one bisection side, rebases it onto original vertex ids and
+  /// recurses into it.
+  void descend(const hg::Hypergraph& h, const hg::Partition& bisection,
+               const std::vector<idx_t>& toOrig, idx_t side, idx_t sideK,
+               idx_t sideOffset, Rng sideRng) {
+    SideExtract ext;
+    {
+      ScopedPhase phase(Phase::kExtract);
+      ext = extract_side(h, bisection, side, cfg.metric);
       // Rebase the extraction onto original vertex ids.
       for (auto& v : ext.toParent) v = toOrig[static_cast<std::size_t>(v)];
-      run(ext.sub, ext.toParent, side == 0 ? k0 : k1, side == 0 ? partOffset : partOffset + k0,
-          side == 0 ? childRng0 : childRng1);
     }
+    run(ext.sub, ext.toParent, sideK, sideOffset, sideRng);
   }
 };
 
@@ -137,13 +169,15 @@ RecursiveResult partition_recursive(const hg::Hypergraph& h, idx_t K,
     FGHP_REQUIRE(fp == kInvalidIdx || (fp >= 0 && fp < K), "fixed part out of range");
 
   std::vector<idx_t> finalPart(static_cast<std::size_t>(h.num_vertices()), kInvalidIdx);
-  Recurser rec{cfg, per_level_epsilon(cfg.epsilon, K), finalPart, fixedPart};
+  Recurser rec{cfg, per_level_epsilon(cfg.epsilon, K), finalPart, fixedPart,
+               ThreadPool::for_request(cfg.numThreads)};
 
   std::vector<idx_t> identity(static_cast<std::size_t>(h.num_vertices()));
   for (idx_t v = 0; v < h.num_vertices(); ++v) identity[static_cast<std::size_t>(v)] = v;
   rec.run(h, identity, K, 0, rng.spawn());
 
-  RecursiveResult out{hg::Partition(h, K, std::move(finalPart)), rec.cutAccum};
+  RecursiveResult out{hg::Partition(h, K, std::move(finalPart)),
+                      rec.cutAccum.load(std::memory_order_relaxed)};
   return out;
 }
 

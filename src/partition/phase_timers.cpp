@@ -1,0 +1,52 @@
+#include "partition/phase_timers.hpp"
+
+#include <cmath>
+
+namespace fghp::part {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kCoarsen: return "coarsen";
+    case Phase::kInitial: return "initial";
+    case Phase::kRefine: return "refine";
+    case Phase::kExtract: return "extract";
+  }
+  return "?";
+}
+
+double PhaseSnapshot::total() const {
+  double t = 0.0;
+  for (double s : seconds) t += s;
+  return t;
+}
+
+PhaseSnapshot PhaseSnapshot::operator-(const PhaseSnapshot& other) const {
+  PhaseSnapshot out;
+  for (std::size_t i = 0; i < seconds.size(); ++i)
+    out.seconds[i] = seconds[i] - other.seconds[i];
+  return out;
+}
+
+void PhaseTimers::add(Phase p, double seconds) {
+  const auto ns = static_cast<std::int64_t>(std::llround(seconds * 1e9));
+  nanos_[static_cast<std::size_t>(p)].fetch_add(ns, std::memory_order_relaxed);
+}
+
+PhaseSnapshot PhaseTimers::snapshot() const {
+  PhaseSnapshot out;
+  for (std::size_t i = 0; i < nanos_.size(); ++i)
+    out.seconds[i] =
+        static_cast<double>(nanos_[i].load(std::memory_order_relaxed)) * 1e-9;
+  return out;
+}
+
+void PhaseTimers::reset() {
+  for (auto& n : nanos_) n.store(0, std::memory_order_relaxed);
+}
+
+PhaseTimers& phase_timers() {
+  static PhaseTimers timers;
+  return timers;
+}
+
+}  // namespace fghp::part

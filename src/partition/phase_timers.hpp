@@ -1,0 +1,68 @@
+// Process-global wall-clock accounting of the partitioner pipeline phases
+// (coarsen / initial / refine / extract), safe to update from concurrent
+// recursive-bisection tasks.
+//
+// Counters are monotonic; a bench brackets a region with snapshot() and
+// subtracts. Times are summed across threads, so under a parallel run the
+// phase total can exceed the region's wall time — it measures where the
+// *work* goes, which is what the scaling bench reports per phase.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "util/timer.hpp"
+
+namespace fghp::part {
+
+enum class Phase : int {
+  kCoarsen = 0,  ///< multilevel coarsening (all levels of one bisection)
+  kInitial,      ///< initial bisection at the coarsest level
+  kRefine,       ///< uncoarsening + FM refinement
+  kExtract,      ///< side extraction / cut-net splitting in recursive bisection
+};
+inline constexpr int kNumPhases = 4;
+
+const char* phase_name(Phase p);
+
+struct PhaseSnapshot {
+  std::array<double, kNumPhases> seconds{};
+
+  double operator[](Phase p) const { return seconds[static_cast<std::size_t>(p)]; }
+  double total() const;
+
+  /// Elementwise difference (for bracketing a region).
+  PhaseSnapshot operator-(const PhaseSnapshot& other) const;
+};
+
+class PhaseTimers {
+ public:
+  void add(Phase p, double seconds);
+  PhaseSnapshot snapshot() const;
+  void reset();
+
+ private:
+  // Nanoseconds in integer atomics: fetch_add is lock-free everywhere and
+  // the accumulation order cannot change the total.
+  std::array<std::atomic<std::int64_t>, kNumPhases> nanos_{};
+};
+
+/// The process-global instance every partitioner run reports into.
+PhaseTimers& phase_timers();
+
+/// RAII section: adds the elapsed wall time to a phase on destruction.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase p) : phase_(p) {}
+  ~ScopedPhase() { phase_timers().add(phase_, timer_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Phase phase_;
+  WallTimer timer_;
+};
+
+}  // namespace fghp::part

@@ -24,13 +24,27 @@ std::string lower(std::string s) {
   return s;
 }
 
+/// getline that strips a trailing '\r', so CRLF (Windows-saved) files parse
+/// identically to LF files — otherwise the last token of every line keeps
+/// the '\r' (e.g. symmetry "general\r") and valid files are rejected.
+bool getline_clean(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+bool blank_or_comment(const std::string& line) {
+  if (line.empty() || line[0] == '%') return true;
+  return line.find_first_not_of(" \t") == std::string::npos;
+}
+
 }  // namespace
 
 Csr read_matrix_market(std::istream& in) {
   std::string line;
   long lineNo = 0;
 
-  if (!std::getline(in, line)) fail(1, "empty input");
+  if (!getline_clean(in, line)) fail(1, "empty input");
   ++lineNo;
 
   std::istringstream banner(line);
@@ -53,9 +67,9 @@ Csr read_matrix_market(std::istream& in) {
 
   // Skip comments / blank lines until the size line.
   long rows = -1, cols = -1, declared = -1;
-  while (std::getline(in, line)) {
+  while (getline_clean(in, line)) {
     ++lineNo;
-    if (line.empty() || line[0] == '%') continue;
+    if (blank_or_comment(line)) continue;
     std::istringstream sz(line);
     if (!(sz >> rows >> cols >> declared)) fail(lineNo, "malformed size line");
     break;
@@ -68,9 +82,9 @@ Csr read_matrix_market(std::istream& in) {
 
   Coo coo(static_cast<idx_t>(rows), static_cast<idx_t>(cols));
   long seen = 0;
-  while (seen < declared && std::getline(in, line)) {
+  while (seen < declared && getline_clean(in, line)) {
     ++lineNo;
-    if (line.empty() || line[0] == '%') continue;
+    if (blank_or_comment(line)) continue;
     std::istringstream es(line);
     long r, c;
     double v = 1.0;
@@ -86,7 +100,20 @@ Csr read_matrix_market(std::istream& in) {
     if ((symmetric || skew) && ri != ci) coo.add(ci, ri, skew ? -v : v);
     ++seen;
   }
-  if (seen != declared) fail(lineNo, "fewer entries than declared");
+  if (seen != declared) {
+    std::ostringstream os;
+    os << "fewer entries than declared (got " << seen << " of " << declared
+       << " before end of input)";
+    fail(lineNo, os.str());
+  }
+  // Duplicate (r, c) entries accumulate — the Matrix Market convention for
+  // assembled files — so the CSR below never carries duplicate columns in a
+  // row. Pattern files carry structure only: duplicates collapse to a single
+  // unit entry instead of summing past 1 (sign kept for skew mirrors).
+  coo.normalize();
+  if (pattern) {
+    for (auto& t : coo.entries()) t.value = t.value < 0.0 ? -1.0 : 1.0;
+  }
   return to_csr(std::move(coo));
 }
 

@@ -1,0 +1,158 @@
+#include "util/thread_pool.hpp"
+
+#include <chrono>
+
+#include "util/assert.hpp"
+#include "util/options.hpp"
+
+namespace fghp {
+
+ThreadPool::ThreadPool(int totalThreads) { grow_to(totalThreads); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  workReady_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(workers_.size()) + 1;
+}
+
+void ThreadPool::grow_to(int totalThreads) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto want = static_cast<std::size_t>(std::max(0, totalThreads - 1));
+  while (workers_.size() < want) workers_.emplace_back([this] { worker_loop(); });
+}
+
+int ThreadPool::default_num_threads() {
+  static const int n = [] {
+    const long env = env_long("FGHP_THREADS", 0);
+    if (env > 0) return static_cast<int>(env);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }();
+  return n;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_num_threads());
+  return pool;
+}
+
+ThreadPool* ThreadPool::for_request(long requested) {
+  const long n = requested > 0 ? requested : default_num_threads();
+  if (n <= 1) return nullptr;
+  ThreadPool& pool = global();
+  pool.grow_to(static_cast<int>(n));
+  return &pool;
+}
+
+void ThreadPool::enqueue(Task t) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(t));
+  }
+  workReady_.notify_one();
+}
+
+bool ThreadPool::try_steal(Task& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (queue_.empty()) return false;
+  out = std::move(queue_.back());
+  queue_.pop_back();
+  return true;
+}
+
+void ThreadPool::run_task(Task& t) {
+  std::exception_ptr err;
+  try {
+    t.fn();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  if (t.group != nullptr) t.group->finish_one(err);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task t;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      workReady_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      t = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_task(t);
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  // A group must not die with tasks in flight; wait() here would be too late
+  // to report the error usefully, so finish the join but swallow reruns of
+  // an exception already thrown from an explicit wait().
+  try {
+    wait();
+  } catch (...) {
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++pending_;
+  }
+  pool_.enqueue(ThreadPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::finish_one(std::exception_ptr err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (err && !err_) err_ = err;
+  --pending_;
+  if (pending_ == 0) done_.notify_all();
+}
+
+void TaskGroup::wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (pending_ == 0) break;
+    }
+    ThreadPool::Task t;
+    if (pool_.try_steal(t)) {
+      ThreadPool::run_task(t);
+      continue;
+    }
+    // Nothing to steal right now; sleep until one of our tasks completes.
+    // The timeout re-checks the queue: a task running elsewhere may fork new
+    // work we could help with, and forks don't signal this group's condvar.
+    std::unique_lock<std::mutex> lk(mu_);
+    done_.wait_for(lk, std::chrono::microseconds(200), [this] { return pending_ == 0; });
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (err_) {
+    std::exception_ptr err = err_;
+    err_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void parallel_for(ThreadPool& pool, long n, const std::function<void(long)>& fn) {
+  if (n <= 0) return;
+  if (n == 1 || pool.num_threads() <= 1) {
+    for (long i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  TaskGroup group(pool);
+  for (long i = 0; i < n; ++i) {
+    group.run([i, &fn] { fn(i); });
+  }
+  group.wait();
+}
+
+}  // namespace fghp

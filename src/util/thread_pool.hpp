@@ -1,0 +1,113 @@
+// Work-stealing task pool for the task-parallel partitioner stages.
+//
+// Recursive bisection is a fork-join tree: after one bisection the two
+// sub-hypergraphs are fully independent, so each recursion level forks the
+// two sides as tasks. The pool keeps one shared two-ended deque: workers
+// take from the FIFO end (oldest = biggest subtrees), while a thread waiting
+// on a TaskGroup steals from the LIFO end (newest = its own freshly forked
+// children) — the scheduling order of a per-thread work-stealing deque with
+// far less machinery, which is plenty because partitioner tasks are coarse.
+//
+// Determinism: the pool never makes scheduling visible to the algorithms —
+// every fghp use pre-derives its per-task Rng streams before forking and
+// writes to disjoint output ranges, so results are identical at any thread
+// count (DESIGN.md invariant 7).
+//
+// FGHP_THREADS caps the default pool size (default: hardware concurrency;
+// FGHP_THREADS=1 keeps every caller on the serial code path).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fghp {
+
+class TaskGroup;
+
+class ThreadPool {
+ public:
+  /// Spawns totalThreads - 1 workers; the submitting thread is the last one
+  /// (it executes tasks while waiting on a TaskGroup).
+  explicit ThreadPool(int totalThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads plus the submitting thread.
+  int num_threads() const;
+
+  /// Adds workers until num_threads() >= totalThreads. Never shrinks.
+  void grow_to(int totalThreads);
+
+  /// FGHP_THREADS if set and positive, else hardware_concurrency (min 1).
+  static int default_num_threads();
+
+  /// Process-wide pool, lazily built with default_num_threads().
+  static ThreadPool& global();
+
+  /// Pool to use for a run requesting `requested` threads (<= 0 = default):
+  /// nullptr when the request resolves to one thread (serial path), else the
+  /// global pool grown to the requested size.
+  static ThreadPool* for_request(long requested);
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  void enqueue(Task t);
+  /// Steals from the LIFO end (help-while-waiting). False when empty.
+  bool try_steal(Task& out);
+  static void run_task(Task& t);
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable workReady_;
+  std::deque<Task> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Fork-join scope over a pool: run() forks a task, wait() joins all tasks
+/// forked through this group. wait() executes queued tasks itself instead of
+/// blocking, so nested groups in recursive code cannot deadlock even on a
+/// pool with zero workers. The first exception thrown by a task is rethrown
+/// from wait().
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+  void wait();
+
+ private:
+  friend class ThreadPool;
+  void finish_one(std::exception_ptr err);
+
+  ThreadPool& pool_;
+  std::mutex mu_;
+  std::condition_variable done_;
+  long pending_ = 0;
+  std::exception_ptr err_;
+};
+
+/// fn(i) for i in [0, n), in parallel on the pool (serial when the pool has
+/// a single thread). Blocks until every iteration completed.
+void parallel_for(ThreadPool& pool, long n, const std::function<void(long)>& fn);
+
+}  // namespace fghp

@@ -101,6 +101,105 @@ TEST(Mmio, RejectsTruncatedEntries) {
                std::runtime_error);
 }
 
+TEST(Mmio, TruncatedErrorReportsShortfall) {
+  try {
+    parse("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("got 1 of 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Mmio, ReadsCrlfFiles) {
+  // A Windows-saved file: every line ends in \r\n, including a blank line
+  // and a comment between entries.
+  const Csr a = parse(
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "% saved on Windows\r\n"
+      "2 2 2\r\n"
+      "1 1 1.5\r\n"
+      "\r\n"
+      "% interleaved comment\r\n"
+      "2 2 -4\r\n");
+  EXPECT_EQ(a.num_rows(), 2);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.row_vals(0)[0], 1.5);
+  EXPECT_DOUBLE_EQ(a.row_vals(1)[0], -4.0);
+}
+
+TEST(Mmio, CrlfRoundTrip) {
+  const Csr a = random_square(30, 4, 9);
+  std::ostringstream out;
+  write_matrix_market(out, a);
+  std::string crlf;
+  for (char c : out.str()) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  EXPECT_EQ(parse(crlf), a);
+}
+
+TEST(Mmio, CrlfSymmetricStorage) {
+  const Csr a = parse(
+      "%%MatrixMarket matrix coordinate real symmetric\r\n"
+      "2 2 2\r\n"
+      "1 1 2\r\n"
+      "2 1 5\r\n");
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_TRUE(a.has_entry(0, 1));
+}
+
+TEST(Mmio, DuplicateEntriesAccumulate) {
+  const Csr a = parse(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 4\n"
+      "1 1 2\n"
+      "1 1 3.5\n"
+      "2 3 1\n"
+      "2 3 -1\n");
+  EXPECT_EQ(a.nnz(), 2);  // duplicates merged, zero-sum entry kept as structural
+  EXPECT_DOUBLE_EQ(a.row_vals(0)[0], 5.5);
+  EXPECT_DOUBLE_EQ(a.row_vals(1)[0], 0.0);
+  // No duplicate column indices within a row.
+  const auto cols = a.row_cols(0);
+  EXPECT_EQ(cols.size(), 1u);
+}
+
+TEST(Mmio, DuplicateSymmetricEntriesAccumulateBothMirrors) {
+  const Csr a = parse(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "2 1 3\n"
+      "2 1 4\n");
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.row_vals(0)[0], 7.0);  // (1,2) mirror
+  EXPECT_DOUBLE_EQ(a.row_vals(1)[0], 7.0);  // (2,1)
+}
+
+TEST(Mmio, DuplicatePatternEntriesCollapseToUnit) {
+  const Csr a = parse(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 3\n"
+      "1 1\n"
+      "1 1\n"
+      "2 1\n");
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.row_vals(0)[0], 1.0);  // not 2.0
+  EXPECT_DOUBLE_EQ(a.row_vals(1)[0], 1.0);
+}
+
+TEST(Mmio, TrailingBlankAndCommentLinesOk) {
+  const Csr a = parse(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1\n"
+      "2 2 2\n"
+      "\n"
+      "   \n"
+      "% trailing comment\n");
+  EXPECT_EQ(a.nnz(), 2);
+}
+
 TEST(Mmio, ErrorMentionsLineNumber) {
   try {
     parse("%%MatrixMarket matrix coordinate real general\n2 2 1\nbogus\n");

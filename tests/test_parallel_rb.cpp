@@ -1,0 +1,183 @@
+// Task-parallel recursive bisection: identical partitions at every thread
+// count (DESIGN.md invariant 7), and balance + cut-net-splitting telescoping
+// (invariants 4 and 2) at non-power-of-two K, where the llround side targets
+// of recursive.cpp and the uniform-average cap of hg::is_balanced must agree.
+//
+// These tests force deep task forking (tiny minParallelVertices) and real
+// worker threads (numThreads up to 8) — scripts/check.sh also runs them
+// under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/gmetrics.hpp"
+#include "hypergraph/metrics.hpp"
+#include "models/finegrain.hpp"
+#include "models/graph_model.hpp"
+#include "partition/gp/gpartitioner.hpp"
+#include "partition/gp/grecursive.hpp"
+#include "partition/hg/partitioner.hpp"
+#include "partition/hg/recursive.hpp"
+#include "sparse/testsuite.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fghp {
+namespace {
+
+part::PartitionConfig config_with_threads(idx_t threads) {
+  part::PartitionConfig cfg;
+  cfg.seed = 7;
+  cfg.numThreads = threads;
+  cfg.minParallelVertices = 32;  // fork aggressively so small instances cover the pool
+  return cfg;
+}
+
+class ParallelRbTest : public ::testing::Test {
+ protected:
+  static const hg::Hypergraph& finegrain_hypergraph() {
+    static const model::FineGrainModel m =
+        model::build_finegrain(sparse::make_matrix("sherman3", 1, 0.3));
+    return m.h;
+  }
+};
+
+TEST_F(ParallelRbTest, HypergraphPartitionIdenticalAcrossThreadCounts) {
+  const hg::Hypergraph& h = finegrain_hypergraph();
+  std::vector<idx_t> reference;
+  for (idx_t threads : {1, 2, 8}) {
+    const part::PartitionConfig cfg = config_with_threads(threads);
+    const part::HgResult r = part::partition_hypergraph(h, 16, cfg);
+    if (reference.empty()) {
+      reference = r.partition.assignment();
+    } else {
+      EXPECT_EQ(r.partition.assignment(), reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelRbTest, RawRecursiveBisectionIdenticalAcrossThreadCounts) {
+  const hg::Hypergraph& h = finegrain_hypergraph();
+  std::vector<idx_t> reference;
+  weight_t referenceCut = 0;
+  for (idx_t threads : {1, 2, 8}) {
+    const part::PartitionConfig cfg = config_with_threads(threads);
+    Rng rng(cfg.seed);
+    const part::hgrb::RecursiveResult rb = part::hgrb::partition_recursive(h, 16, cfg, rng);
+    if (reference.empty()) {
+      reference = rb.partition.assignment();
+      referenceCut = rb.sumOfBisectionCuts;
+    } else {
+      EXPECT_EQ(rb.partition.assignment(), reference) << "threads=" << threads;
+      EXPECT_EQ(rb.sumOfBisectionCuts, referenceCut) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelRbTest, GraphPartitionIdenticalAcrossThreadCounts) {
+  const gp::Graph g = model::build_standard_graph(sparse::make_matrix("sherman3", 1, 0.3));
+  std::vector<idx_t> reference;
+  for (idx_t threads : {1, 2, 8}) {
+    const part::PartitionConfig cfg = config_with_threads(threads);
+    const part::GpResult r = part::partition_graph(g, 16, cfg);
+    if (reference.empty()) {
+      reference = r.partition.assignment();
+    } else {
+      EXPECT_EQ(r.partition.assignment(), reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelRbTest, OddKTelescopingAtEveryThreadCount) {
+  const hg::Hypergraph& h = finegrain_hypergraph();
+  for (idx_t K : {3, 5, 7}) {
+    std::vector<idx_t> reference;
+    for (idx_t threads : {1, 2, 4, 8}) {
+      part::PartitionConfig cfg = config_with_threads(threads);
+      cfg.seed = 3;
+      Rng rng(cfg.seed);
+      const part::hgrb::RecursiveResult rb =
+          part::hgrb::partition_recursive(h, K, cfg, rng);
+      ASSERT_TRUE(rb.partition.complete());
+      // Invariant 2: per-level cut costs telescope to the K-way cutsize.
+      EXPECT_EQ(rb.sumOfBisectionCuts,
+                hg::cutsize(h, rb.partition, hg::CutMetric::kConnectivity))
+          << "K=" << K << " threads=" << threads;
+      if (reference.empty()) {
+        reference = rb.partition.assignment();
+      } else {
+        EXPECT_EQ(rb.partition.assignment(), reference)
+            << "K=" << K << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelRbTest, OddKPartitionerOutputBalanced) {
+  const hg::Hypergraph& h = finegrain_hypergraph();
+  for (idx_t K : {3, 5, 7}) {
+    for (idx_t threads : {1, 2, 4, 8}) {
+      part::PartitionConfig cfg = config_with_threads(threads);
+      cfg.seed = 11;
+      const part::HgResult r = part::partition_hypergraph(h, K, cfg);
+      // Invariant 4: the llround side targets and the uniform-average cap of
+      // is_balanced must agree even when K does not split evenly.
+      EXPECT_TRUE(hg::is_balanced(h, r.partition, cfg.epsilon))
+          << "K=" << K << " threads=" << threads
+          << " imbalance=" << hg::imbalance(h, r.partition);
+    }
+  }
+}
+
+TEST_F(ParallelRbTest, OddKGraphPartitionBalanced) {
+  const gp::Graph g = model::build_standard_graph(sparse::make_matrix("sherman3", 1, 0.3));
+  for (idx_t K : {3, 5, 7}) {
+    const part::PartitionConfig cfg = config_with_threads(4);
+    const part::GpResult r = part::partition_graph(g, K, cfg);
+    EXPECT_LE(r.imbalance, cfg.epsilon + 1e-9) << "K=" << K;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, 257, [&](long i) { hits[static_cast<std::size_t>(i)] += 1; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedGroupsDoNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  // A fork-join tree 6 levels deep on a 2-thread pool: waiting tasks must
+  // help execute queued work or this would deadlock.
+  std::function<void(int)> tree = [&](int depth) {
+    if (depth == 0) {
+      leaves += 1;
+      return;
+    }
+    TaskGroup group(pool);
+    group.run([&, depth] { tree(depth - 1); });
+    tree(depth - 1);
+    group.wait();
+  };
+  tree(6);
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesFromWait) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsTasksInWait) {
+  ThreadPool pool(1);  // no workers: the waiting thread must drain the queue
+  std::atomic<int> ran{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) group.run([&] { ran += 1; });
+  group.wait();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+}  // namespace
+}  // namespace fghp
