@@ -13,8 +13,9 @@
 #include "models/finegrain.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/coo.hpp"
+#include "util/error.hpp"
 
-int main() {
+int main() try {
   using namespace fghp;
 
   // The matrix sketched in Figure 1: row i = 1 has nonzeros in columns
@@ -97,4 +98,9 @@ int main() {
               " owner(y_j) = part[v_jj],\nwhich keeps the x/y partition symmetric"
               " for iterative solvers.\n");
   return 0;
+} catch (const std::exception& e) {
+  for (const auto& w : fghp::drain_warnings())
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return fghp::exit_code(e);
 }

@@ -14,9 +14,10 @@
 #include "spmv/executor.hpp"
 #include "spmv/plan.hpp"
 #include "sparse/generators.hpp"
+#include "util/error.hpp"
 #include "util/options.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace fghp;
   const ArgParser args(argc, argv);
   const auto n = static_cast<idx_t>(args.flag_long("n", 64));
@@ -81,4 +82,9 @@ int main(int argc, char** argv) {
   std::printf("total SpMV communication: %lld words over %ld iterations\n",
               static_cast<long long>(cs.totalWords) * (iters + 1), iters + 1);
   return maxErr < 1e-6 ? 0 : 1;
+} catch (const std::exception& e) {
+  for (const auto& w : fghp::drain_warnings())
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return fghp::exit_code(e);
 }

@@ -11,6 +11,12 @@
 //   fghp_tool simulate <m.mtx> <d.decomp> [--reps 10] [--threads 0]
 //       load a saved decomposition, verify it, execute repeated distributed
 //       SpMVs (threaded) and report traffic + timing
+//   fghp_tool faults
+//       list every fault-injection site (see FGHP_FAULT_SPEC)
+//
+// Exit codes follow fghp::ErrorCode: 0 success, 1 unknown error, 2 usage,
+// 3 io, 4 format, 5 invariant, 6 infeasible, 7 injected fault. Errors and
+// recovery warnings go to stderr; results go to stdout.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +40,8 @@
 #include "sparse/reorder.hpp"
 #include "sparse/stats.hpp"
 #include "sparse/testsuite.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -44,13 +52,22 @@ using namespace fghp;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fghp_tool <gen|stats|partition|simulate> ...\n"
+               "usage: fghp_tool <gen|stats|partition|simulate|faults> ...\n"
                "  gen <suite-name> --out m.mtx [--scale S] [--seed N]\n"
                "  stats <m.mtx>\n"
                "  partition <m.mtx> --model M --k K [--eps E] [--seed N]\n"
-               "            [--threads T] [--balance-vectors] [--out d.decomp]\n"
-               "  simulate <m.mtx> <d.decomp> [--reps R] [--threads T]\n");
-  return 2;
+               "            [--threads T] [--balance-vectors] [--strict]\n"
+               "            [--fault-spec SPEC] [--out d.decomp]\n"
+               "  simulate <m.mtx> <d.decomp> [--reps R] [--threads T]\n"
+               "  faults\n"
+               "exit codes: 0 ok, 1 error, 2 usage, 3 io, 4 format,\n"
+               "            5 invariant, 6 infeasible, 7 injected fault\n");
+  return static_cast<int>(ErrorCode::kUsage);
+}
+
+int cmd_faults() {
+  for (const auto& site : fault::known_sites()) std::printf("%s\n", site.c_str());
+  return 0;
 }
 
 int cmd_gen(const ArgParser& args) {
@@ -102,6 +119,8 @@ int cmd_partition(const ArgParser& args) {
   // 0 = auto (FGHP_THREADS / hardware); the partition is identical at any
   // thread count, so --threads only trades wall time for cores.
   cfg.numThreads = static_cast<idx_t>(args.flag_long("threads", 0));
+  if (args.has_switch("strict")) cfg.validateLevel = part::ValidateLevel::kStrict;
+  cfg.faultSpec = args.flag("fault-spec").value_or("");
 
   model::ModelRun run;
   if (modelName == "finegrain") {
@@ -158,6 +177,7 @@ int cmd_simulate(const ArgParser& args) {
   const auto threads = static_cast<idx_t>(args.flag_long("threads", 0));
 
   const spmv::SpmvPlan plan = spmv::build_plan(a, d);
+  spmv::validate_plan_or_throw(plan);  // d came from a file: distrust it
   Rng rng(123);
   std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
   for (auto& v : x) v = rng.uniform01();
@@ -177,8 +197,17 @@ int cmd_simulate(const ArgParser& args) {
               reps, wall);
   std::printf("  traffic per multiply: %lld words, %d messages\n",
               static_cast<long long>(stats.wordsSent), stats.messagesSent);
+  if (stats.taskRetries > 0 || stats.serialFallback) {
+    std::printf("  recovery: %d task retries%s\n", stats.taskRetries,
+                stats.serialFallback ? ", fell back to the serial executor" : "");
+  }
   std::printf("  max |y - y_ref| = %.3e\n", maxErr);
   return maxErr < 1e-8 ? 0 : 1;
+}
+
+void print_warnings() {
+  for (const auto& w : fghp::drain_warnings())
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
 }
 
 }  // namespace
@@ -187,14 +216,18 @@ int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   if (args.positional().empty()) return usage();
   const std::string& cmd = args.positional().front();
+  int rc = -1;
   try {
-    if (cmd == "gen") return cmd_gen(args);
-    if (cmd == "stats") return cmd_stats(args);
-    if (cmd == "partition") return cmd_partition(args);
-    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "gen") rc = cmd_gen(args);
+    if (cmd == "stats") rc = cmd_stats(args);
+    if (cmd == "partition") rc = cmd_partition(args);
+    if (cmd == "simulate") rc = cmd_simulate(args);
+    if (cmd == "faults") rc = cmd_faults();
   } catch (const std::exception& e) {
+    print_warnings();
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return fghp::exit_code(e);
   }
-  return usage();
+  print_warnings();
+  return rc == -1 ? usage() : rc;
 }

@@ -18,10 +18,11 @@
 #include "spmv/transpose.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/coo.hpp"
+#include "util/error.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace fghp;
   const ArgParser args(argc, argv);
   const auto n = static_cast<idx_t>(args.flag_long("n", 3000));
@@ -91,4 +92,9 @@ int main(int argc, char** argv) {
   std::printf("total communication across the run: %lld words\n",
               static_cast<long long>(bwd.totalWords) * iters);
   return std::abs(sum - 1.0) < 1e-6 && top < n / 20 ? 0 : 1;
+} catch (const std::exception& e) {
+  for (const auto& w : fghp::drain_warnings())
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return fghp::exit_code(e);
 }

@@ -16,9 +16,10 @@
 #include "models/hypergraph1d.hpp"
 #include "sparse/mmio.hpp"
 #include "sparse/stats.hpp"
+#include "util/error.hpp"
 #include "util/options.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace fghp;
   const ArgParser args(argc, argv);
   if (args.positional().empty()) {
@@ -32,13 +33,7 @@ int main(int argc, char** argv) {
   const auto k = static_cast<idx_t>(args.flag_long("k", 16));
   const auto seed = static_cast<std::uint64_t>(args.flag_long("seed", 1));
 
-  sparse::Csr a;
-  try {
-    a = sparse::read_matrix_market_file(path);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
+  const sparse::Csr a = sparse::read_matrix_market_file(path);
   if (!a.is_square()) {
     std::fprintf(stderr, "error: the decomposition models require a square matrix "
                          "(got %dx%d)\n", a.num_rows(), a.num_cols());
@@ -84,4 +79,9 @@ int main(int argc, char** argv) {
                 out->c_str());
   }
   return 0;
+} catch (const std::exception& e) {
+  for (const auto& w : fghp::drain_warnings())
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return fghp::exit_code(e);
 }

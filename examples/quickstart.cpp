@@ -14,10 +14,11 @@
 #include "spmv/reference.hpp"
 #include "sparse/stats.hpp"
 #include "sparse/testsuite.hpp"
+#include "util/error.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace fghp;
   const ArgParser args(argc, argv);
   const std::string name = args.flag("matrix").value_or("ken-11");
@@ -68,4 +69,9 @@ int main(int argc, char** argv) {
     maxErr = std::max(maxErr, std::abs(y[i] - yRef[i]));
   std::printf("distributed SpMV max |error| vs serial: %.3e\n", maxErr);
   return 0;
+} catch (const std::exception& e) {
+  for (const auto& w : fghp::drain_warnings())
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return fghp::exit_code(e);
 }

@@ -20,10 +20,11 @@
 #include "hypergraph/metrics.hpp"
 #include "partition/hg/partitioner.hpp"
 #include "sparse/generators.hpp"
+#include "util/error.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace fghp;
   const ArgParser args(argc, argv);
   const auto n = static_cast<idx_t>(args.flag_long("n", 4000));
@@ -125,4 +126,9 @@ int main(int argc, char** argv) {
               "(not realizable with the mandated owners)\n",
               static_cast<long long>(rFree.cutsize));
   return expand + fold == r.cutsize ? 0 : 1;
+} catch (const std::exception& e) {
+  for (const auto& w : fghp::drain_warnings())
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return fghp::exit_code(e);
 }

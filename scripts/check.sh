@@ -17,10 +17,40 @@ FGHP_THREADS=8 ./build-tsan/tests/test_parallel_rb
 
 echo "--- Address/UB sanitizers: Matrix Market reader ---"
 cmake -B build-asan -G Ninja -DFGHP_SANITIZE=address,undefined \
-      -DFGHP_BUILD_BENCH=OFF -DFGHP_BUILD_EXAMPLES=OFF > /dev/null
-cmake --build build-asan --target test_mmio test_sparse
+      -DFGHP_BUILD_BENCH=OFF -DFGHP_BUILD_EXAMPLES=ON > /dev/null
+cmake --build build-asan --target test_mmio test_sparse test_fault test_errors fghp_tool
 ./build-asan/tests/test_mmio
 ./build-asan/tests/test_sparse
+./build-asan/tests/test_fault
+./build-asan/tests/test_errors
+
+echo "--- fault-injection sweep (ASan/UBSan) ---"
+# Inject every registered fault site once into a real partition->simulate
+# pipeline. Each run must either recover (exit 0) or fail with its typed
+# error category (exit 3..7) — never a crash (>= 128), a generic failure (1)
+# or a usage error (2).
+ftmp=$(mktemp -d)
+tool=./build-asan/examples/fghp_tool
+"$tool" gen sherman3 --out "$ftmp/m.mtx" --scale 0.15 > /dev/null
+"$tool" partition "$ftmp/m.mtx" --model finegrain --k 4 --out "$ftmp/d.decomp" > /dev/null
+check_rc() {  # $1 = site, $2 = command name, $3 = exit code
+  case "$3" in
+    0|[3-7]) echo "  site $1 ($2) -> exit $3 (ok)" ;;
+    *) echo "  site $1 ($2) -> exit $3 (NOT a typed error)"
+       cat "$ftmp/err.txt"; exit 1 ;;
+  esac
+}
+for site in $("$tool" faults); do
+  rc=0
+  FGHP_FAULT_SPEC="$site:1" "$tool" partition "$ftmp/m.mtx" --model finegrain --k 4 \
+      --strict --out "$ftmp/d2.decomp" > /dev/null 2> "$ftmp/err.txt" || rc=$?
+  check_rc "$site" partition "$rc"
+  rc=0
+  FGHP_FAULT_SPEC="$site:1" "$tool" simulate "$ftmp/m.mtx" "$ftmp/d.decomp" --reps 1 \
+      > /dev/null 2> "$ftmp/err.txt" || rc=$?
+  check_rc "$site" simulate "$rc"
+done
+rm -rf "$ftmp"
 
 echo "--- examples ---"
 ./build/examples/quickstart --matrix sherman3 --scale 0.25 --k 8

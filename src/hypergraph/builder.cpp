@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault.hpp"
+
 namespace fghp::hg {
 
 HypergraphBuilder::HypergraphBuilder(idx_t numVertices) {
@@ -41,6 +43,7 @@ void HypergraphBuilder::add_pin(idx_t net, idx_t vertex) {
 }
 
 Hypergraph HypergraphBuilder::build() && {
+  fault::check("hg.build");
   std::vector<idx_t> xpins;
   xpins.reserve(netPins_.size() + 1);
   xpins.push_back(0);

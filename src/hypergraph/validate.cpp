@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace fghp::hg {
 
@@ -47,7 +48,55 @@ void validate_or_throw(const Hypergraph& h) {
   std::ostringstream os;
   os << "invalid hypergraph:";
   for (const auto& p : problems) os << "\n  - " << p;
-  throw std::logic_error(os.str());
+  throw InvariantError(os.str());
+}
+
+std::vector<std::string> validate_partition(const Hypergraph& h, const Partition& p) {
+  std::vector<std::string> problems;
+
+  const idx_t K = p.num_parts();
+  std::vector<weight_t> recount(static_cast<std::size_t>(K), 0);
+  for (idx_t v = 0; v < h.num_vertices(); ++v) {
+    const idx_t part = p.part_of(v);
+    if (part < 0 || part >= K) {
+      std::ostringstream os;
+      if (part == kInvalidIdx) {
+        os << "vertex " << v << " is unassigned";
+      } else {
+        os << "vertex " << v << " has part " << part << " outside [0, " << K << ")";
+      }
+      problems.push_back(os.str());
+      continue;
+    }
+    recount[static_cast<std::size_t>(part)] += h.vertex_weight(v);
+  }
+
+  for (idx_t k = 0; k < K; ++k) {
+    const weight_t cached = p.part_weight(k);
+    const weight_t fresh = recount[static_cast<std::size_t>(k)];
+    if (cached != fresh) {
+      std::ostringstream os;
+      os << "part " << k << " cached weight " << cached
+         << " disagrees with recounted weight " << fresh;
+      problems.push_back(os.str());
+    }
+  }
+
+  return problems;
+}
+
+void validate_partition_or_throw(const Hypergraph& h, const Partition& p,
+                                 const std::string& phase) {
+  const auto problems = validate_partition(h, p);
+  if (problems.empty()) return;
+  std::ostringstream os;
+  os << "invalid partition";
+  if (!phase.empty()) os << " after phase '" << phase << "'";
+  os << ":";
+  for (const auto& msg : problems) os << "\n  - " << msg;
+  ErrorContext ctx;
+  ctx.phase = phase;
+  throw InvariantError(os.str(), std::move(ctx));
 }
 
 }  // namespace fghp::hg

@@ -1,11 +1,13 @@
-// Deep structural validation of a hypergraph — used by tests and by the
-// model builders after construction.
+// Deep structural validation of a hypergraph — used by tests, by the
+// model builders after construction, and by the partitioner between
+// pipeline phases when PartitionConfig::validateLevel is kStrict.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "hypergraph/hypergraph.hpp"
+#include "hypergraph/partition.hpp"
 
 namespace fghp::hg {
 
@@ -15,7 +17,20 @@ namespace fghp::hg {
 ///  * per-net pin counts inconsistent with offsets.
 std::vector<std::string> validate(const Hypergraph& h);
 
-/// Throws std::logic_error listing all problems if validate() is non-empty.
+/// Throws fghp::InvariantError listing all problems if validate() is
+/// non-empty.
 void validate_or_throw(const Hypergraph& h);
+
+/// Returns a list of human-readable problems with a partition of h
+/// (empty = valid):
+///  * unassigned vertices or part ids outside [0, num_parts),
+///  * cached part weights inconsistent with a fresh recount.
+std::vector<std::string> validate_partition(const Hypergraph& h, const Partition& p);
+
+/// Throws fghp::InvariantError listing all problems if validate_partition()
+/// is non-empty. `phase` (optional) labels where in the pipeline the check
+/// ran and is attached to the error context.
+void validate_partition_or_throw(const Hypergraph& h, const Partition& p,
+                                 const std::string& phase = {});
 
 }  // namespace fghp::hg

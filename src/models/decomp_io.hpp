@@ -1,8 +1,9 @@
 // Decomposition serialization: a small line-oriented text format so owner
 // maps can be produced once (partitioning is the expensive step) and reused
-// by downstream runtimes. Format:
+// by downstream runtimes. Format (version 2; version-1 files without the
+// checksum line are still read):
 //
-//   fghp-decomposition 1
+//   fghp-decomposition 2
 //   procs <K>
 //   nnz <Z>
 //   <owner of entry 0, CSR order>
@@ -10,6 +11,11 @@
 //   vec <M>
 //   <xOwner[0]> <yOwner[0]>
 //   ...
+//   checksum <16 hex digits>
+//
+// The trailing checksum (FNV-1a over counts and every owner value) rejects
+// truncated, bit-flipped or hand-edited files that would otherwise pass the
+// per-line range checks and silently load a garbage decomposition.
 #pragma once
 
 #include <iosfwd>
@@ -20,14 +26,15 @@
 
 namespace fghp::model {
 
-/// Writes the decomposition.
+/// Writes the decomposition (version-2 format, with trailing checksum).
 void write_decomposition(std::ostream& out, const Decomposition& d);
 void write_decomposition_file(const std::string& path, const Decomposition& d);
 
-/// Parses a decomposition; throws std::runtime_error with a line-numbered
-/// message on malformed input. Validate against the target matrix with
+/// Parses a decomposition; throws fghp::FormatError with a line-numbered
+/// message (and `path`, if given, as context) on malformed, truncated or
+/// checksum-mismatching input. Validate against the target matrix with
 /// model::validate before use.
-Decomposition read_decomposition(std::istream& in);
+Decomposition read_decomposition(std::istream& in, const std::string& path = "");
 Decomposition read_decomposition_file(const std::string& path);
 
 }  // namespace fghp::model

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "hypergraph/metrics.hpp"
 #include "util/types.hpp"
@@ -22,6 +23,13 @@ enum class InitialAlgo {
   kGreedyGrowing,  ///< GHG: grow one side by best-gain moves from a seed
   kRandom,         ///< random balanced assignment (+ FM)
   kMixed,          ///< alternate both across the initial runs (default)
+};
+
+enum class ValidateLevel {
+  kNone,    ///< trust the caller; only debug asserts
+  kBasic,   ///< the always-on preconditions (default)
+  kStrict,  ///< also deep-validate the hypergraph and the partition between
+            ///< pipeline phases (InvariantError on any inconsistency)
 };
 
 struct PartitionConfig {
@@ -83,6 +91,19 @@ struct PartitionConfig {
   /// Sub-problems with fewer vertices than this recurse serially — forking
   /// a task costs more than partitioning a tiny side.
   idx_t minParallelVertices = 2048;
+
+  /// Attempts per bisection node before degrading to the deterministic
+  /// greedy split: attempt 0 is the normal run; each retry reseeds the Rng
+  /// stream and relaxes the per-side caps. Every retry and fallback is
+  /// recorded in the warning log and counted in HgResult::numRecoveries.
+  idx_t maxBisectAttempts = 3;
+
+  /// How much consistency checking runs between pipeline phases.
+  ValidateLevel validateLevel = ValidateLevel::kBasic;
+
+  /// Fault-injection spec installed for this run (see util/fault.hpp);
+  /// empty = leave the process-global spec (FGHP_FAULT_SPEC) in place.
+  std::string faultSpec;
 };
 
 }  // namespace fghp::part

@@ -6,6 +6,7 @@
 #include "partition/hg/initial.hpp"
 #include "partition/hg/refine.hpp"
 #include "partition/phase_timers.hpp"
+#include "util/fault.hpp"
 
 namespace fghp::part::hgb {
 
@@ -46,6 +47,7 @@ hg::Partition multilevel_bisect(const hg::Hypergraph& h, const std::array<weight
 
   // --- Uncoarsening + refinement -------------------------------------------
   ScopedPhase refinePhase(Phase::kRefine);
+  fault::check("fm.refine");
   hgr::BisectionFM fm(cfg);
   fm.set_fixed(curFixed);
   fm.refine(*cur, p, maxWeight, rng);

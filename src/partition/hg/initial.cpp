@@ -137,6 +137,35 @@ hg::Partition ghg_bisection(const hg::Hypergraph& h, const std::array<weight_t, 
   return p;
 }
 
+hg::Partition greedy_bisection(const hg::Hypergraph& h, const std::array<weight_t, 2>& target,
+                               const FixedSides& fixed) {
+  hg::Partition p(h, 2);
+  std::array<weight_t, 2> room = target;
+  if (!fixed.empty()) {
+    for (idx_t v = 0; v < h.num_vertices(); ++v) {
+      const signed char side = fixed[static_cast<std::size_t>(v)];
+      if (side >= 0) {
+        p.assign(h, v, side);
+        room[static_cast<std::size_t>(side)] -= h.vertex_weight(v);
+      }
+    }
+  }
+  std::vector<idx_t> order;
+  order.reserve(static_cast<std::size_t>(h.num_vertices()));
+  for (idx_t v = 0; v < h.num_vertices(); ++v) {
+    if (!p.assigned(v)) order.push_back(v);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](idx_t a, idx_t b) {
+    return h.vertex_weight(a) > h.vertex_weight(b);
+  });
+  for (idx_t v : order) {
+    const idx_t side = room[0] >= room[1] ? 0 : 1;
+    p.assign(h, v, side);
+    room[static_cast<std::size_t>(side)] -= h.vertex_weight(v);
+  }
+  return p;
+}
+
 hg::Partition initial_bisection(const hg::Hypergraph& h, const std::array<weight_t, 2>& target,
                                 const std::array<weight_t, 2>& maxWeight,
                                 const PartitionConfig& cfg, Rng& rng,

@@ -34,4 +34,13 @@ hg::Partition initial_bisection(const hg::Hypergraph& h, const std::array<weight
                                 const PartitionConfig& cfg, Rng& rng,
                                 const FixedSides& fixed = {});
 
+/// Deterministic last-resort split used when every multilevel bisection
+/// attempt failed (see PartitionConfig::maxBisectAttempts): longest-
+/// processing-time-first — vertices in decreasing weight order (ties by id)
+/// go to the side with more remaining room. Ignores the cut entirely but
+/// always yields a complete bisection whose balance is as good as the
+/// vertex weights permit. Fixed vertices land on their pinned side.
+hg::Partition greedy_bisection(const hg::Hypergraph& h, const std::array<weight_t, 2>& target,
+                               const FixedSides& fixed = {});
+
 }  // namespace fghp::part::hgi

@@ -1,8 +1,12 @@
 #include "partition/hg/partitioner.hpp"
 
+#include <optional>
+
+#include "hypergraph/validate.hpp"
 #include "partition/hg/kway_refine.hpp"
 #include "partition/hg/recursive.hpp"
 #include "partition/hg/vcycle.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -11,16 +15,23 @@ namespace fghp::part {
 namespace {
 
 /// One full pipeline run: RB, balance repair, K-way polish, V-cycles.
+/// Adds any bisection recoveries taken into `recoveries`.
 hg::Partition run_pipeline(const hg::Hypergraph& h, idx_t K, const PartitionConfig& cfg,
-                           Rng& rng, const std::vector<idx_t>& fixedPart) {
+                           Rng& rng, const std::vector<idx_t>& fixedPart,
+                           idx_t& recoveries) {
+  const bool strict = cfg.validateLevel == ValidateLevel::kStrict;
   hgrb::RecursiveResult rb = hgrb::partition_recursive(h, K, cfg, rng, fixedPart);
+  recoveries += rb.numRecoveries;
+  if (strict) hg::validate_partition_or_throw(h, rb.partition, "recursive-bisection");
   if (K > 1 && !hg::is_balanced(h, rb.partition, cfg.epsilon)) {
     // Integer rounding of per-level tolerances can compound on small
     // sub-problems; repair before (or instead of) the quality polish.
     hgk::kway_rebalance(h, rb.partition, cfg.epsilon, rng, fixedPart);
+    if (strict) hg::validate_partition_or_throw(h, rb.partition, "rebalance");
   }
   if (cfg.kwayRefine && K > 2 && cfg.metric == hg::CutMetric::kConnectivity) {
     hgk::kway_refine(h, rb.partition, cfg, rng, fixedPart);
+    if (strict) hg::validate_partition_or_throw(h, rb.partition, "kway-refine");
   }
   // V-cycles move whole clusters, which could smuggle a fixed vertex across
   // parts; run them only on fully free instances.
@@ -28,6 +39,7 @@ hg::Partition run_pipeline(const hg::Hypergraph& h, idx_t K, const PartitionConf
     for (idx_t cycle = 0; cycle < cfg.vcycles; ++cycle) {
       if (hgv::vcycle_refine(h, rb.partition, cfg, rng) == 0) break;
     }
+    if (strict) hg::validate_partition_or_throw(h, rb.partition, "vcycle");
   }
   return std::move(rb.partition);
 }
@@ -39,13 +51,22 @@ HgResult partition_hypergraph(const hg::Hypergraph& h, idx_t K, const PartitionC
   FGHP_REQUIRE(K >= 1, "K must be positive");
   FGHP_REQUIRE(cfg.numRestarts >= 1, "need at least one restart");
   WallTimer timer;
-  Rng rng(cfg.seed);
 
-  hg::Partition best = run_pipeline(h, K, cfg, rng, fixedPart);
+  // Scope the configured fault spec to this call; an empty spec leaves any
+  // process-global (FGHP_FAULT_SPEC) installation untouched.
+  std::optional<fault::ScopedSpec> faultScope;
+  if (!cfg.faultSpec.empty()) faultScope.emplace(cfg.faultSpec);
+
+  if (cfg.validateLevel == ValidateLevel::kStrict) hg::validate_or_throw(h);
+
+  Rng rng(cfg.seed);
+  idx_t recoveries = 0;
+
+  hg::Partition best = run_pipeline(h, K, cfg, rng, fixedPart, recoveries);
   weight_t bestCut = hg::cutsize(h, best, cfg.metric);
   for (idx_t restart = 1; restart < cfg.numRestarts; ++restart) {
     Rng restartRng = rng.spawn();
-    hg::Partition candidate = run_pipeline(h, K, cfg, restartRng, fixedPart);
+    hg::Partition candidate = run_pipeline(h, K, cfg, restartRng, fixedPart, recoveries);
     const weight_t cut = hg::cutsize(h, candidate, cfg.metric);
     // Prefer a feasible candidate, then the lower cut.
     const bool candFeasible = hg::is_balanced(h, candidate, cfg.epsilon);
@@ -62,6 +83,7 @@ HgResult partition_hypergraph(const hg::Hypergraph& h, idx_t K, const PartitionC
   out.cutsize = bestCut;
   out.numCutNets = hg::num_cut_nets(h, best);
   out.imbalance = hg::imbalance(h, best);
+  out.numRecoveries = recoveries;
   out.partition = std::move(best);
   return out;
 }

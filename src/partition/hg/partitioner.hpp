@@ -15,6 +15,8 @@ struct HgResult {
   idx_t numCutNets = 0;
   double imbalance = 0.0;     ///< max part weight / avg - 1
   double seconds = 0.0;       ///< wall-clock partitioning time
+  idx_t numRecoveries = 0;    ///< bisection retries/fallbacks taken, summed
+                              ///< over every restart (0 = clean run)
 };
 
 /// Partitions h into K equally-weighted parts minimizing cfg.metric.
@@ -25,6 +27,13 @@ struct HgResult {
 /// whose input/output elements are pre-assigned to processors ("those part
 /// vertices must be fixed to corresponding parts during the partitioning").
 /// Fixed vertices are honored exactly; refinement never moves them.
+///
+/// Robustness: when cfg.faultSpec is non-empty it is installed as the
+/// process fault spec for the duration of the call (util/fault.hpp).
+/// Recoverable bisection failures are retried (see hgrb::partition_recursive)
+/// and counted in HgResult::numRecoveries; cfg.validateLevel == kStrict
+/// additionally runs deep hypergraph and partition invariant checks between
+/// pipeline phases, throwing fghp::InvariantError on violation.
 HgResult partition_hypergraph(const hg::Hypergraph& h, idx_t K, const PartitionConfig& cfg,
                               const std::vector<idx_t>& fixedPart = {});
 

@@ -2,11 +2,15 @@
 
 #include <atomic>
 #include <cmath>
+#include <sstream>
 
 #include "hypergraph/metrics.hpp"
 #include "partition/hg/bisect.hpp"
+#include "partition/hg/initial.hpp"
 #include "partition/hg/refine.hpp"
 #include "partition/phase_timers.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fghp::part::hgrb {
@@ -74,9 +78,83 @@ struct Recurser {
   const std::vector<idx_t>& fixedPart;    // original vertex -> pinned part (or empty)
   ThreadPool* pool = nullptr;             // nullptr = serial recursion
   // The two subtrees of a bisection write disjoint finalPart ranges, so the
-  // only shared accumulation is the cut total; integer adds commute, keeping
-  // the sum exact and thread-count independent.
+  // only shared accumulations are the cut total and the recovery count;
+  // integer adds commute, keeping both exact and thread-count independent.
   std::atomic<weight_t> cutAccum{0};
+  std::atomic<idx_t> recoveries{0};
+
+  /// One bisection with bounded recovery. Attempt 0 replays the normal
+  /// stream (byte-identical to the non-recovering code when it succeeds);
+  /// each retry derives a fresh Rng stream from the same base and widens
+  /// the per-side caps by 50% more of the original slack. An infeasible
+  /// result (side over its cap) is retried like a thrown error, but the
+  /// best complete partition seen is kept as the answer if no attempt is
+  /// feasible — matching the old best-effort contract. Only when *every*
+  /// attempt throws does the node degrade to the deterministic greedy
+  /// split. All decisions are functions of (inputs, seed, fault spec), so
+  /// the outcome is identical at any thread count.
+  hg::Partition bisect_with_recovery(const hg::Hypergraph& h,
+                                     const std::array<weight_t, 2>& target,
+                                     const std::array<weight_t, 2>& maxWeight,
+                                     const hgc::FixedSides& fixed, const Rng& base,
+                                     idx_t partOffset) {
+    const idx_t attempts = std::max<idx_t>(1, cfg.maxBisectAttempts);
+    hg::Partition best;
+    bool haveBest = false;
+    for (idx_t a = 0; a < attempts; ++a) {
+      Rng attemptRng = base;
+      for (idx_t i = 0; i < a; ++i) attemptRng = attemptRng.spawn();
+      std::array<weight_t, 2> cap = maxWeight;
+      if (a > 0) {
+        for (std::size_t s = 0; s < 2; ++s) {
+          const double slack = static_cast<double>(maxWeight[s] - target[s]);
+          cap[s] = target[s] +
+                   static_cast<weight_t>(std::ceil(slack * (1.0 + 0.5 * a))) + a;
+        }
+      }
+      try {
+        fault::check(a == 0 ? "rb.bisect" : "rb.retry", partOffset + 1);
+        hg::Partition p = hgb::multilevel_bisect(h, target, cap, cfg, attemptRng, fixed);
+        const bool feasible =
+            p.part_weight(0) <= cap[0] && p.part_weight(1) <= cap[1];
+        if (feasible) {
+          if (a > 0) {
+            recoveries.fetch_add(1, std::memory_order_relaxed);
+            std::ostringstream os;
+            os << "bisection at part offset " << partOffset << " recovered on attempt "
+               << a + 1 << " of " << attempts << " (reseeded rng, relaxed caps)";
+            push_warning(os.str());
+          }
+          return p;
+        }
+        std::ostringstream os;
+        os << "infeasible bisection at part offset " << partOffset << " (attempt "
+           << a + 1 << " of " << attempts << "): side weights " << p.part_weight(0)
+           << "/" << p.part_weight(1) << " exceed caps " << cap[0] << "/" << cap[1];
+        if (!haveBest) {
+          best = std::move(p);
+          haveBest = true;
+        }
+        throw InfeasibleError(os.str());
+      } catch (const std::exception& e) {
+        std::ostringstream os;
+        os << "bisection attempt " << a + 1 << " of " << attempts << " at part offset "
+           << partOffset << " failed: " << e.what();
+        push_warning(os.str());
+      }
+    }
+    recoveries.fetch_add(1, std::memory_order_relaxed);
+    if (haveBest) {
+      // Every attempt was infeasible but at least one completed; keep the
+      // first (lowest-cut FM output) and let the K-way rebalance repair it.
+      push_warning("bisection at part offset " + std::to_string(partOffset) +
+                   " stayed infeasible after all attempts; keeping best-effort result");
+      return best;
+    }
+    push_warning("bisection at part offset " + std::to_string(partOffset) +
+                 " failed every attempt; degrading to the deterministic greedy split");
+    return hgi::greedy_bisection(h, target, fixed);
+  }
 
   void run(const hg::Hypergraph& h, const std::vector<idx_t>& toOrig, idx_t K,
            idx_t partOffset, Rng rng) {
@@ -121,7 +199,8 @@ struct Recurser {
     // count (DESIGN.md invariant 7).
     Rng childRng0 = rng.spawn();
     Rng childRng1 = rng.spawn();
-    hg::Partition bisection = hgb::multilevel_bisect(h, target, maxWeight, cfg, rng, fixed);
+    hg::Partition bisection =
+        bisect_with_recovery(h, target, maxWeight, fixed, rng, partOffset);
     cutAccum.fetch_add(hgr::BisectionFM::compute_cut(h, bisection),
                        std::memory_order_relaxed);
 
@@ -177,7 +256,8 @@ RecursiveResult partition_recursive(const hg::Hypergraph& h, idx_t K,
   rec.run(h, identity, K, 0, rng.spawn());
 
   RecursiveResult out{hg::Partition(h, K, std::move(finalPart)),
-                      rec.cutAccum.load(std::memory_order_relaxed)};
+                      rec.cutAccum.load(std::memory_order_relaxed),
+                      rec.recoveries.load(std::memory_order_relaxed)};
   return out;
 }
 

@@ -30,12 +30,22 @@ SideExtract extract_side(const hg::Hypergraph& h, const hg::Partition& bisection
 struct RecursiveResult {
   hg::Partition partition;       ///< final K-way partition on the input H
   weight_t sumOfBisectionCuts;   ///< telescoped per-level cut costs
+  idx_t numRecoveries = 0;       ///< bisection retries + greedy fallbacks taken
 };
 
 /// Partitions h into K parts by recursive multilevel bisection. Deterministic
 /// in (h, K, cfg.seed). `fixedPart` (optional; kInvalidIdx = free) pins
 /// vertices to final parts — the paper's §3 mechanism for reduction problems
 /// whose inputs/outputs are pre-assigned to processors.
+///
+/// Failure recovery (bounded by cfg.maxBisectAttempts): a bisection node
+/// whose multilevel bisect throws (injected fault, internal error) or comes
+/// back infeasible is retried with a reseeded Rng stream and relaxed
+/// per-side caps; if every attempt throws, the node degrades to the
+/// deterministic greedy split (hgi::greedy_bisection). Every retry and
+/// fallback pushes a warning (util/error.hpp) and counts in numRecoveries.
+/// Recovery decisions depend only on (inputs, seed, fault spec), never on
+/// scheduling, so the partition stays identical at any thread count.
 RecursiveResult partition_recursive(const hg::Hypergraph& h, idx_t K,
                                     const PartitionConfig& cfg, Rng& rng,
                                     const std::vector<idx_t>& fixedPart = {});

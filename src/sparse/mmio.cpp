@@ -2,20 +2,25 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 
 #include "sparse/convert.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace fghp::sparse {
 
 namespace {
 
-[[noreturn]] void fail(long line, const std::string& what) {
-  std::ostringstream os;
-  os << "MatrixMarket parse error at line " << line << ": " << what;
-  throw std::runtime_error(os.str());
+[[noreturn]] void fail(const std::string& path, long line, const std::string& what) {
+  ErrorContext ctx;
+  ctx.path = path;
+  ctx.line = line;
+  throw FormatError("MatrixMarket parse error at line " + std::to_string(line) + ": " + what,
+                    std::move(ctx));
 }
 
 std::string lower(std::string s) {
@@ -40,43 +45,47 @@ bool blank_or_comment(const std::string& line) {
 
 }  // namespace
 
-Csr read_matrix_market(std::istream& in) {
+Csr read_matrix_market(std::istream& in, const std::string& path) {
   std::string line;
   long lineNo = 0;
 
-  if (!getline_clean(in, line)) fail(1, "empty input");
+  if (!getline_clean(in, line)) fail(path, 1, "empty input");
   ++lineNo;
 
   std::istringstream banner(line);
   std::string tag, object, format, field, symmetry;
   banner >> tag >> object >> format >> field >> symmetry;
-  if (tag != "%%MatrixMarket") fail(lineNo, "missing %%MatrixMarket banner");
+  if (tag != "%%MatrixMarket") fail(path, lineNo, "missing %%MatrixMarket banner");
   object = lower(object);
   format = lower(format);
   field = lower(field);
   symmetry = lower(symmetry);
-  if (object != "matrix") fail(lineNo, "unsupported object '" + object + "'");
-  if (format != "coordinate") fail(lineNo, "only coordinate format is supported");
+  if (object != "matrix") fail(path, lineNo, "unsupported object '" + object + "'");
+  if (format != "coordinate") fail(path, lineNo, "only coordinate format is supported");
   const bool pattern = field == "pattern";
   if (field != "real" && field != "integer" && field != "pattern")
-    fail(lineNo, "unsupported field '" + field + "'");
+    fail(path, lineNo, "unsupported field '" + field + "'");
   const bool symmetric = symmetry == "symmetric";
   const bool skew = symmetry == "skew-symmetric";
   if (!symmetric && !skew && symmetry != "general")
-    fail(lineNo, "unsupported symmetry '" + symmetry + "'");
+    fail(path, lineNo, "unsupported symmetry '" + symmetry + "'");
 
   // Skip comments / blank lines until the size line.
   long rows = -1, cols = -1, declared = -1;
+  bool haveSize = false;
   while (getline_clean(in, line)) {
     ++lineNo;
     if (blank_or_comment(line)) continue;
     std::istringstream sz(line);
-    if (!(sz >> rows >> cols >> declared)) fail(lineNo, "malformed size line");
+    if (!(sz >> rows >> cols >> declared)) fail(path, lineNo, "malformed size line");
+    haveSize = true;
     break;
   }
-  if (rows < 0) fail(lineNo, "missing size line");
+  if (!haveSize) fail(path, lineNo, "missing size line");
+  if (rows < 0 || cols < 0 || declared < 0)
+    fail(path, lineNo, "size line entries must be non-negative");
   if (rows == 0 || cols == 0) {
-    if (declared != 0) fail(lineNo, "empty matrix cannot declare nonzeros");
+    if (declared != 0) fail(path, lineNo, "empty matrix cannot declare nonzeros");
     return to_csr(Coo(static_cast<idx_t>(rows), static_cast<idx_t>(cols)));
   }
 
@@ -85,17 +94,30 @@ Csr read_matrix_market(std::istream& in) {
   while (seen < declared && getline_clean(in, line)) {
     ++lineNo;
     if (blank_or_comment(line)) continue;
+    fault::check("mmio.read", seen + 1);
     std::istringstream es(line);
     long r, c;
     double v = 1.0;
-    if (!(es >> r >> c)) fail(lineNo, "malformed entry");
-    if (!pattern && !(es >> v)) fail(lineNo, "missing value");
-    if (r < 1 || r > rows || c < 1 || c > cols) fail(lineNo, "index out of range");
+    if (!(es >> r >> c)) fail(path, lineNo, "malformed entry");
+    if (!pattern) {
+      // strtod, not operator>>: the latter refuses "nan" / "inf" spellings
+      // outright, which would misreport them as missing instead of rejecting
+      // them as non-finite.
+      std::string vtok;
+      if (!(es >> vtok)) fail(path, lineNo, "missing value");
+      char* end = nullptr;
+      v = std::strtod(vtok.c_str(), &end);
+      if (end != vtok.c_str() + vtok.size())
+        fail(path, lineNo, "malformed value '" + vtok + "'");
+      if (!std::isfinite(v)) fail(path, lineNo, "non-finite value (NaN or Inf)");
+    }
+    if (r < 1 || c < 1) fail(path, lineNo, "indices must be positive (1-based)");
+    if (r > rows || c > cols) fail(path, lineNo, "index out of range");
     const auto ri = static_cast<idx_t>(r - 1);
     const auto ci = static_cast<idx_t>(c - 1);
     if ((symmetric || skew) && ci > ri)
-      fail(lineNo, "upper-triangle entry in symmetric storage");
-    if (skew && ci == ri) fail(lineNo, "diagonal entry in skew-symmetric storage");
+      fail(path, lineNo, "upper-triangle entry in symmetric storage");
+    if (skew && ci == ri) fail(path, lineNo, "diagonal entry in skew-symmetric storage");
     coo.add(ri, ci, v);
     if ((symmetric || skew) && ri != ci) coo.add(ci, ri, skew ? -v : v);
     ++seen;
@@ -104,7 +126,7 @@ Csr read_matrix_market(std::istream& in) {
     std::ostringstream os;
     os << "fewer entries than declared (got " << seen << " of " << declared
        << " before end of input)";
-    fail(lineNo, os.str());
+    fail(path, lineNo, os.str());
   }
   // Duplicate (r, c) entries accumulate — the Matrix Market convention for
   // assembled files — so the CSR below never carries duplicate columns in a
@@ -118,9 +140,10 @@ Csr read_matrix_market(std::istream& in) {
 }
 
 Csr read_matrix_market_file(const std::string& path) {
+  fault::check("mmio.open");
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
-  return read_matrix_market(in);
+  if (!in) throw IoError("cannot open for reading: " + path, at_path(path));
+  return read_matrix_market(in, path);
 }
 
 void write_matrix_market(std::ostream& out, const Csr& a) {
@@ -141,8 +164,10 @@ void write_matrix_market(std::ostream& out, const Csr& a) {
 
 void write_matrix_market_file(const std::string& path, const Csr& a) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (!out) throw IoError("cannot open for writing: " + path, at_path(path));
   write_matrix_market(out, a);
+  out.flush();
+  if (!out) throw IoError("write failed: " + path, at_path(path));
 }
 
 }  // namespace fghp::sparse

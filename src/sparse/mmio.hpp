@@ -15,17 +15,18 @@
 
 namespace fghp::sparse {
 
-/// Parses a Matrix Market stream. Throws std::runtime_error with a
-/// line-numbered message on malformed input.
-Csr read_matrix_market(std::istream& in);
+/// Parses a Matrix Market stream. Throws fghp::FormatError with a
+/// line-numbered message (and `path`, if given, as context) on malformed
+/// input — including NaN/Inf values and non-positive indices.
+Csr read_matrix_market(std::istream& in, const std::string& path = "");
 
-/// Convenience file wrapper; throws std::runtime_error if unreadable.
+/// Convenience file wrapper; throws fghp::IoError if unreadable.
 Csr read_matrix_market_file(const std::string& path);
 
 /// Writes `a` in coordinate/real/general form (1-based indices).
 void write_matrix_market(std::ostream& out, const Csr& a);
 
-/// Convenience file wrapper; throws std::runtime_error if unwritable.
+/// Convenience file wrapper; throws fghp::IoError if unwritable.
 void write_matrix_market_file(const std::string& path, const Csr& a);
 
 }  // namespace fghp::sparse

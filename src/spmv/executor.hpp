@@ -11,8 +11,12 @@
 namespace fghp::spmv {
 
 struct ExecStats {
-  weight_t wordsSent = 0;   ///< total words moved (expand + fold)
-  idx_t messagesSent = 0;   ///< directed messages (expand + fold)
+  weight_t wordsSent = 0;     ///< total words moved (expand + fold)
+  idx_t messagesSent = 0;     ///< directed messages (expand + fold)
+  idx_t taskRetries = 0;      ///< MT executor tasks that failed once and were
+                              ///< retried (0 for the serial executor)
+  bool serialFallback = false;  ///< MT executor degraded to the serial path
+                                ///< after a task failed its retry
 };
 
 /// Runs one distributed y = A x under the plan. The plan must come from the

@@ -49,4 +49,17 @@ struct SpmvPlan {
 /// messages themselves are sorted.
 SpmvPlan build_plan(const sparse::Csr& a, const model::Decomposition& d);
 
+/// Returns a list of human-readable problems with a plan (empty = valid):
+///  * proc count / index ranges inconsistent with numProcs/numRows/numCols,
+///  * ragged local nonzero arrays (rows/cols/vals length mismatch),
+///  * x or y ids owned by zero or multiple processors,
+///  * a recv whose pairIndex does not point back at the matching send
+///    (peer or id list disagrees).
+std::vector<std::string> validate_plan(const SpmvPlan& plan);
+
+/// Throws fghp::InvariantError listing all problems if validate_plan() is
+/// non-empty. Run by the tools before executing a plan built from an
+/// untrusted (file-loaded) decomposition.
+void validate_plan_or_throw(const SpmvPlan& plan);
+
 }  // namespace fghp::spmv

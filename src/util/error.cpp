@@ -1,0 +1,126 @@
+#include "util/error.hpp"
+
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+namespace fghp {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kGeneric: return "error";
+    case ErrorCode::kUsage: return "usage";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kFormat: return "format";
+    case ErrorCode::kInvariant: return "invariant";
+    case ErrorCode::kInfeasible: return "infeasible";
+    case ErrorCode::kFault: return "fault";
+  }
+  return "error";
+}
+
+std::string Error::decorate(const std::string& what, const ErrorContext& ctx) {
+  std::ostringstream os;
+  os << what;
+  if (!ctx.path.empty() && ctx.line > 0) {
+    os << " (" << ctx.path << ", line " << ctx.line << ")";
+  } else if (!ctx.path.empty()) {
+    os << " (" << ctx.path << ")";
+  } else if (ctx.line > 0) {
+    os << " (line " << ctx.line << ")";
+  }
+  if (!ctx.phase.empty()) os << " [" << ctx.phase << "]";
+  if (ctx.part >= 0) os << " (part " << ctx.part << ")";
+  return os.str();
+}
+
+Error::Error(ErrorCode code, const std::string& what, ErrorContext ctx)
+    : std::runtime_error(decorate(what, ctx)), code_(code), ctx_(std::move(ctx)) {}
+
+namespace {
+
+/// Common category of a set of exceptions (kGeneric when mixed or unknown).
+ErrorCode common_code(const std::vector<std::exception_ptr>& errors) {
+  ErrorCode common = ErrorCode::kGeneric;
+  bool first = true;
+  for (const auto& ep : errors) {
+    ErrorCode code = ErrorCode::kGeneric;
+    try {
+      std::rethrow_exception(ep);
+    } catch (const Error& e) {
+      code = e.code();
+    } catch (...) {
+    }
+    if (first) {
+      common = code;
+      first = false;
+    } else if (code != common) {
+      return ErrorCode::kGeneric;
+    }
+  }
+  return common;
+}
+
+std::string aggregate_message(const std::vector<std::exception_ptr>& errors) {
+  std::ostringstream os;
+  os << errors.size() << " concurrent tasks failed:";
+  for (const auto& ep : errors) {
+    os << "\n  - ";
+    try {
+      std::rethrow_exception(ep);
+    } catch (const std::exception& e) {
+      os << e.what();
+    } catch (...) {
+      os << "unknown exception";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+AggregateError::AggregateError(std::vector<std::exception_ptr> errors)
+    : Error(common_code(errors), aggregate_message(errors)), errors_(std::move(errors)) {}
+
+int exit_code(const std::exception& e) {
+  if (const auto* err = dynamic_cast<const Error*>(&e)) {
+    return static_cast<int>(err->code());
+  }
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    return static_cast<int>(ErrorCode::kUsage);
+  }
+  return static_cast<int>(ErrorCode::kGeneric);
+}
+
+namespace {
+
+std::mutex& warning_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<std::string>& warning_log() {
+  static std::vector<std::string> log;
+  return log;
+}
+
+}  // namespace
+
+void push_warning(std::string message) {
+  std::lock_guard<std::mutex> lk(warning_mutex());
+  warning_log().push_back(std::move(message));
+}
+
+std::vector<std::string> drain_warnings() {
+  std::lock_guard<std::mutex> lk(warning_mutex());
+  std::vector<std::string> out;
+  out.swap(warning_log());
+  return out;
+}
+
+std::size_t warning_count() {
+  std::lock_guard<std::mutex> lk(warning_mutex());
+  return warning_log().size();
+}
+
+}  // namespace fghp

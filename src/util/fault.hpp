@@ -1,0 +1,70 @@
+// Deterministic fault injection for testing the pipeline's failure and
+// recovery paths.
+//
+// The library is instrumented with named fault *sites* — file reads,
+// hypergraph build, bisection, refinement, executor tasks. A site fires
+// (throws FaultError) when the installed *spec* names it:
+//
+//   FGHP_FAULT_SPEC="mmio.read:3,rb.bisect:1"
+//
+// means "fail the Matrix Market entry read with ordinal 3 and the bisection
+// with ordinal 1". Each entry is `site[:ordinal]`; omitting the ordinal
+// matches every occurrence of the site. The spec is read from the
+// environment on first use, can be replaced programmatically
+// (install_spec / ScopedSpec), and per partitioner run via
+// PartitionConfig::faultSpec.
+//
+// Determinism: firing is a pure function of (site, ordinal) — there are no
+// hidden hit counters shared between threads. Call sites in parallel code
+// pass a scheduling-independent ordinal (the bisection node's part offset,
+// the executor task's processor index), so the same spec injects the same
+// logical faults at any thread count. Serial call sites use naturally
+// sequential ordinals (e.g. the entry index within a file).
+//
+// Recovery-path convention: a site that has a retry path exposes a second
+// `*.retry` site checked only on the retry attempt, so a spec naming only
+// the primary site exercises "fail once, recover", and naming both
+// exercises the degraded fallback (greedy split, serial executor).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fghp::fault {
+
+/// Every fault site compiled into the library, sorted; the sweep in
+/// scripts/check.sh enumerates these via `fghp_tool faults`.
+const std::vector<std::string>& known_sites();
+
+/// Parses and installs a spec, replacing the current one ("" disarms all
+/// sites). Throws FormatError on a syntax error or an unknown site name.
+void install_spec(const std::string& spec);
+
+/// The spec currently installed (normalized `site:ordinal` form).
+std::string current_spec();
+
+/// Fast check: false when no spec is installed (the common case — a single
+/// relaxed atomic load, safe on hot paths).
+bool enabled();
+
+/// True when the installed spec names `site` with a matching ordinal.
+bool should_fail(std::string_view site, long ordinal = 1);
+
+/// Throws FaultError when should_fail(site, ordinal).
+void check(std::string_view site, long ordinal = 1);
+
+/// Installs a spec for a scope and restores the previous one on exit.
+class ScopedSpec {
+ public:
+  explicit ScopedSpec(const std::string& spec);
+  ~ScopedSpec();
+
+  ScopedSpec(const ScopedSpec&) = delete;
+  ScopedSpec& operator=(const ScopedSpec&) = delete;
+
+ private:
+  std::string saved_;
+};
+
+}  // namespace fghp::fault

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "util/assert.hpp"
+#include "util/error.hpp"
 #include "util/options.hpp"
 
 namespace fghp {
@@ -112,7 +113,7 @@ void TaskGroup::run(std::function<void()> fn) {
 
 void TaskGroup::finish_one(std::exception_ptr err) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (err && !err_) err_ = err;
+  if (err) errs_.push_back(err);
   --pending_;
   if (pending_ == 0) done_.notify_all();
 }
@@ -135,10 +136,11 @@ void TaskGroup::wait() {
     done_.wait_for(lk, std::chrono::microseconds(200), [this] { return pending_ == 0; });
   }
   std::lock_guard<std::mutex> lk(mu_);
-  if (err_) {
-    std::exception_ptr err = err_;
-    err_ = nullptr;
-    std::rethrow_exception(err);
+  if (!errs_.empty()) {
+    std::vector<std::exception_ptr> errs;
+    errs.swap(errs_);
+    if (errs.size() == 1) std::rethrow_exception(errs.front());
+    throw AggregateError(std::move(errs));
   }
 }
 

@@ -82,8 +82,9 @@ class ThreadPool {
 /// Fork-join scope over a pool: run() forks a task, wait() joins all tasks
 /// forked through this group. wait() executes queued tasks itself instead of
 /// blocking, so nested groups in recursive code cannot deadlock even on a
-/// pool with zero workers. The first exception thrown by a task is rethrown
-/// from wait().
+/// pool with zero workers. Task exceptions are all collected: if exactly one
+/// task threw, wait() rethrows that exception unchanged; if several did,
+/// wait() throws an AggregateError carrying every one of them.
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
@@ -103,7 +104,7 @@ class TaskGroup {
   std::mutex mu_;
   std::condition_variable done_;
   long pending_ = 0;
-  std::exception_ptr err_;
+  std::vector<std::exception_ptr> errs_;
 };
 
 /// fn(i) for i in [0, n), in parallel on the pool (serial when the pool has

@@ -1,11 +1,14 @@
-// Decomposition serialization round-trips and malformed-input diagnostics.
+// Decomposition serialization round-trips, corruption detection (version-2
+// checksums), and malformed-input diagnostics.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "models/decomp_io.hpp"
 #include "models/finegrain.hpp"
 #include "sparse/generators.hpp"
+#include "util/error.hpp"
 
 namespace fghp::model {
 namespace {
@@ -86,6 +89,105 @@ TEST(DecompIo, ErrorMentionsLine) {
 
 TEST(DecompIo, MissingFileThrows) {
   EXPECT_THROW(read_decomposition_file("/nonexistent/x.decomp"), std::runtime_error);
+}
+
+// ------------------------------------------------- corruption detection ----
+
+std::string serialized(const Decomposition& d) {
+  std::ostringstream out;
+  write_decomposition(out, d);
+  return out.str();
+}
+
+TEST(DecompIo, WritesVersion2WithChecksum) {
+  const sparse::Csr a = sparse::random_square(20, 3, 11);
+  const std::string text = serialized(sample(a, 2, 12));
+  EXPECT_EQ(text.rfind("fghp-decomposition 2\n", 0), 0u);
+  EXPECT_NE(text.find("\nchecksum "), std::string::npos);
+}
+
+TEST(DecompIo, BitFlippedOwnerFailsChecksum) {
+  const sparse::Csr a = sparse::random_square(20, 3, 13);
+  std::string text = serialized(sample(a, 2, 14));
+  // Flip one owner digit in the body: 0 <-> 1 keeps the line parseable, so
+  // only the checksum can catch it.
+  const std::size_t body = text.find("nnz");
+  const std::size_t pos = text.find_first_of("01", text.find('\n', body));
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = text[pos] == '0' ? '1' : '0';
+  try {
+    parse(text);
+    FAIL() << "expected checksum failure";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(DecompIo, EditedProcCountFailsChecksum) {
+  const sparse::Csr a = sparse::random_square(20, 3, 15);
+  std::string text = serialized(sample(a, 4, 16));
+  const std::size_t pos = text.find("procs 4");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, "procs 8");  // wrong K, individually plausible owners
+  EXPECT_THROW(parse(text), FormatError);
+}
+
+TEST(DecompIo, WrongChecksumLineRejected) {
+  const sparse::Csr a = sparse::random_square(20, 3, 17);
+  std::string text = serialized(sample(a, 2, 18));
+  const std::size_t pos = text.find("checksum ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 9] = text[pos + 9] == '0' ? '1' : '0';
+  EXPECT_THROW(parse(text), FormatError);
+}
+
+TEST(DecompIo, TruncatedVersion2Rejected) {
+  const sparse::Csr a = sparse::random_square(20, 3, 19);
+  const std::string text = serialized(sample(a, 2, 20));
+  // Cut in the middle of the body: both a missing checksum line and missing
+  // owners must be flagged.
+  EXPECT_THROW(parse(text.substr(0, text.size() / 2)), FormatError);
+  // Cut just the checksum line off the end.
+  const std::size_t pos = text.find("checksum ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_THROW(parse(text.substr(0, pos)), FormatError);
+}
+
+TEST(DecompIo, CorruptFileRoundTripThroughDisk) {
+  const sparse::Csr a = sparse::random_square(30, 4, 21);
+  const Decomposition d = sample(a, 3, 22);
+  const std::string path = ::testing::TempDir() + "/fghp_decomp_corrupt.txt";
+  write_decomposition_file(path, d);
+  // Sanity: clean file reads back fine.
+  EXPECT_NO_THROW(read_decomposition_file(path));
+  // Corrupt one byte on disk.
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  const std::size_t body = text.find("nnz");
+  const std::size_t pos = text.find_first_of("0123456789", text.find('\n', body));
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = text[pos] == '9' ? '8' : '9';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  EXPECT_THROW(read_decomposition_file(path), FormatError);
+}
+
+TEST(DecompIo, Version1WithoutChecksumStillReads) {
+  // Files written before the checksum existed must stay loadable.
+  const Decomposition d =
+      parse("fghp-decomposition 1\nprocs 2\nnnz 2\n0\n1\nvec 2\n0 0\n1 1\n");
+  EXPECT_EQ(d.numProcs, 2);
+  EXPECT_EQ(d.nnzOwner.size(), 2u);
+}
+
+TEST(DecompIo, TypedErrors) {
+  EXPECT_THROW(parse("not a banner\n"), FormatError);
+  EXPECT_THROW(read_decomposition_file("/nonexistent/x.decomp"), IoError);
 }
 
 TEST(DecompIo, ValidateCatchesMatrixMismatch) {

@@ -1,0 +1,285 @@
+// Fault-injection registry semantics plus the recovery paths it exists to
+// exercise: bisection retry / greedy fallback (deterministic at any thread
+// count) and the MT executor's task retry / serial fallback.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "hypergraph/metrics.hpp"
+#include "hypergraph/validate.hpp"
+#include "models/finegrain.hpp"
+#include "partition/hg/partitioner.hpp"
+#include "sparse/generators.hpp"
+#include "spmv/executor_mt.hpp"
+#include "spmv/plan.hpp"
+#include "spmv/reference.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace fghp {
+namespace {
+
+// ----------------------------------------------------------- registry ----
+
+TEST(FaultSpec, DisarmedByDefault) {
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_FALSE(fault::should_fail("rb.bisect", 1));
+  EXPECT_NO_THROW(fault::check("rb.bisect", 1));
+}
+
+TEST(FaultSpec, KnownSitesSortedAndNonEmpty) {
+  const auto& sites = fault::known_sites();
+  ASSERT_FALSE(sites.empty());
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "rb.bisect"), sites.end());
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "mmio.read"), sites.end());
+}
+
+TEST(FaultSpec, OrdinalMatchingIsExact) {
+  fault::ScopedSpec spec("mmio.read:3");
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_FALSE(fault::should_fail("mmio.read", 2));
+  EXPECT_TRUE(fault::should_fail("mmio.read", 3));
+  EXPECT_FALSE(fault::should_fail("mmio.read", 4));
+  EXPECT_FALSE(fault::should_fail("mmio.open", 3));
+}
+
+TEST(FaultSpec, OmittedOrdinalMatchesEveryOccurrence) {
+  fault::ScopedSpec spec("rb.bisect");
+  EXPECT_TRUE(fault::should_fail("rb.bisect", 1));
+  EXPECT_TRUE(fault::should_fail("rb.bisect", 999));
+}
+
+TEST(FaultSpec, MultipleEntriesAndSpaces) {
+  fault::ScopedSpec spec(" mmio.read:2 , rb.bisect ");
+  EXPECT_TRUE(fault::should_fail("mmio.read", 2));
+  EXPECT_TRUE(fault::should_fail("rb.bisect", 7));
+  EXPECT_EQ(fault::current_spec(), "mmio.read:2,rb.bisect");
+}
+
+TEST(FaultSpec, RejectsUnknownSite) {
+  EXPECT_THROW(fault::install_spec("no.such.site"), FormatError);
+}
+
+TEST(FaultSpec, RejectsBadOrdinal) {
+  EXPECT_THROW(fault::install_spec("mmio.read:0"), FormatError);
+  EXPECT_THROW(fault::install_spec("mmio.read:-1"), FormatError);
+  EXPECT_THROW(fault::install_spec("mmio.read:x"), FormatError);
+}
+
+TEST(FaultSpec, CheckThrowsTypedErrorWithContext) {
+  fault::ScopedSpec spec("hg.build");
+  try {
+    fault::check("hg.build", 5);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFault);
+    EXPECT_EQ(e.context().phase, "hg.build");
+    EXPECT_EQ(e.context().part, 5);
+  }
+}
+
+TEST(FaultSpec, ScopedSpecRestores) {
+  fault::install_spec("");
+  {
+    fault::ScopedSpec outer("rb.bisect:1");
+    {
+      fault::ScopedSpec inner("mmio.read");
+      EXPECT_FALSE(fault::should_fail("rb.bisect", 1));
+      EXPECT_TRUE(fault::should_fail("mmio.read", 9));
+    }
+    EXPECT_TRUE(fault::should_fail("rb.bisect", 1));
+  }
+  EXPECT_FALSE(fault::enabled());
+}
+
+// ------------------------------------------------- bisection recovery ----
+
+part::HgResult partitionWith(const hg::Hypergraph& h, idx_t K, const std::string& spec,
+                             idx_t threads,
+                             part::ValidateLevel level = part::ValidateLevel::kBasic) {
+  part::PartitionConfig cfg;
+  cfg.seed = 42;
+  cfg.numThreads = threads;
+  cfg.faultSpec = spec;
+  cfg.validateLevel = level;
+  return part::partition_hypergraph(h, K, cfg);
+}
+
+TEST(Recovery, RetriedBisectionStillBalancedAndCounted) {
+  const sparse::Csr a = sparse::random_square(120, 5, 11);
+  const model::FineGrainModel m = model::build_finegrain(a);
+  drain_warnings();
+  const part::HgResult r = partitionWith(m.h, 8, "rb.bisect:1", 1);
+  EXPECT_GT(r.numRecoveries, 0);
+  EXPECT_GT(warning_count(), 0u);
+  drain_warnings();
+  EXPECT_TRUE(hg::is_balanced(m.h, r.partition, 0.1));
+  for (idx_t v = 0; v < m.h.num_vertices(); ++v) {
+    EXPECT_GE(r.partition.part_of(v), 0);
+    EXPECT_LT(r.partition.part_of(v), 8);
+  }
+}
+
+TEST(Recovery, RecoveredPartitionIdenticalAcrossThreadCounts) {
+  const sparse::Csr a = sparse::random_square(150, 4, 17);
+  const model::FineGrainModel m = model::build_finegrain(a);
+  const part::HgResult r1 = partitionWith(m.h, 8, "rb.bisect", 1);
+  const part::HgResult r2 = partitionWith(m.h, 8, "rb.bisect", 2);
+  const part::HgResult r8 = partitionWith(m.h, 8, "rb.bisect", 8);
+  drain_warnings();
+  EXPECT_GT(r1.numRecoveries, 0);
+  EXPECT_EQ(r1.partition.assignment(), r2.partition.assignment());
+  EXPECT_EQ(r1.partition.assignment(), r8.partition.assignment());
+}
+
+TEST(Recovery, GreedyFallbackIsCompleteAndDeterministic) {
+  const sparse::Csr a = sparse::random_square(100, 4, 23);
+  const model::FineGrainModel m = model::build_finegrain(a);
+  // Both the primary site and the retry site fire: every bisection node
+  // degrades to the greedy split.
+  const part::HgResult r1 = partitionWith(m.h, 4, "rb.bisect,rb.retry", 1);
+  const part::HgResult r8 = partitionWith(m.h, 4, "rb.bisect,rb.retry", 8);
+  drain_warnings();
+  EXPECT_GT(r1.numRecoveries, 0);
+  EXPECT_EQ(r1.partition.assignment(), r8.partition.assignment());
+  EXPECT_TRUE(hg::validate_partition(m.h, r1.partition).empty());
+  // The greedy split plus the K-way rebalance must still deliver balance.
+  EXPECT_TRUE(hg::is_balanced(m.h, r1.partition, 0.1));
+}
+
+TEST(Recovery, CleanRunHasNoRecoveries) {
+  const sparse::Csr a = sparse::random_square(80, 4, 31);
+  const model::FineGrainModel m = model::build_finegrain(a);
+  drain_warnings();
+  const part::HgResult r = partitionWith(m.h, 4, "", 1);
+  EXPECT_EQ(r.numRecoveries, 0);
+  EXPECT_EQ(warning_count(), 0u);
+}
+
+TEST(Recovery, StrictValidationPassesAndMatchesBasic) {
+  const sparse::Csr a = sparse::random_square(90, 4, 37);
+  const model::FineGrainModel m = model::build_finegrain(a);
+  const part::HgResult basic = partitionWith(m.h, 4, "", 1);
+  const part::HgResult strict =
+      partitionWith(m.h, 4, "", 1, part::ValidateLevel::kStrict);
+  EXPECT_EQ(basic.partition.assignment(), strict.partition.assignment());
+}
+
+TEST(Recovery, FmFaultAlsoRecovered) {
+  // fm.refine faults abort the whole multilevel bisect; the retry path must
+  // still deliver a complete partition.
+  const sparse::Csr a = sparse::random_square(70, 4, 41);
+  const model::FineGrainModel m = model::build_finegrain(a);
+  const part::HgResult r = partitionWith(m.h, 4, "fm.refine", 1);
+  drain_warnings();
+  EXPECT_TRUE(hg::validate_partition(m.h, r.partition).empty());
+  EXPECT_TRUE(hg::is_balanced(m.h, r.partition, 0.1));
+}
+
+// --------------------------------------------------- executor recovery ----
+
+struct ExecFixture {
+  sparse::Csr a;
+  spmv::SpmvPlan plan;
+  std::vector<double> x;
+  std::vector<double> yRef;
+
+  explicit ExecFixture(std::uint64_t seed) {
+    a = sparse::random_square(60, 4, static_cast<idx_t>(seed));
+    part::PartitionConfig cfg;
+    cfg.seed = seed;
+    const model::Decomposition d = model::run_finegrain(a, 4, cfg).decomp;
+    plan = spmv::build_plan(a, d);
+    Rng rng(seed);
+    x.resize(static_cast<std::size_t>(a.num_cols()));
+    for (auto& v : x) v = rng.uniform01();
+    yRef = spmv::multiply(a, x);
+  }
+};
+
+void expectClose(const std::vector<double>& y, const std::vector<double>& yRef) {
+  ASSERT_EQ(y.size(), yRef.size());
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], yRef[i], 1e-10);
+}
+
+TEST(ExecRecovery, TaskRetryRecovers) {
+  const ExecFixture f(5);
+  fault::ScopedSpec spec("exec.expand:1");
+  drain_warnings();
+  spmv::ExecStats stats;
+  const auto y = spmv::execute_mt(f.plan, f.x, 2, &stats);
+  expectClose(y, f.yRef);
+  EXPECT_GE(stats.taskRetries, 1);
+  EXPECT_FALSE(stats.serialFallback);
+  EXPECT_GT(warning_count(), 0u);
+  drain_warnings();
+}
+
+TEST(ExecRecovery, RepeatedFailureFallsBackToSerial) {
+  const ExecFixture f(6);
+  fault::ScopedSpec spec("exec.fold,exec.retry");
+  drain_warnings();
+  spmv::ExecStats stats;
+  const auto y = spmv::execute_mt(f.plan, f.x, 4, &stats);
+  expectClose(y, f.yRef);
+  EXPECT_TRUE(stats.serialFallback);
+  // Fallback recomputes everything serially, so traffic counts match a
+  // clean run.
+  spmv::ExecStats clean;
+  const auto yClean = spmv::execute(f.plan, f.x, &clean);
+  expectClose(yClean, f.yRef);
+  EXPECT_EQ(stats.wordsSent, clean.wordsSent);
+  EXPECT_EQ(stats.messagesSent, clean.messagesSent);
+  drain_warnings();
+}
+
+TEST(ExecRecovery, RecoveredRunMatchesCleanRunExactly) {
+  const ExecFixture f(7);
+  std::vector<double> yClean;
+  {
+    spmv::ExecStats stats;
+    yClean = spmv::execute_mt(f.plan, f.x, 3, &stats);
+    EXPECT_EQ(stats.taskRetries, 0);
+  }
+  fault::ScopedSpec spec("exec.expand");
+  const auto yFault = spmv::execute_mt(f.plan, f.x, 3, nullptr);
+  drain_warnings();
+  EXPECT_EQ(yClean, yFault);  // bitwise: same summation order either way
+}
+
+// --------------------------------------------------------- plan checks ----
+
+TEST(PlanValidate, CleanPlanPasses) {
+  const ExecFixture f(8);
+  EXPECT_TRUE(spmv::validate_plan(f.plan).empty());
+  EXPECT_NO_THROW(spmv::validate_plan_or_throw(f.plan));
+}
+
+TEST(PlanValidate, CorruptOwnershipCaught) {
+  ExecFixture f(9);
+  ASSERT_FALSE(f.plan.procs[0].ownedX.empty());
+  f.plan.procs[0].ownedX.push_back(f.plan.procs[1].ownedX.empty()
+                                       ? f.plan.procs[0].ownedX.front()
+                                       : f.plan.procs[1].ownedX.front());
+  EXPECT_THROW(spmv::validate_plan_or_throw(f.plan), InvariantError);
+}
+
+TEST(PlanValidate, MismatchedRecvCaught) {
+  ExecFixture f(10);
+  bool mutated = false;
+  for (auto& pp : f.plan.procs) {
+    if (!pp.xRecvs.empty() && !pp.xRecvs[0].ids.empty()) {
+      pp.xRecvs[0].ids[0] = pp.xRecvs[0].ids[0] + 1;
+      mutated = true;
+      break;
+    }
+  }
+  if (!mutated) GTEST_SKIP() << "decomposition produced no expand traffic";
+  EXPECT_THROW(spmv::validate_plan_or_throw(f.plan), InvariantError);
+}
+
+}  // namespace
+}  // namespace fghp

@@ -9,6 +9,7 @@
 #include "hypergraph/metrics.hpp"
 #include "hypergraph/partition.hpp"
 #include "hypergraph/validate.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace fghp::hg {
@@ -259,7 +260,7 @@ TEST(Validate, FlagsDuplicatePins) {
   const auto problems = validate(h);
   ASSERT_FALSE(problems.empty());
   EXPECT_NE(problems[0].find("duplicate"), std::string::npos);
-  EXPECT_THROW(validate_or_throw(h), std::logic_error);
+  EXPECT_THROW(validate_or_throw(h), fghp::InvariantError);
 }
 
 TEST(Validate, AcceptsExample) {

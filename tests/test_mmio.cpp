@@ -7,6 +7,8 @@
 #include "sparse/convert.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/mmio.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace fghp::sparse {
 namespace {
@@ -238,6 +240,75 @@ TEST(Mmio, FileRoundTrip) {
 
 TEST(Mmio, MissingFileThrows) {
   EXPECT_THROW(read_matrix_market_file("/nonexistent/dir/x.mtx"), std::runtime_error);
+}
+
+// -------------------------------------------- typed errors + bad values ----
+
+TEST(Mmio, RejectsNanValue) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 nan\n"),
+               FormatError);
+}
+
+TEST(Mmio, RejectsInfValue) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 inf\n"),
+               FormatError);
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 -inf\n"),
+               FormatError);
+}
+
+TEST(Mmio, RejectsZeroAndNegativeIndices) {
+  // Matrix Market indices are 1-based; 0 and negatives are malformed, and
+  // the message must say so rather than report a generic range error.
+  try {
+    parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n");
+    FAIL() << "expected throw";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("positive"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 -3 1\n"),
+               FormatError);
+}
+
+TEST(Mmio, RejectsNegativeSizeLine) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n-2 2 1\n1 1 1\n"),
+               FormatError);
+}
+
+TEST(Mmio, FormatErrorCarriesContext) {
+  try {
+    parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 nan\n");
+    FAIL() << "expected throw";
+  } catch (const FormatError& e) {
+    EXPECT_EQ(e.context().line, 3);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Mmio, MissingFileThrowsIoErrorWithPath) {
+  try {
+    read_matrix_market_file("/nonexistent/dir/x.mtx");
+    FAIL() << "expected throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.context().path, "/nonexistent/dir/x.mtx");
+  }
+}
+
+TEST(Mmio, InjectedEntryFaultHitsExactEntry) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 3\n1 1 1\n2 2 2\n3 3 3\n";
+  fault::ScopedSpec spec("mmio.read:2");
+  try {
+    parse(text);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.context().part, 2);  // second entry, deterministic
+  }
+}
+
+TEST(Mmio, InjectedOpenFaultBeatsFileAccess) {
+  fault::ScopedSpec spec("mmio.open");
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/dir/x.mtx"), FaultError);
 }
 
 }  // namespace

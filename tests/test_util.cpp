@@ -8,7 +8,9 @@
 #include <set>
 
 #include "util/bucket_queue.hpp"
+#include "util/error.hpp"
 #include "util/options.hpp"
+#include "util/thread_pool.hpp"
 #include "util/rng.hpp"
 #include "util/sparse_acc.hpp"
 #include "util/table.hpp"
@@ -413,6 +415,79 @@ TEST(Timer, AccumulatorMean) {
   EXPECT_DOUBLE_EQ(acc.total(), 4.0);
   EXPECT_EQ(acc.count(), 2);
   EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+}
+
+// ----------------------------------------------- TaskGroup exceptions ----
+
+TEST(TaskGroup, SingleExceptionRethrownUnchanged) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  group.run([] { throw IoError("the one failure"); });
+  try {
+    group.wait();
+    FAIL() << "expected throw";
+  } catch (const IoError& e) {
+    // Not wrapped in an AggregateError: the original type survives.
+    EXPECT_NE(std::string(e.what()).find("the one failure"), std::string::npos);
+  }
+}
+
+TEST(TaskGroup, ConcurrentFailuresAllAggregated) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  constexpr int kFailures = 6;
+  for (int i = 0; i < kFailures; ++i) {
+    group.run([i] { throw FaultError("task " + std::to_string(i) + " died"); });
+  }
+  try {
+    group.wait();
+    FAIL() << "expected throw";
+  } catch (const AggregateError& e) {
+    EXPECT_EQ(e.size(), static_cast<std::size_t>(kFailures));
+    EXPECT_EQ(e.code(), ErrorCode::kFault);  // all the same category
+    const std::string what = e.what();
+    for (int i = 0; i < kFailures; ++i) {
+      EXPECT_NE(what.find("task " + std::to_string(i) + " died"), std::string::npos)
+          << what;
+    }
+  }
+}
+
+TEST(TaskGroup, MixedCategoriesAggregateToGeneric) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw IoError("io went wrong"); });
+  group.run([] { throw FormatError("format went wrong"); });
+  try {
+    group.wait();
+    FAIL() << "expected throw";
+  } catch (const AggregateError& e) {
+    EXPECT_EQ(e.size(), 2u);
+    EXPECT_EQ(e.code(), ErrorCode::kGeneric);
+  }
+}
+
+TEST(TaskGroup, SuccessfulTasksUnaffectedByFailedSiblings) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.run([&done] { done.fetch_add(1); });
+  }
+  group.run([] { throw InvariantError("sibling failure"); });
+  EXPECT_THROW(group.wait(), InvariantError);
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(TaskGroup, ReusableAfterFailure) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw IoError("first round"); });
+  EXPECT_THROW(group.wait(), IoError);
+  std::atomic<int> ran{0};
+  group.run([&ran] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(group.wait());  // error list was swapped out, not sticky
+  EXPECT_EQ(ran.load(), 1);
 }
 
 }  // namespace
