@@ -11,6 +11,9 @@
 //                  recursive bisection (default: hardware concurrency)
 #pragma once
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -49,6 +52,99 @@ inline BenchEnv load_env() {
   if (env.matrices.empty()) env.matrices = sparse::suite_names();
   return env;
 }
+
+// ------------------------------------------------------------- JSON ----
+// Minimal JSON emission for the benches' --json flag: a top-level object of
+// scalar fields plus named arrays of flat records. Covers exactly what the
+// table benches write; strings in this codebase (suite names, model names)
+// never need escaping beyond quotes/backslashes.
+
+class JsonWriter {
+ public:
+  void scalar(const std::string& key, double v) { scalars_.push_back({key, num(v)}); }
+  void scalar(const std::string& key, long long v) {
+    scalars_.push_back({key, std::to_string(v)});
+  }
+  void scalar(const std::string& key, const std::string& v) {
+    scalars_.push_back({key, quote(v)});
+  }
+
+  class Record {
+   public:
+    Record& field(const std::string& key, const std::string& v) { return raw(key, quote(v)); }
+    Record& field(const std::string& key, double v) { return raw(key, num(v)); }
+    Record& field(const std::string& key, long long v) {
+      return raw(key, std::to_string(v));
+    }
+    Record& field(const std::string& key, idx_t v) {
+      return raw(key, std::to_string(static_cast<long long>(v)));
+    }
+
+   private:
+    friend class JsonWriter;
+    Record& raw(const std::string& key, std::string v) {
+      fields_.push_back({key, std::move(v)});
+      return *this;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  /// Appends a record to the array named `key` (arrays keep insertion order).
+  Record& add(const std::string& key) {
+    if (arrays_.empty() || arrays_.back().first != key) arrays_.push_back({key, {}});
+    arrays_.back().second.emplace_back();
+    return arrays_.back().second.back();
+  }
+
+  /// Writes the document; returns false (after a stderr note) on I/O failure.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+      return false;
+    }
+    out << "{\n";
+    bool first = true;
+    for (const auto& [key, v] : scalars_) {
+      out << (first ? "" : ",\n") << "  " << quote(key) << ": " << v;
+      first = false;
+    }
+    for (const auto& [key, records] : arrays_) {
+      out << (first ? "" : ",\n") << "  " << quote(key) << ": [\n";
+      first = false;
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        out << "    {";
+        for (std::size_t f = 0; f < records[i].fields_.size(); ++f) {
+          out << (f ? ", " : "") << quote(records[i].fields_[f].first) << ": "
+              << records[i].fields_[f].second;
+        }
+        out << (i + 1 < records.size() ? "},\n" : "}\n");
+      }
+      out << "  ]";
+    }
+    out << "\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+  static std::string num(double v) {
+    std::ostringstream os;
+    os << v;  // default precision; NaN/Inf never reach here
+    return os.str();
+  }
+
+  std::vector<std::pair<std::string, std::string>> scalars_;
+  std::vector<std::pair<std::string, std::vector<Record>>> arrays_;
+};
 
 /// One (matrix, K, model, seed) measurement.
 struct RunRecord {

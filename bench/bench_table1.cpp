@@ -4,14 +4,19 @@
 // values so the substitution fidelity is visible at a glance.
 //
 // Knobs: FGHP_SCALE, FGHP_MATRICES (see bench_common.hpp).
+// Flags: --json <path> writes the per-matrix statistics as JSON.
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "sparse/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fghp;
   const bench::BenchEnv env = bench::load_env();
+  const ArgParser args(argc, argv);
+  bench::JsonWriter json;
+  json.scalar("table", std::string("table1"));
+  json.scalar("scale", env.scale);
 
   std::printf("Table 1 — properties of the test matrices (synthetic analogs vs paper)\n");
   std::printf("scale = %.2f\n\n", env.scale);
@@ -31,8 +36,18 @@ int main() {
                Table::num(static_cast<long long>(s.maxPerRowCol)),
                Table::num(static_cast<long long>(entry.paper.maxPerRowCol)),
                Table::num(s.avgPerRowCol), Table::num(entry.paper.avgPerRowCol)});
+    json.add("matrices")
+        .field("name", name)
+        .field("rows", static_cast<long long>(s.numRows))
+        .field("nnz", static_cast<long long>(s.nnz))
+        .field("min_per_rowcol", static_cast<long long>(s.minPerRowCol))
+        .field("max_per_rowcol", static_cast<long long>(s.maxPerRowCol))
+        .field("avg_per_rowcol", s.avgPerRowCol)
+        .field("paper_rows", static_cast<long long>(entry.paper.rows))
+        .field("paper_nnz", static_cast<long long>(entry.paper.nnz));
   }
   t.print();
+  if (const auto path = args.flag("json"); path && !json.write(*path)) return 1;
   std::printf(
       "\nNotes: analogs are generated (see sparse/testsuite.cpp); 'paper' columns are\n"
       "Table 1 of Catalyurek & Aykanat, IPPS 2001. Row counts match exactly at scale 1;\n"

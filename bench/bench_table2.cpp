@@ -12,6 +12,8 @@
 //
 // Knobs: FGHP_SCALE, FGHP_SEEDS, FGHP_K, FGHP_MATRICES, FGHP_FULL
 // (see bench_common.hpp). Defaults run every matrix at paper scale, 1 seed.
+// Flags: --json <path> writes the per-run records and the per-K / overall
+// averages as JSON.
 #include <cstdio>
 #include <map>
 
@@ -54,10 +56,15 @@ double paper_tot(const std::string& name, fghp::idx_t k, Model m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fghp;
   const bench::BenchEnv env = bench::load_env();
   constexpr Model kModels[] = {Model::kGraph1d, Model::kHypergraph1d, Model::kFineGrain2d};
+  const ArgParser args(argc, argv);
+  bench::JsonWriter json;
+  json.scalar("table", std::string("table2"));
+  json.scalar("scale", env.scale);
+  json.scalar("seeds", static_cast<long long>(env.seeds));
 
   std::printf(
       "Table 2 — average communication requirements of the 2D fine-grain model vs the\n"
@@ -90,6 +97,17 @@ int main() {
                    Table::num(r.scaledTotal), Table::num(paper_tot(name, K, m)),
                    Table::num(r.scaledMax), Table::num(r.avgMsgs), Table::num(r.seconds),
                    "(" + Table::num(norm, 1) + ")", Table::num(r.pctImbalance, 1)});
+        json.add("runs")
+            .field("matrix", name)
+            .field("k", K)
+            .field("model", std::string(bench::model_name(m)))
+            .field("scaled_total_volume", r.scaledTotal)
+            .field("scaled_max_volume", r.scaledMax)
+            .field("avg_msgs_per_proc", r.avgMsgs)
+            .field("partition_seconds", r.seconds)
+            .field("time_vs_graph", norm)
+            .field("pct_imbalance", r.pctImbalance)
+            .field("paper_total_volume", paper_tot(name, K, m));
         Acc& ac = acc[{K, static_cast<int>(m)}];
         ac.tot += r.scaledTotal;
         ac.max += r.scaledMax;
@@ -112,6 +130,14 @@ int main() {
       t.add_row({"average", Table::num(static_cast<long long>(K)), bench::model_name(m),
                  Table::num(ac.tot / n), "", Table::num(ac.max / n), Table::num(ac.msgs / n),
                  Table::num(ac.time / n), "(" + Table::num(ac.norm / n, 1) + ")", ""});
+      json.add("averages")
+          .field("k", K)
+          .field("model", std::string(bench::model_name(m)))
+          .field("scaled_total_volume", ac.tot / n)
+          .field("scaled_max_volume", ac.max / n)
+          .field("avg_msgs_per_proc", ac.msgs / n)
+          .field("partition_seconds", ac.time / n)
+          .field("time_vs_graph", ac.norm / n);
       Acc& ov = overall[static_cast<std::size_t>(m)];
       ov.tot += ac.tot / n;
       ov.max += ac.max / n;
@@ -129,6 +155,13 @@ int main() {
     t.add_row({"overall", "", bench::model_name(m), Table::num(ov.tot / n), "",
                Table::num(ov.max / n), Table::num(ov.msgs / n), Table::num(ov.time / n),
                "(" + Table::num(ov.norm / n, 1) + ")", ""});
+    json.add("overall")
+        .field("model", std::string(bench::model_name(m)))
+        .field("scaled_total_volume", ov.tot / n)
+        .field("scaled_max_volume", ov.max / n)
+        .field("avg_msgs_per_proc", ov.msgs / n)
+        .field("partition_seconds", ov.time / n)
+        .field("time_vs_graph", ov.norm / n);
   }
   t.print();
 
@@ -146,6 +179,10 @@ int main() {
         "  normalized time hyper-1d : %.1fx   fine-grain: %.1fx\n",
         100.0 * (1.0 - f / g), 100.0 * (1.0 - f / h), 100.0 * (1.0 - h / g),
         overall[1].norm / overall[1].n, overall[2].norm / overall[2].n);
+    json.scalar("pct_volume_saved_fg_vs_graph", 100.0 * (1.0 - f / g));
+    json.scalar("pct_volume_saved_fg_vs_hyper1d", 100.0 * (1.0 - f / h));
+    json.scalar("pct_volume_saved_hyper1d_vs_graph", 100.0 * (1.0 - h / g));
   }
+  if (const auto path = args.flag("json"); path && !json.write(*path)) return 1;
   return 0;
 }

@@ -152,8 +152,9 @@ int cmd_partition(const ArgParser& args) {
 
   const comm::CommStats s = comm::analyze(a, run.decomp);
   const model::LoadStats loads = model::compute_loads(a, run.decomp);
-  std::printf("model=%s K=%d time=%.3fs\n", modelName.c_str(), static_cast<int>(k),
-              run.partitionSeconds);
+  std::printf("model=%s K=%d time=%.3fs recoveries=%d\n", modelName.c_str(),
+              static_cast<int>(k), run.partitionSeconds,
+              static_cast<int>(run.numRecoveries));
   std::printf("  total volume %lld words (%.3f scaled); max/proc %lld (%.3f)\n",
               static_cast<long long>(s.totalWords), s.scaledTotal(a.num_rows()),
               static_cast<long long>(s.maxProcWords), s.scaledMax(a.num_rows()));

@@ -1,0 +1,105 @@
+#include "graph/gvalidate.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fghp::gp {
+
+std::vector<std::string> validate(const Graph& g) {
+  std::vector<std::string> problems;
+
+  const idx_t n = g.num_vertices();
+  for (idx_t v = 0; v < n; ++v) {
+    for (const Adj& a : g.neighbors(v)) {
+      if (a.to == v) {
+        std::ostringstream os;
+        os << "vertex " << v << " has a self-loop";
+        problems.push_back(os.str());
+        continue;
+      }
+      if (a.to < 0 || a.to >= n) {
+        std::ostringstream os;
+        os << "vertex " << v << " has neighbor " << a.to << " outside [0, " << n << ")";
+        problems.push_back(os.str());
+        continue;
+      }
+      // The adjacency is undirected: the reverse record must exist with the
+      // same weight.
+      bool found = false;
+      for (const Adj& back : g.neighbors(a.to)) {
+        if (back.to == v && back.weight == a.weight) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::ostringstream os;
+        os << "edge (" << v << ", " << a.to << ", w=" << a.weight
+           << ") has no matching reverse record";
+        problems.push_back(os.str());
+      }
+    }
+  }
+
+  return problems;
+}
+
+void validate_or_throw(const Graph& g) {
+  const auto problems = validate(g);
+  if (problems.empty()) return;
+  std::ostringstream os;
+  os << "invalid graph:";
+  for (const auto& p : problems) os << "\n  - " << p;
+  throw InvariantError(os.str());
+}
+
+std::vector<std::string> validate_partition(const Graph& g, const GPartition& p) {
+  std::vector<std::string> problems;
+
+  const idx_t K = p.num_parts();
+  std::vector<weight_t> recount(static_cast<std::size_t>(K), 0);
+  for (idx_t v = 0; v < g.num_vertices(); ++v) {
+    const idx_t part = p.part_of(v);
+    if (part < 0 || part >= K) {
+      std::ostringstream os;
+      if (part == kInvalidIdx) {
+        os << "vertex " << v << " is unassigned";
+      } else {
+        os << "vertex " << v << " has part " << part << " outside [0, " << K << ")";
+      }
+      problems.push_back(os.str());
+      continue;
+    }
+    recount[static_cast<std::size_t>(part)] += g.vertex_weight(v);
+  }
+
+  for (idx_t k = 0; k < K; ++k) {
+    const weight_t cached = p.part_weight(k);
+    const weight_t fresh = recount[static_cast<std::size_t>(k)];
+    if (cached != fresh) {
+      std::ostringstream os;
+      os << "part " << k << " cached weight " << cached
+         << " disagrees with recounted weight " << fresh;
+      problems.push_back(os.str());
+    }
+  }
+
+  return problems;
+}
+
+void validate_partition_or_throw(const Graph& g, const GPartition& p,
+                                 const std::string& phase) {
+  const auto problems = validate_partition(g, p);
+  if (problems.empty()) return;
+  std::ostringstream os;
+  os << "invalid partition";
+  if (!phase.empty()) os << " after phase '" << phase << "'";
+  os << ":";
+  for (const auto& msg : problems) os << "\n  - " << msg;
+  ErrorContext ctx;
+  ctx.phase = phase;
+  throw InvariantError(os.str(), std::move(ctx));
+}
+
+}  // namespace fghp::gp

@@ -1,0 +1,34 @@
+// Deep structural validation of a graph and its partitions — the graph-side
+// mirror of hypergraph/validate.hpp, used by tests and by the partitioner
+// pipeline between phases when PartitionConfig::validateLevel is kStrict.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fghp::gp {
+
+/// Returns a list of human-readable problems (empty = valid):
+///  * self-loops or neighbor ids outside [0, num_vertices),
+///  * asymmetric adjacency: (u, v, w) stored without a matching (v, u, w).
+std::vector<std::string> validate(const Graph& g);
+
+/// Throws fghp::InvariantError listing all problems if validate() is
+/// non-empty.
+void validate_or_throw(const Graph& g);
+
+/// Returns a list of human-readable problems with a partition of g
+/// (empty = valid):
+///  * unassigned vertices or part ids outside [0, num_parts),
+///  * cached part weights inconsistent with a fresh recount.
+std::vector<std::string> validate_partition(const Graph& g, const GPartition& p);
+
+/// Throws fghp::InvariantError listing all problems if validate_partition()
+/// is non-empty. `phase` (optional) labels where in the pipeline the check
+/// ran and is attached to the error context.
+void validate_partition_or_throw(const Graph& g, const GPartition& p,
+                                 const std::string& phase = {});
+
+}  // namespace fghp::gp

@@ -32,6 +32,7 @@ struct ModelRun {
   double partitionSeconds = 0.0;  ///< model build excluded, as in the paper
   weight_t objective = 0;         ///< what the partitioner minimized
   double imbalance = 0.0;         ///< partitioner-side imbalance
+  idx_t numRecoveries = 0;        ///< bisection retries / fallbacks taken
 };
 
 /// Standard graph model end to end.

@@ -40,6 +40,7 @@ ModelRun run_hypergraph1d(const sparse::Csr& a, idx_t K, const part::PartitionCo
   run.partitionSeconds = r.seconds;
   run.objective = r.cutsize;
   run.imbalance = r.imbalance;
+  run.numRecoveries = r.numRecoveries;
   run.decomp = decode_rowwise(a, r.partition.assignment(), K);
   return run;
 }

@@ -23,6 +23,7 @@ ModelRun run_jagged(const sparse::Csr& a, idx_t pr, idx_t pc,
     const hg::Hypergraph rowsH = build_colnet_hypergraph(a);
     part::HgResult r = part::partition_hypergraph(rowsH, pr, cfg);
     run.partitionSeconds += r.seconds;
+    run.numRecoveries += r.numRecoveries;
     stripeOf = r.partition.assignment();
   }
 
@@ -55,6 +56,7 @@ ModelRun run_jagged(const sparse::Csr& a, idx_t pr, idx_t pc,
                                    std::move(costs));
       part::HgResult r = part::partition_hypergraph(stripeH, pc, cfg);
       run.partitionSeconds += r.seconds;
+      run.numRecoveries += r.numRecoveries;
       for (idx_t j = 0; j < n; ++j) {
         perStripeCol[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
                      static_cast<std::size_t>(j)] = r.partition.part_of(j);

@@ -22,6 +22,7 @@ ModelRun run_orthogonal(const sparse::Csr& a, idx_t pr, idx_t pc,
     const hg::Hypergraph rowsH = build_colnet_hypergraph(a);
     part::HgResult r = part::partition_hypergraph(rowsH, pr, cfg);
     run.partitionSeconds += r.seconds;
+    run.numRecoveries += r.numRecoveries;
     rowPart = r.partition.assignment();
   }
   std::vector<idx_t> colPart(static_cast<std::size_t>(n), 0);
@@ -29,6 +30,7 @@ ModelRun run_orthogonal(const sparse::Csr& a, idx_t pr, idx_t pc,
     const hg::Hypergraph colsH = build_rownet_hypergraph(a);
     part::HgResult r = part::partition_hypergraph(colsH, pc, cfg);
     run.partitionSeconds += r.seconds;
+    run.numRecoveries += r.numRecoveries;
     colPart = r.partition.assignment();
   }
 

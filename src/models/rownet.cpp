@@ -60,6 +60,7 @@ ModelRun run_rownet(const sparse::Csr& a, idx_t K, const part::PartitionConfig& 
   run.partitionSeconds = r.seconds;
   run.objective = r.cutsize;
   run.imbalance = r.imbalance;
+  run.numRecoveries = r.numRecoveries;
   run.decomp = decode_colwise(a, r.partition.assignment(), K);
   return run;
 }

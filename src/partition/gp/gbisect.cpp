@@ -3,6 +3,8 @@
 #include "partition/gp/ginitial.hpp"
 #include "partition/gp/grefine.hpp"
 #include "partition/gp/match.hpp"
+#include "partition/phase_timers.hpp"
+#include "util/fault.hpp"
 
 namespace fghp::part::gpb {
 
@@ -12,22 +14,31 @@ gp::GPartition multilevel_gbisect(const gp::Graph& g, const std::array<weight_t,
   FGHP_REQUIRE(target[0] + target[1] == g.total_vertex_weight(),
                "bisection targets must sum to the total vertex weight");
 
+  // --- Coarsening phase ---------------------------------------------------
   std::vector<gpm::GCoarseLevel> levels;
   const gp::Graph* cur = &g;
   if (cfg.coarsening != Coarsening::kNone) {
+    ScopedPhase phase(Phase::kCoarsen);
     for (idx_t lvl = 0; lvl < cfg.maxCoarsenLevels; ++lvl) {
       if (cur->num_vertices() <= cfg.coarsenTo) break;
       gpm::GCoarseLevel next = gpm::coarsen_one_level(*cur, cfg, rng);
       const double reduction = static_cast<double>(next.coarse.num_vertices()) /
                                static_cast<double>(cur->num_vertices());
-      if (reduction > cfg.minReductionFactor) break;
+      if (reduction > cfg.minReductionFactor) break;  // stagnated
       levels.push_back(std::move(next));
       cur = &levels.back().coarse;
     }
   }
 
-  gp::GPartition p = gpi::initial_gbisection(*cur, target, maxWeight, cfg, rng);
+  // --- Initial partitioning at the coarsest level --------------------------
+  gp::GPartition p = [&] {
+    ScopedPhase phase(Phase::kInitial);
+    return gpi::initial_gbisection(*cur, target, maxWeight, cfg, rng);
+  }();
 
+  // --- Uncoarsening + refinement -------------------------------------------
+  ScopedPhase refinePhase(Phase::kRefine);
+  fault::check("gfm.refine");
   gpr::GraphFM fm(cfg);
   fm.refine(*cur, p, maxWeight, rng);
   for (std::size_t i = levels.size(); i > 0; --i) {

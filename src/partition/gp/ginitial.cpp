@@ -1,5 +1,6 @@
 #include "partition/gp/ginitial.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "partition/gp/grefine.hpp"
@@ -85,6 +86,22 @@ gp::GPartition initial_gbisection(const gp::Graph& g, const std::array<weight_t,
     }
   }
   return best;
+}
+
+gp::GPartition greedy_gbisection(const gp::Graph& g, const std::array<weight_t, 2>& target) {
+  gp::GPartition p(g, 2);
+  std::array<weight_t, 2> room = target;
+  std::vector<idx_t> order(static_cast<std::size_t>(g.num_vertices()));
+  for (idx_t v = 0; v < g.num_vertices(); ++v) order[static_cast<std::size_t>(v)] = v;
+  std::stable_sort(order.begin(), order.end(), [&](idx_t a, idx_t b) {
+    return g.vertex_weight(a) > g.vertex_weight(b);
+  });
+  for (idx_t v : order) {
+    const idx_t side = room[0] >= room[1] ? 0 : 1;
+    p.assign(g, v, side);
+    room[static_cast<std::size_t>(side)] -= g.vertex_weight(v);
+  }
+  return p;
 }
 
 }  // namespace fghp::part::gpi

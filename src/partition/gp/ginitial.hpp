@@ -22,4 +22,12 @@ gp::GPartition initial_gbisection(const gp::Graph& g, const std::array<weight_t,
                                   const std::array<weight_t, 2>& maxWeight,
                                   const PartitionConfig& cfg, Rng& rng);
 
+/// Deterministic last-resort split used when every multilevel bisection
+/// attempt failed (see PartitionConfig::maxBisectAttempts): longest-
+/// processing-time-first — vertices in decreasing weight order (ties by id)
+/// go to the side with more remaining room. Ignores the cut entirely but
+/// always yields a complete bisection whose balance is as good as the
+/// vertex weights permit. Mirror of hgi::greedy_bisection.
+gp::GPartition greedy_gbisection(const gp::Graph& g, const std::array<weight_t, 2>& target);
+
 }  // namespace fghp::part::gpi

@@ -1,9 +1,12 @@
 #include "partition/gp/gpartitioner.hpp"
 
 #include <cmath>
+#include <optional>
 
+#include "graph/gvalidate.hpp"
 #include "partition/gp/gkway.hpp"
 #include "partition/gp/grecursive.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -56,20 +59,33 @@ void kway_grebalance(const gp::Graph& g, gp::GPartition& p, double epsilon, Rng&
 GpResult partition_graph(const gp::Graph& g, idx_t K, const PartitionConfig& cfg) {
   FGHP_REQUIRE(K >= 1, "K must be positive");
   WallTimer timer;
+
+  // Scope the configured fault spec to this call; an empty spec leaves any
+  // process-global (FGHP_FAULT_SPEC) installation untouched.
+  std::optional<fault::ScopedSpec> faultScope;
+  if (!cfg.faultSpec.empty()) faultScope.emplace(cfg.faultSpec);
+
+  const bool strict = cfg.validateLevel == ValidateLevel::kStrict;
+  if (strict) gp::validate_or_throw(g);
+
   Rng rng(cfg.seed);
 
   gprb::GRecursiveResult rb = gprb::partition_graph_recursive(g, K, cfg, rng);
+  if (strict) gp::validate_partition_or_throw(g, rb.partition, "recursive-bisection");
   if (K > 1 && !gp::is_balanced(g, rb.partition, cfg.epsilon)) {
     kway_grebalance(g, rb.partition, cfg.epsilon, rng);
+    if (strict) gp::validate_partition_or_throw(g, rb.partition, "rebalance");
   }
   if (cfg.kwayRefine && K > 2) {
     gpk::gkway_refine(g, rb.partition, cfg, rng);
+    if (strict) gp::validate_partition_or_throw(g, rb.partition, "kway-refine");
   }
 
   GpResult out;
   out.seconds = timer.seconds();
   out.edgeCut = gp::edge_cut(g, rb.partition);
   out.imbalance = gp::imbalance(g, rb.partition);
+  out.numRecoveries = rb.numRecoveries;
   out.partition = std::move(rb.partition);
   return out;
 }

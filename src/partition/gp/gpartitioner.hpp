@@ -13,6 +13,7 @@ struct GpResult {
   weight_t edgeCut = 0;
   double imbalance = 0.0;
   double seconds = 0.0;
+  idx_t numRecoveries = 0;  ///< bisection retries / fallbacks taken (see DESIGN.md §9)
 };
 
 /// Partitions g into K parts minimizing the weighted edge cut.

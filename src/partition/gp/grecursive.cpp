@@ -1,25 +1,17 @@
 #include "partition/gp/grecursive.hpp"
 
-#include <atomic>
-#include <cmath>
 #include <tuple>
 
-#include "partition/gp/gbisect.hpp"
-#include "partition/gp/grefine.hpp"
-#include "partition/hg/recursive.hpp"  // per_level_epsilon
-#include "util/thread_pool.hpp"
+#include "partition/gp/rb_traits.hpp"
+#include "partition/rb_driver.hpp"
 
 namespace fghp::part::gprb {
 
-namespace {
+GraphSide extract_graph_side(const gp::Graph& g, const gp::GPartition& bisection,
+                             idx_t side) {
+  FGHP_REQUIRE(bisection.num_parts() == 2, "extract_graph_side expects a bisection");
 
-struct GSide {
-  gp::Graph sub;
-  std::vector<idx_t> toParent;
-};
-
-GSide extract_gside(const gp::Graph& g, const gp::GPartition& bisection, idx_t side) {
-  GSide out;
+  GraphSide out;
   std::vector<idx_t> toSub(static_cast<std::size_t>(g.num_vertices()), kInvalidIdx);
   for (idx_t v = 0; v < g.num_vertices(); ++v) {
     if (bisection.part_of(v) == side) {
@@ -46,81 +38,10 @@ GSide extract_gside(const gp::Graph& g, const gp::GPartition& bisection, idx_t s
   return out;
 }
 
-struct GRecurser {
-  const PartitionConfig& cfg;
-  double epsLevel;
-  std::vector<idx_t>& finalPart;
-  ThreadPool* pool = nullptr;  // nullptr = serial recursion
-  // Subtrees write disjoint finalPart ranges; the cut total is the only
-  // shared accumulation, and integer adds commute.
-  std::atomic<weight_t> cutAccum{0};
-
-  void run(const gp::Graph& g, const std::vector<idx_t>& toOrig, idx_t K, idx_t partOffset,
-           Rng rng) {
-    if (K == 1 || g.num_vertices() == 0) {
-      for (idx_t v = 0; v < g.num_vertices(); ++v)
-        finalPart[static_cast<std::size_t>(toOrig[static_cast<std::size_t>(v)])] = partOffset;
-      return;
-    }
-    const idx_t k0 = K / 2;
-    const idx_t k1 = K - k0;
-    const weight_t total = g.total_vertex_weight();
-    std::array<weight_t, 2> target;
-    target[0] = static_cast<weight_t>(std::llround(
-        static_cast<double>(total) * static_cast<double>(k0) / static_cast<double>(K)));
-    target[1] = total - target[0];
-    std::array<weight_t, 2> maxWeight = {
-        static_cast<weight_t>(std::floor(static_cast<double>(target[0]) * (1.0 + epsLevel))),
-        static_cast<weight_t>(std::floor(static_cast<double>(target[1]) * (1.0 + epsLevel)))};
-    maxWeight[0] = std::max(maxWeight[0], target[0]);
-    maxWeight[1] = std::max(maxWeight[1], target[1]);
-
-    // Child streams are derived before the bisection consumes rng and before
-    // any fork, so results are identical at any thread count.
-    Rng childRng0 = rng.spawn();
-    Rng childRng1 = rng.spawn();
-    gp::GPartition bisection = gpb::multilevel_gbisect(g, target, maxWeight, cfg, rng);
-    cutAccum.fetch_add(gpr::GraphFM::compute_cut(g, bisection),
-                       std::memory_order_relaxed);
-
-    if (pool != nullptr && g.num_vertices() >= cfg.minParallelVertices) {
-      TaskGroup fork(*pool);
-      fork.run([this, &g, &bisection, &toOrig, k0, partOffset, childRng0] {
-        descend(g, bisection, toOrig, 0, k0, partOffset, childRng0);
-      });
-      descend(g, bisection, toOrig, 1, k1, partOffset + k0, childRng1);
-      fork.wait();
-    } else {
-      descend(g, bisection, toOrig, 0, k0, partOffset, childRng0);
-      descend(g, bisection, toOrig, 1, k1, partOffset + k0, childRng1);
-    }
-  }
-
-  /// Extracts one bisection side, rebases it and recurses into it.
-  void descend(const gp::Graph& g, const gp::GPartition& bisection,
-               const std::vector<idx_t>& toOrig, idx_t side, idx_t sideK,
-               idx_t sideOffset, Rng sideRng) {
-    GSide ext = extract_gside(g, bisection, side);
-    for (auto& v : ext.toParent) v = toOrig[static_cast<std::size_t>(v)];
-    run(ext.sub, ext.toParent, sideK, sideOffset, sideRng);
-  }
-};
-
-}  // namespace
-
 GRecursiveResult partition_graph_recursive(const gp::Graph& g, idx_t K,
                                            const PartitionConfig& cfg, Rng& rng) {
-  FGHP_REQUIRE(K >= 1, "K must be positive");
-  std::vector<idx_t> finalPart(static_cast<std::size_t>(g.num_vertices()), kInvalidIdx);
-  GRecurser rec{cfg, hgrb::per_level_epsilon(cfg.epsilon, K), finalPart,
-                ThreadPool::for_request(cfg.numThreads)};
-
-  std::vector<idx_t> identity(static_cast<std::size_t>(g.num_vertices()));
-  for (idx_t v = 0; v < g.num_vertices(); ++v) identity[static_cast<std::size_t>(v)] = v;
-  rec.run(g, identity, K, 0, rng.spawn());
-
-  return {gp::GPartition(g, K, std::move(finalPart)),
-          rec.cutAccum.load(std::memory_order_relaxed)};
+  RbResult<GpRbTraits> r = rb::partition_recursive_rb<GpRbTraits>(g, K, cfg, rng);
+  return {std::move(r.partition), r.sumOfBisectionCuts, r.numRecoveries};
 }
 
 }  // namespace fghp::part::gprb

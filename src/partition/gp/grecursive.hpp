@@ -1,19 +1,46 @@
 // Recursive bisection of a graph to K parts (edge-cut objective). Cut edges
 // are dropped when recursing — their cost is fully paid at the level that
 // cut them, which telescopes to the K-way edge cut.
+//
+// The fork-join orchestration, RNG discipline and recovery ladder live in
+// the shared engine (partition/rb_driver.hpp); this header keeps the
+// graph-specific side extraction and the historical public API.
 #pragma once
 
 #include "graph/graph.hpp"
 #include "partition/config.hpp"
+#include "partition/multilevel.hpp"
 #include "util/rng.hpp"
 
 namespace fghp::part::gprb {
 
+/// Sub-graph of one bisection side plus its vertex mapping.
+struct GraphSide {
+  gp::Graph sub;
+  std::vector<idx_t> toParent;  ///< sub vertex -> parent vertex
+};
+
+/// Extracts the side's vertices with every edge internal to the side; cut
+/// edges are dropped (their cost was paid by this bisection).
+GraphSide extract_graph_side(const gp::Graph& g, const gp::GPartition& bisection,
+                             idx_t side);
+
 struct GRecursiveResult {
   gp::GPartition partition;
   weight_t sumOfBisectionCuts = 0;
+  idx_t numRecoveries = 0;  ///< bisection retries + greedy fallbacks taken
 };
 
+/// Partitions g into K parts by recursive multilevel bisection. Deterministic
+/// in (g, K, cfg.seed) at any thread count.
+///
+/// Thin wrapper over the unified engine (rb::partition_recursive_rb with the
+/// graph traits), which gives the baseline the same failure recovery as the
+/// hypergraph stack: a bisection node whose multilevel bisect throws
+/// (injected fault via grb.bisect/grb.retry/gfm.refine, internal error) or
+/// comes back infeasible is retried with a reseeded Rng stream and relaxed
+/// caps, then degrades to the deterministic greedy split. Every retry and
+/// fallback pushes a warning and counts in numRecoveries.
 GRecursiveResult partition_graph_recursive(const gp::Graph& g, idx_t K,
                                            const PartitionConfig& cfg, Rng& rng);
 

@@ -1,7 +1,10 @@
 #include "partition/gp/match.hpp"
 
+#include <atomic>
 #include <numeric>
 #include <tuple>
+
+#include "util/error.hpp"
 
 namespace fghp::part::gpm {
 
@@ -84,16 +87,27 @@ GCoarseLevel contract_graph(const gp::Graph& fine, const ClusterMap& clusters) {
 GCoarseLevel coarsen_one_level(const gp::Graph& fine, const PartitionConfig& cfg, Rng& rng) {
   ClusterMap clusters;
   switch (cfg.coarsening) {
+    case Coarsening::kHeavyConnectivity:
+      clusters = match_heavy_edge(fine, rng);
+      break;
+    case Coarsening::kAgglomerative: {
+      // The graph baseline has no absorption clustering; heavy-edge matching
+      // is its closest analog. Warn once so the substitution is visible.
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true, std::memory_order_relaxed)) {
+        push_warning(
+            "graph coarsening has no agglomerative clustering; "
+            "substituting heavy-edge matching");
+      }
+      clusters = match_heavy_edge(fine, rng);
+      break;
+    }
     case Coarsening::kRandomMatching:
       clusters = match_random(fine, rng);
       break;
-    case Coarsening::kNone: {
+    case Coarsening::kNone:
       clusters.resize(static_cast<std::size_t>(fine.num_vertices()));
       std::iota(clusters.begin(), clusters.end(), idx_t{0});
-      break;
-    }
-    default:
-      clusters = match_heavy_edge(fine, rng);
       break;
   }
   return contract_graph(fine, clusters);

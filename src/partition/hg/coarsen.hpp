@@ -9,6 +9,7 @@
 
 #include "hypergraph/hypergraph.hpp"
 #include "partition/config.hpp"
+#include "partition/multilevel.hpp"
 #include "util/rng.hpp"
 
 namespace fghp::part::hgc {
@@ -18,7 +19,8 @@ using ClusterMap = std::vector<idx_t>;
 
 /// Per-vertex bisection-side pin: -1 = free, 0 / 1 = fixed to that side
 /// (the paper's §3 pre-assigned vertices). Empty vector = nothing fixed.
-using FixedSides = std::vector<signed char>;
+/// Shared with the recursive-bisection engine (see partition/multilevel.hpp).
+using FixedSides = part::FixedSides;
 
 /// Heavy Connectivity Matching: pairs each unmatched vertex with the
 /// unmatched neighbor sharing the largest total cost of common nets.

@@ -1,25 +1,10 @@
 #include "partition/hg/recursive.hpp"
 
-#include <atomic>
-#include <cmath>
-#include <sstream>
-
-#include "hypergraph/metrics.hpp"
-#include "partition/hg/bisect.hpp"
-#include "partition/hg/initial.hpp"
-#include "partition/hg/refine.hpp"
-#include "partition/phase_timers.hpp"
+#include "partition/hg/rb_traits.hpp"
+#include "partition/rb_driver.hpp"
 #include "util/error.hpp"
-#include "util/fault.hpp"
-#include "util/thread_pool.hpp"
 
 namespace fghp::part::hgrb {
-
-double per_level_epsilon(double epsilon, idx_t K) {
-  if (K <= 2) return epsilon;
-  const double levels = std::ceil(std::log2(static_cast<double>(K)));
-  return std::pow(1.0 + epsilon, 1.0 / levels) - 1.0;
-}
 
 SideExtract extract_side(const hg::Hypergraph& h, const hg::Partition& bisection, idx_t side,
                          hg::CutMetric metric) {
@@ -69,196 +54,12 @@ SideExtract extract_side(const hg::Hypergraph& h, const hg::Partition& bisection
   return out;
 }
 
-namespace {
-
-struct Recurser {
-  const PartitionConfig& cfg;
-  double epsLevel;
-  std::vector<idx_t>& finalPart;          // indexed by original vertex id
-  const std::vector<idx_t>& fixedPart;    // original vertex -> pinned part (or empty)
-  ThreadPool* pool = nullptr;             // nullptr = serial recursion
-  // The two subtrees of a bisection write disjoint finalPart ranges, so the
-  // only shared accumulations are the cut total and the recovery count;
-  // integer adds commute, keeping both exact and thread-count independent.
-  std::atomic<weight_t> cutAccum{0};
-  std::atomic<idx_t> recoveries{0};
-
-  /// One bisection with bounded recovery. Attempt 0 replays the normal
-  /// stream (byte-identical to the non-recovering code when it succeeds);
-  /// each retry derives a fresh Rng stream from the same base and widens
-  /// the per-side caps by 50% more of the original slack. An infeasible
-  /// result (side over its cap) is retried like a thrown error, but the
-  /// best complete partition seen is kept as the answer if no attempt is
-  /// feasible — matching the old best-effort contract. Only when *every*
-  /// attempt throws does the node degrade to the deterministic greedy
-  /// split. All decisions are functions of (inputs, seed, fault spec), so
-  /// the outcome is identical at any thread count.
-  hg::Partition bisect_with_recovery(const hg::Hypergraph& h,
-                                     const std::array<weight_t, 2>& target,
-                                     const std::array<weight_t, 2>& maxWeight,
-                                     const hgc::FixedSides& fixed, const Rng& base,
-                                     idx_t partOffset) {
-    const idx_t attempts = std::max<idx_t>(1, cfg.maxBisectAttempts);
-    hg::Partition best;
-    bool haveBest = false;
-    for (idx_t a = 0; a < attempts; ++a) {
-      Rng attemptRng = base;
-      for (idx_t i = 0; i < a; ++i) attemptRng = attemptRng.spawn();
-      std::array<weight_t, 2> cap = maxWeight;
-      if (a > 0) {
-        for (std::size_t s = 0; s < 2; ++s) {
-          const double slack = static_cast<double>(maxWeight[s] - target[s]);
-          cap[s] = target[s] +
-                   static_cast<weight_t>(std::ceil(slack * (1.0 + 0.5 * a))) + a;
-        }
-      }
-      try {
-        fault::check(a == 0 ? "rb.bisect" : "rb.retry", partOffset + 1);
-        hg::Partition p = hgb::multilevel_bisect(h, target, cap, cfg, attemptRng, fixed);
-        const bool feasible =
-            p.part_weight(0) <= cap[0] && p.part_weight(1) <= cap[1];
-        if (feasible) {
-          if (a > 0) {
-            recoveries.fetch_add(1, std::memory_order_relaxed);
-            std::ostringstream os;
-            os << "bisection at part offset " << partOffset << " recovered on attempt "
-               << a + 1 << " of " << attempts << " (reseeded rng, relaxed caps)";
-            push_warning(os.str());
-          }
-          return p;
-        }
-        std::ostringstream os;
-        os << "infeasible bisection at part offset " << partOffset << " (attempt "
-           << a + 1 << " of " << attempts << "): side weights " << p.part_weight(0)
-           << "/" << p.part_weight(1) << " exceed caps " << cap[0] << "/" << cap[1];
-        if (!haveBest) {
-          best = std::move(p);
-          haveBest = true;
-        }
-        throw InfeasibleError(os.str());
-      } catch (const std::exception& e) {
-        std::ostringstream os;
-        os << "bisection attempt " << a + 1 << " of " << attempts << " at part offset "
-           << partOffset << " failed: " << e.what();
-        push_warning(os.str());
-      }
-    }
-    recoveries.fetch_add(1, std::memory_order_relaxed);
-    if (haveBest) {
-      // Every attempt was infeasible but at least one completed; keep the
-      // first (lowest-cut FM output) and let the K-way rebalance repair it.
-      push_warning("bisection at part offset " + std::to_string(partOffset) +
-                   " stayed infeasible after all attempts; keeping best-effort result");
-      return best;
-    }
-    push_warning("bisection at part offset " + std::to_string(partOffset) +
-                 " failed every attempt; degrading to the deterministic greedy split");
-    return hgi::greedy_bisection(h, target, fixed);
-  }
-
-  void run(const hg::Hypergraph& h, const std::vector<idx_t>& toOrig, idx_t K,
-           idx_t partOffset, Rng rng) {
-    if (K == 1 || h.num_vertices() == 0) {
-      for (idx_t v = 0; v < h.num_vertices(); ++v)
-        finalPart[static_cast<std::size_t>(toOrig[static_cast<std::size_t>(v)])] = partOffset;
-      return;
-    }
-
-    const idx_t k0 = K / 2;
-    const idx_t k1 = K - k0;
-    const weight_t total = h.total_vertex_weight();
-    std::array<weight_t, 2> target;
-    target[0] = static_cast<weight_t>(
-        std::llround(static_cast<double>(total) * static_cast<double>(k0) /
-                     static_cast<double>(K)));
-    target[1] = total - target[0];
-    std::array<weight_t, 2> maxWeight = {
-        static_cast<weight_t>(std::floor(static_cast<double>(target[0]) * (1.0 + epsLevel))),
-        static_cast<weight_t>(std::floor(static_cast<double>(target[1]) * (1.0 + epsLevel)))};
-    // Degenerate tiny sub-problems: never cap below the targets themselves.
-    maxWeight[0] = std::max(maxWeight[0], target[0]);
-    maxWeight[1] = std::max(maxWeight[1], target[1]);
-
-    // Pin pre-assigned vertices to the side containing their final part.
-    hgc::FixedSides fixed;
-    if (!fixedPart.empty()) {
-      fixed.assign(static_cast<std::size_t>(h.num_vertices()), -1);
-      bool any = false;
-      for (idx_t v = 0; v < h.num_vertices(); ++v) {
-        const idx_t fp = fixedPart[static_cast<std::size_t>(toOrig[static_cast<std::size_t>(v)])];
-        if (fp == kInvalidIdx) continue;
-        FGHP_ASSERT(fp >= partOffset && fp < partOffset + K);
-        fixed[static_cast<std::size_t>(v)] = fp - partOffset < k0 ? 0 : 1;
-        any = true;
-      }
-      if (!any) fixed.clear();
-    }
-
-    // Child streams are derived *before* the bisection consumes rng and
-    // before any fork, so every subtree sees the same stream at any thread
-    // count (DESIGN.md invariant 7).
-    Rng childRng0 = rng.spawn();
-    Rng childRng1 = rng.spawn();
-    hg::Partition bisection =
-        bisect_with_recovery(h, target, maxWeight, fixed, rng, partOffset);
-    cutAccum.fetch_add(hgr::BisectionFM::compute_cut(h, bisection),
-                       std::memory_order_relaxed);
-
-    if (pool != nullptr && h.num_vertices() >= cfg.minParallelVertices) {
-      // Fork side 0; recurse into side 1 on this thread. Both sides extract
-      // from (h, bisection), which outlive the join below.
-      TaskGroup fork(*pool);
-      fork.run([this, &h, &bisection, &toOrig, k0, partOffset, childRng0] {
-        descend(h, bisection, toOrig, 0, k0, partOffset, childRng0);
-      });
-      descend(h, bisection, toOrig, 1, k1, partOffset + k0, childRng1);
-      fork.wait();
-    } else {
-      descend(h, bisection, toOrig, 0, k0, partOffset, childRng0);
-      descend(h, bisection, toOrig, 1, k1, partOffset + k0, childRng1);
-    }
-  }
-
-  /// Extracts one bisection side, rebases it onto original vertex ids and
-  /// recurses into it.
-  void descend(const hg::Hypergraph& h, const hg::Partition& bisection,
-               const std::vector<idx_t>& toOrig, idx_t side, idx_t sideK,
-               idx_t sideOffset, Rng sideRng) {
-    SideExtract ext;
-    {
-      ScopedPhase phase(Phase::kExtract);
-      ext = extract_side(h, bisection, side, cfg.metric);
-      // Rebase the extraction onto original vertex ids.
-      for (auto& v : ext.toParent) v = toOrig[static_cast<std::size_t>(v)];
-    }
-    run(ext.sub, ext.toParent, sideK, sideOffset, sideRng);
-  }
-};
-
-}  // namespace
-
 RecursiveResult partition_recursive(const hg::Hypergraph& h, idx_t K,
                                     const PartitionConfig& cfg, Rng& rng,
                                     const std::vector<idx_t>& fixedPart) {
-  FGHP_REQUIRE(K >= 1, "K must be positive");
-  FGHP_REQUIRE(fixedPart.empty() ||
-                   fixedPart.size() == static_cast<std::size_t>(h.num_vertices()),
-               "fixedPart size mismatch");
-  for (idx_t fp : fixedPart)
-    FGHP_REQUIRE(fp == kInvalidIdx || (fp >= 0 && fp < K), "fixed part out of range");
-
-  std::vector<idx_t> finalPart(static_cast<std::size_t>(h.num_vertices()), kInvalidIdx);
-  Recurser rec{cfg, per_level_epsilon(cfg.epsilon, K), finalPart, fixedPart,
-               ThreadPool::for_request(cfg.numThreads)};
-
-  std::vector<idx_t> identity(static_cast<std::size_t>(h.num_vertices()));
-  for (idx_t v = 0; v < h.num_vertices(); ++v) identity[static_cast<std::size_t>(v)] = v;
-  rec.run(h, identity, K, 0, rng.spawn());
-
-  RecursiveResult out{hg::Partition(h, K, std::move(finalPart)),
-                      rec.cutAccum.load(std::memory_order_relaxed),
-                      rec.recoveries.load(std::memory_order_relaxed)};
-  return out;
+  RbResult<HgRbTraits> r =
+      rb::partition_recursive_rb<HgRbTraits>(h, K, cfg, rng, fixedPart);
+  return {std::move(r.partition), r.sumOfBisectionCuts, r.numRecoveries};
 }
 
 }  // namespace fghp::part::hgrb

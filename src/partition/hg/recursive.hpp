@@ -6,14 +6,23 @@
 // splitting) makes the per-level cut costs telescope exactly to the K-way
 // connectivity-1 cutsize. For the cut-net objective (eq. 2) a cut net has
 // already paid its full cost and is dropped from both sides.
+//
+// The fork-join orchestration, RNG discipline and recovery ladder live in
+// the shared engine (partition/rb_driver.hpp); this header keeps the
+// hypergraph-specific side extraction and the historical public API.
 #pragma once
 
 #include "hypergraph/hypergraph.hpp"
 #include "hypergraph/partition.hpp"
 #include "partition/config.hpp"
+#include "partition/multilevel.hpp"
 #include "util/rng.hpp"
 
 namespace fghp::part::hgrb {
+
+/// Per-bisection imbalance tolerance (shared with the graph stack; see
+/// partition/multilevel.hpp).
+using fghp::part::per_level_epsilon;
 
 /// Sub-hypergraph of one bisection side plus its vertex mapping.
 struct SideExtract {
@@ -38,20 +47,12 @@ struct RecursiveResult {
 /// vertices to final parts — the paper's §3 mechanism for reduction problems
 /// whose inputs/outputs are pre-assigned to processors.
 ///
-/// Failure recovery (bounded by cfg.maxBisectAttempts): a bisection node
-/// whose multilevel bisect throws (injected fault, internal error) or comes
-/// back infeasible is retried with a reseeded Rng stream and relaxed
-/// per-side caps; if every attempt throws, the node degrades to the
-/// deterministic greedy split (hgi::greedy_bisection). Every retry and
-/// fallback pushes a warning (util/error.hpp) and counts in numRecoveries.
-/// Recovery decisions depend only on (inputs, seed, fault spec), never on
-/// scheduling, so the partition stays identical at any thread count.
+/// Thin wrapper over the unified engine (rb::partition_recursive_rb with the
+/// hypergraph traits); see partition/rb_driver.hpp for the recovery-ladder
+/// and determinism contract. Every retry and fallback pushes a warning
+/// (util/error.hpp) and counts in numRecoveries.
 RecursiveResult partition_recursive(const hg::Hypergraph& h, idx_t K,
                                     const PartitionConfig& cfg, Rng& rng,
                                     const std::vector<idx_t>& fixedPart = {});
-
-/// Per-bisection imbalance tolerance such that the product over
-/// ceil(log2 K) levels stays within cfg.epsilon.
-double per_level_epsilon(double epsilon, idx_t K);
 
 }  // namespace fghp::part::hgrb

@@ -1,0 +1,41 @@
+// The unified multilevel recursive-bisection engine.
+//
+// One driver, two problem families: partition/hg/rb_traits.hpp plugs in the
+// fine-grain hypergraph stack (cut-net splitting, connectivity-1 telescoping)
+// and partition/gp/rb_traits.hpp the graph baseline (cut-edge dropping,
+// edge-cut telescoping). The public per-family entry points
+// (hgrb::partition_recursive, gprb::partition_graph_recursive) are thin
+// wrappers over partition_recursive_rb, so the fork-join orchestration, the
+// recovery ladder and the strict revalidation exist in exactly one
+// translation unit (rb_driver.cpp, which explicitly instantiates both).
+//
+// See partition/multilevel.hpp for the traits contract and the determinism
+// invariants the engine guarantees.
+#pragma once
+
+#include <vector>
+
+#include "partition/config.hpp"
+#include "partition/multilevel.hpp"
+#include "util/rng.hpp"
+
+namespace fghp::part::rb {
+
+/// Partitions the problem into K parts by recursive multilevel bisection.
+/// Deterministic in (problem, K, cfg.seed) at any thread count. `fixedPart`
+/// (optional; kInvalidIdx = free) pins vertices to final parts.
+///
+/// Failure recovery (bounded by cfg.maxBisectAttempts): a bisection node
+/// whose Traits::bisect throws (injected fault, internal error) or comes
+/// back infeasible is retried with a reseeded Rng stream and relaxed
+/// per-side caps; if every attempt throws, the node degrades to
+/// Traits::greedy_fallback. Every retry and fallback pushes a warning
+/// (util/error.hpp) and counts in RbResult::numRecoveries. When
+/// cfg.validateLevel is kStrict, every accepted bisection is deep-validated
+/// via Traits::validate_bisection before recursion continues.
+template <class Traits>
+RbResult<Traits> partition_recursive_rb(const typename Traits::Problem& problem, idx_t K,
+                                        const PartitionConfig& cfg, Rng& rng,
+                                        const std::vector<idx_t>& fixedPart = {});
+
+}  // namespace fghp::part::rb

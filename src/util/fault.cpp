@@ -91,12 +91,15 @@ const std::vector<std::string>& known_sites() {
       "exec.expand",  // MT executor expand task   (ordinal = processor + 1)
       "exec.fold",    // MT executor fold task     (ordinal = processor + 1)
       "exec.retry",   // MT executor retry attempt (ordinal = processor + 1)
-      "fm.refine",    // FM refinement inside a multilevel bisection
+      "fm.refine",    // FM refinement inside a multilevel hypergraph bisection
+      "gfm.refine",   // FM refinement inside a multilevel graph bisection
+      "grb.bisect",   // graph recursive-bisection node (ordinal = part offset + 1)
+      "grb.retry",    // graph bisection retry attempt  (ordinal = part offset + 1)
       "hg.build",     // hypergraph construction from pin lists
       "mmio.open",    // opening a Matrix Market file for reading
       "mmio.read",    // Matrix Market entry parse (ordinal = entry index)
-      "rb.bisect",    // recursive-bisection node  (ordinal = part offset + 1)
-      "rb.retry",     // bisection retry attempt   (ordinal = part offset + 1)
+      "rb.bisect",    // hypergraph recursive-bisection node (ordinal = part offset + 1)
+      "rb.retry",     // hypergraph bisection retry attempt  (ordinal = part offset + 1)
   };
   return sites;
 }

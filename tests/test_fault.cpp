@@ -6,9 +6,13 @@
 #include <algorithm>
 #include <string>
 
+#include "graph/gmetrics.hpp"
+#include "graph/gvalidate.hpp"
 #include "hypergraph/metrics.hpp"
 #include "hypergraph/validate.hpp"
 #include "models/finegrain.hpp"
+#include "models/graph_model.hpp"
+#include "partition/gp/gpartitioner.hpp"
 #include "partition/hg/partitioner.hpp"
 #include "sparse/generators.hpp"
 #include "spmv/executor_mt.hpp"
@@ -177,6 +181,91 @@ TEST(Recovery, FmFaultAlsoRecovered) {
   drain_warnings();
   EXPECT_TRUE(hg::validate_partition(m.h, r.partition).empty());
   EXPECT_TRUE(hg::is_balanced(m.h, r.partition, 0.1));
+}
+
+// ------------------------------------------ graph bisection recovery ----
+// The graph baseline shares the recursive-bisection engine with the
+// hypergraph partitioner (partition/rb_driver.cpp), so its recovery ladder
+// must behave identically: retry with a fresh stream, degrade to the greedy
+// split, stay deterministic at any thread count.
+
+part::GpResult gpartitionWith(const gp::Graph& g, idx_t K, const std::string& spec,
+                              idx_t threads,
+                              part::ValidateLevel level = part::ValidateLevel::kBasic) {
+  part::PartitionConfig cfg;
+  cfg.seed = 42;
+  cfg.numThreads = threads;
+  cfg.faultSpec = spec;
+  cfg.validateLevel = level;
+  return part::partition_graph(g, K, cfg);
+}
+
+TEST(GRecovery, RetriedBisectionStillBalancedAndCounted) {
+  const sparse::Csr a = sparse::random_square(120, 5, 11);
+  const gp::Graph g = model::build_standard_graph(a);
+  drain_warnings();
+  const part::GpResult r = gpartitionWith(g, 8, "grb.bisect:1", 1);
+  EXPECT_GT(r.numRecoveries, 0);
+  EXPECT_GT(warning_count(), 0u);
+  drain_warnings();
+  EXPECT_TRUE(gp::is_balanced(g, r.partition, 0.1));
+  for (idx_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(r.partition.part_of(v), 0);
+    EXPECT_LT(r.partition.part_of(v), 8);
+  }
+}
+
+TEST(GRecovery, RecoveredPartitionIdenticalAcrossThreadCounts) {
+  const sparse::Csr a = sparse::random_square(150, 4, 17);
+  const gp::Graph g = model::build_standard_graph(a);
+  const part::GpResult r1 = gpartitionWith(g, 8, "grb.bisect", 1);
+  const part::GpResult r2 = gpartitionWith(g, 8, "grb.bisect", 2);
+  const part::GpResult r8 = gpartitionWith(g, 8, "grb.bisect", 8);
+  drain_warnings();
+  EXPECT_GT(r1.numRecoveries, 0);
+  EXPECT_EQ(r1.partition.assignment(), r2.partition.assignment());
+  EXPECT_EQ(r1.partition.assignment(), r8.partition.assignment());
+}
+
+TEST(GRecovery, GreedyFallbackIsCompleteAndDeterministic) {
+  const sparse::Csr a = sparse::random_square(100, 4, 23);
+  const gp::Graph g = model::build_standard_graph(a);
+  const part::GpResult r1 = gpartitionWith(g, 4, "grb.bisect,grb.retry", 1);
+  const part::GpResult r8 = gpartitionWith(g, 4, "grb.bisect,grb.retry", 8);
+  drain_warnings();
+  EXPECT_GT(r1.numRecoveries, 0);
+  EXPECT_EQ(r1.partition.assignment(), r8.partition.assignment());
+  EXPECT_TRUE(gp::validate_partition(g, r1.partition).empty());
+  EXPECT_TRUE(gp::is_balanced(g, r1.partition, 0.1));
+}
+
+TEST(GRecovery, CleanRunHasNoRecoveries) {
+  const sparse::Csr a = sparse::random_square(80, 4, 31);
+  const gp::Graph g = model::build_standard_graph(a);
+  drain_warnings();
+  const part::GpResult r = gpartitionWith(g, 4, "", 1);
+  EXPECT_EQ(r.numRecoveries, 0);
+  EXPECT_EQ(warning_count(), 0u);
+}
+
+TEST(GRecovery, StrictValidationPassesAndMatchesBasic) {
+  const sparse::Csr a = sparse::random_square(90, 4, 37);
+  const gp::Graph g = model::build_standard_graph(a);
+  const part::GpResult basic = gpartitionWith(g, 4, "", 1);
+  const part::GpResult strict =
+      gpartitionWith(g, 4, "", 1, part::ValidateLevel::kStrict);
+  EXPECT_EQ(basic.partition.assignment(), strict.partition.assignment());
+}
+
+TEST(GRecovery, GraphFmFaultAlsoRecovered) {
+  // gfm.refine faults abort the whole multilevel gbisect; the engine's retry
+  // path must still deliver a complete, balanced partition.
+  const sparse::Csr a = sparse::random_square(70, 4, 41);
+  const gp::Graph g = model::build_standard_graph(a);
+  const part::GpResult r = gpartitionWith(g, 4, "gfm.refine", 1);
+  drain_warnings();
+  EXPECT_TRUE(gp::validate_partition(g, r.partition).empty());
+  EXPECT_TRUE(gp::is_balanced(g, r.partition, 0.1));
 }
 
 // --------------------------------------------------- executor recovery ----

@@ -1,0 +1,161 @@
+// Characterization ("golden") tests for the recursive-bisection stacks.
+//
+// These pin the exact partitions produced by the hypergraph and graph
+// multilevel engines for fixed (generator matrix, seed, K, config), as an
+// FNV-1a hash of the assignment vector plus the cutsize, at 1, 2 and 8
+// threads. They are the safety net for refactors of the RB orchestration:
+// any change to the traversal order, RNG stream derivation, recovery ladder
+// or extraction logic shows up as a hash mismatch here.
+//
+// Regenerating: FGHP_GOLDEN_PRINT=1 ./test_rb_golden prints the current
+// signatures in the exact table form below. Only paste new values when an
+// output change is *intended* — this file exists to make silent drift loud.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/gmetrics.hpp"
+#include "hypergraph/metrics.hpp"
+#include "models/finegrain.hpp"
+#include "models/graph_model.hpp"
+#include "partition/gp/gpartitioner.hpp"
+#include "partition/gp/grecursive.hpp"
+#include "partition/hg/partitioner.hpp"
+#include "partition/hg/recursive.hpp"
+#include "sparse/generators.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+namespace fghp {
+namespace {
+
+std::uint64_t fnv1a(const std::vector<idx_t>& v) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (idx_t x : v) {
+    auto u = static_cast<std::uint64_t>(x);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (u >> (8 * b)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+/// Signature of one partitioner run: assignment hash + objective value.
+struct Sig {
+  std::uint64_t hash = 0;
+  long long cut = 0;
+
+  bool operator==(const Sig&) const = default;
+};
+
+part::PartitionConfig golden_config(idx_t threads) {
+  part::PartitionConfig cfg;
+  cfg.seed = 42;
+  cfg.numThreads = threads;
+  // Low enough that the fork-join path is exercised on the small golden
+  // instances, so the thread sweep actually schedules tasks.
+  cfg.minParallelVertices = 64;
+  return cfg;
+}
+
+// The two generator instances the goldens are pinned on: a structured mesh
+// and an irregular random pattern. Deterministic in their parameters.
+sparse::Csr mesh_matrix() { return sparse::stencil2d(20, 20); }
+sparse::Csr irregular_matrix() { return sparse::random_square(250, 5, 13); }
+
+Sig run_hg_rb(const sparse::Csr& a, idx_t K, idx_t threads) {
+  const model::FineGrainModel m = model::build_finegrain(a);
+  const part::PartitionConfig cfg = golden_config(threads);
+  Rng rng(cfg.seed);
+  const part::hgrb::RecursiveResult r = part::hgrb::partition_recursive(m.h, K, cfg, rng);
+  return {fnv1a(r.partition.assignment()), static_cast<long long>(r.sumOfBisectionCuts)};
+}
+
+Sig run_gp_rb(const sparse::Csr& a, idx_t K, idx_t threads) {
+  const gp::Graph g = model::build_standard_graph(a);
+  const part::PartitionConfig cfg = golden_config(threads);
+  Rng rng(cfg.seed);
+  const part::gprb::GRecursiveResult r = part::gprb::partition_graph_recursive(g, K, cfg, rng);
+  return {fnv1a(r.partition.assignment()), static_cast<long long>(r.sumOfBisectionCuts)};
+}
+
+Sig run_hg_facade(const sparse::Csr& a, idx_t K, idx_t threads) {
+  const model::FineGrainModel m = model::build_finegrain(a);
+  const part::HgResult r = part::partition_hypergraph(m.h, K, golden_config(threads));
+  return {fnv1a(r.partition.assignment()), static_cast<long long>(r.cutsize)};
+}
+
+Sig run_gp_facade(const sparse::Csr& a, idx_t K, idx_t threads) {
+  const gp::Graph g = model::build_standard_graph(a);
+  const part::GpResult r = part::partition_graph(g, K, golden_config(threads));
+  return {fnv1a(r.partition.assignment()), static_cast<long long>(r.edgeCut)};
+}
+
+struct Case {
+  const char* engine;  // "hg.rb", "gp.rb", "hg.part", "gp.part"
+  const char* matrix;  // "mesh", "irregular"
+  idx_t K;
+  Sig expected;        // at every thread count (thread-count independence)
+};
+
+// Golden signatures captured from the pre-unification stacks (PR 2 state);
+// the unified engine must reproduce them bit-identically.
+const Case kGolden[] = {
+    {"hg.rb", "mesh", 4, {0xbd4997befafc43c2ULL, 77}},
+    {"hg.rb", "mesh", 8, {0x590f9b2cf4bc0266ULL, 157}},
+    {"hg.rb", "irregular", 4, {0x3524b624bd83cd81ULL, 251}},
+    {"hg.rb", "irregular", 8, {0x62483d94beb3ae24ULL, 379}},
+    {"gp.rb", "mesh", 4, {0x9f6b343a55339100ULL, 86}},
+    {"gp.rb", "mesh", 8, {0xf927a62b0de53fe7ULL, 176}},
+    {"gp.rb", "irregular", 4, {0x845c400907ac7862ULL, 416}},
+    {"gp.rb", "irregular", 8, {0x8d485eeda0070be1ULL, 546}},
+    {"hg.part", "mesh", 4, {0xbd4997befafc43c2ULL, 77}},
+    {"hg.part", "mesh", 8, {0xdeb278007a3a5dc5ULL, 154}},
+    {"hg.part", "irregular", 4, {0x7e6e470547c66841ULL, 249}},
+    {"hg.part", "irregular", 8, {0x741e371ed389a664ULL, 377}},
+    {"gp.part", "mesh", 4, {0x6a1395e9c234ed23ULL, 84}},
+    {"gp.part", "mesh", 8, {0x09caaa2e3a37bce5ULL, 172}},
+    {"gp.part", "irregular", 4, {0x17ed08dc9fc584a0ULL, 414}},
+    {"gp.part", "irregular", 8, {0x27ff2bda60b49b62ULL, 545}},
+};
+
+Sig run_case(const Case& c, idx_t threads) {
+  const sparse::Csr a =
+      std::string(c.matrix) == "mesh" ? mesh_matrix() : irregular_matrix();
+  const std::string engine = c.engine;
+  if (engine == "hg.rb") return run_hg_rb(a, c.K, threads);
+  if (engine == "gp.rb") return run_gp_rb(a, c.K, threads);
+  if (engine == "hg.part") return run_hg_facade(a, c.K, threads);
+  return run_gp_facade(a, c.K, threads);
+}
+
+TEST(RbGolden, PrintCurrentSignatures) {
+  if (!env_flag("FGHP_GOLDEN_PRINT")) GTEST_SKIP() << "set FGHP_GOLDEN_PRINT=1 to print";
+  for (const Case& c : kGolden) {
+    const Sig s = run_case(c, 1);
+    std::printf("    {\"%s\", \"%s\", %d, {0x%016llxULL, %lld}},\n", c.engine, c.matrix,
+                static_cast<int>(c.K), static_cast<unsigned long long>(s.hash), s.cut);
+  }
+}
+
+class RbGoldenSweep : public ::testing::TestWithParam<idx_t> {};
+
+TEST_P(RbGoldenSweep, PinnedAtEveryThreadCount) {
+  const idx_t threads = GetParam();
+  for (const Case& c : kGolden) {
+    const Sig s = run_case(c, threads);
+    EXPECT_EQ(s.hash, c.expected.hash)
+        << c.engine << " " << c.matrix << " K=" << c.K << " threads=" << threads;
+    EXPECT_EQ(s.cut, c.expected.cut)
+        << c.engine << " " << c.matrix << " K=" << c.K << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, RbGoldenSweep, ::testing::Values(1, 2, 8));
+
+}  // namespace
+}  // namespace fghp
