@@ -11,6 +11,7 @@
 //                  recursive bisection (default: hardware concurrency)
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -51,6 +52,15 @@ inline BenchEnv load_env() {
   env.matrices = env_list("FGHP_MATRICES");
   if (env.matrices.empty()) env.matrices = sparse::suite_names();
   return env;
+}
+
+/// Median of a sample vector (throughput benches report median-of-N so one
+/// descheduled iteration cannot skew the result). Copies: samples are tiny.
+inline double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
 }
 
 // ------------------------------------------------------------- JSON ----

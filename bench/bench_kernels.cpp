@@ -2,14 +2,24 @@
 // model construction, one coarsening level, one FM refinement, the
 // communication analyzer and the local SpMV. These are the building blocks
 // whose costs explain the Table 2 'time' column.
+//
+// Flags: --json <path> (ours, stripped before google-benchmark sees argv)
+// writes per-benchmark timings via the shared JsonWriter, same document
+// shape as the table benches.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "comm/volume.hpp"
 #include "models/finegrain.hpp"
 #include "models/hypergraph1d.hpp"
 #include "partition/hg/coarsen.hpp"
 #include "partition/hg/partitioner.hpp"
 #include "partition/hg/refine.hpp"
+#include "spmv/compiled.hpp"
 #include "spmv/executor.hpp"
 #include "spmv/plan.hpp"
 #include "spmv/reference.hpp"
@@ -103,21 +113,102 @@ void BM_ReferenceSpmv(benchmark::State& state) {
 }
 BENCHMARK(BM_ReferenceSpmv)->Unit(benchmark::kMicrosecond);
 
-void BM_DistributedSpmvSerialSim(benchmark::State& state) {
+const spmv::SpmvPlan& finegrain_plan() {
+  static const spmv::SpmvPlan plan = [] {
+    part::PartitionConfig cfg;
+    const model::ModelRun run = model::run_finegrain(matrix(), 16, cfg);
+    return spmv::build_plan(matrix(), run.decomp);
+  }();
+  return plan;
+}
+
+void BM_DistributedSpmvPlanWalk(benchmark::State& state) {
   const sparse::Csr& a = matrix();
-  part::PartitionConfig cfg;
-  const model::ModelRun run = model::run_finegrain(a, 16, cfg);
-  const spmv::SpmvPlan plan = spmv::build_plan(a, run.decomp);
+  const spmv::SpmvPlan& plan = finegrain_plan();
   Rng rng(5);
   std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
   for (auto& v : x) v = rng.uniform01();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(spmv::execute(plan, x));
+    benchmark::DoNotOptimize(spmv::execute_plan_walk(plan, x));
   }
   state.SetItemsProcessed(state.iterations() * a.nnz());
 }
-BENCHMARK(BM_DistributedSpmvSerialSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistributedSpmvPlanWalk)->Unit(benchmark::kMillisecond);
+
+void BM_CompilePlan(benchmark::State& state) {
+  const spmv::SpmvPlan& plan = finegrain_plan();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmv::compile_plan(plan));
+  }
+  state.SetItemsProcessed(state.iterations() * matrix().nnz());
+}
+BENCHMARK(BM_CompilePlan)->Unit(benchmark::kMillisecond);
+
+void BM_CompiledSpmvSession(benchmark::State& state) {
+  const sparse::Csr& a = matrix();
+  spmv::ExecSession session(finegrain_plan());
+  Rng rng(5);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
+  for (auto& v : x) v = rng.uniform01();
+  std::vector<double> y;
+  for (auto _ : state) {
+    session.run(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_CompiledSpmvSession)->Unit(benchmark::kMicrosecond);
+
+// Captures every finished run for the --json flag while still printing the
+// normal console table.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<Run> captured;
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& r : report)
+      if (!r.error_occurred) captured.push_back(r);
+    ConsoleReporter::ReportRuns(report);
+  }
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our --json flag; google-benchmark rejects flags it doesn't know.
+  std::string jsonPath;
+  std::vector<char*> filtered;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      jsonPath = argv[i] + 7;
+    } else {
+      filtered.push_back(argv[i]);
+    }
+  }
+  int filteredArgc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filteredArgc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filteredArgc, filtered.data())) return 1;
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!jsonPath.empty()) {
+    fghp::bench::JsonWriter json;
+    json.scalar("bench", std::string("kernels"));
+    for (const auto& r : reporter.captured) {
+      const double iters = r.iterations > 0 ? static_cast<double>(r.iterations) : 1.0;
+      auto& rec = json.add("benchmarks");
+      rec.field("name", r.benchmark_name())
+          .field("iterations", static_cast<long long>(r.iterations))
+          .field("real_ns_per_iter", r.real_accumulated_time / iters * 1e9)
+          .field("cpu_ns_per_iter", r.cpu_accumulated_time / iters * 1e9);
+      const auto it = r.counters.find("items_per_second");
+      if (it != r.counters.end()) rec.field("items_per_second", double(it->second));
+    }
+    if (!json.write(jsonPath)) return 1;
+  }
+  return 0;
+}

@@ -1,61 +1,181 @@
-// Ablation A5 — does lower communication volume buy SpMV time? For each
-// model decomposition this bench (a) runs the multi-threaded BSP executor
-// and times real repeated SpMVs, and (b) evaluates the alpha-beta-gamma
-// cost model, which reflects a classic distributed-memory machine where
-// the paper's volumes dominate.
+// Ablation A5 — does lower communication volume buy SpMV time? — plus the
+// per-iteration throughput of the compiled execution image.
 //
-// Knobs: FGHP_SCALE, FGHP_MATRICES, FGHP_K (first value used), FGHP_REPS.
+// Section (a): for each model decomposition, run the threaded BSP executor
+// and evaluate the alpha-beta-gamma cost model (a classic distributed-memory
+// machine where the paper's volumes dominate).
+//
+// Section (b): the iterative-solver view. For each matrix and K, a finegrain
+// decomposition is lowered once (spmv::compile_plan) and the repeated
+// y = A x iteration is timed three ways: the legacy plan-walking executor
+// (global coordinates, hash lookup per nonzero), the compiled serial
+// session and the compiled threaded session. Medians over FGHP_REPS
+// iterations after warmup. GFLOP/s counts 2 nnz flops per iteration;
+// effective GB/s models the iteration's memory traffic as 12 B per nonzero
+// (value + local column index) + 8 B per scratch/vector element touched
+// (x gather, partials, y) + 16 B per communicated word (flat-buffer write
+// and read).
+//
+// Flags: --json <path> writes both sections machine-readably (the perf-
+// trajectory artifact BENCH_spmv.json is seeded from this).
+// Knobs: FGHP_SCALE, FGHP_MATRICES, FGHP_K, FGHP_REPS.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "models/checkerboard.hpp"
+#include "spmv/compiled.hpp"
 #include "spmv/costmodel.hpp"
-#include "spmv/executor_mt.hpp"
+#include "spmv/executor.hpp"
 #include "spmv/plan.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
-int main() {
+namespace {
+
+using namespace fghp;
+
+std::vector<double> random_x(idx_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform01();
+  return x;
+}
+
+/// Median per-iteration milliseconds of `iterate`, over `reps` samples after
+/// two warmup calls. Each sample batches enough iterations to outlast clock
+/// jitter on small matrices.
+template <typename Fn>
+double time_iteration_ms(int reps, Fn&& iterate) {
+  iterate();
+  WallTimer est;
+  iterate();
+  const double estMs = est.millis();
+  const int inner = estMs >= 0.5 ? 1 : static_cast<int>(0.5 / (estMs > 1e-6 ? estMs : 1e-6)) + 1;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    for (int i = 0; i < inner; ++i) iterate();
+    samples.push_back(t.millis() / inner);
+  }
+  return bench::median(std::move(samples));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace fghp;
+  const ArgParser args(argc, argv);
   bench::BenchEnv env = bench::load_env();
   if (!env_str("FGHP_MATRICES")) env.matrices = {"sherman3", "ken-11", "cq9"};
-  const idx_t K = env.kValues.empty() ? 16 : env.kValues.front();
   const auto reps = static_cast<int>(env_long("FGHP_REPS", 20));
+  const idx_t K0 = env.kValues.empty() ? 16 : env.kValues.front();
+
+  bench::JsonWriter json;
+  json.scalar("bench", std::string("spmv"));
+  json.scalar("scale", env.scale);
+  json.scalar("reps", static_cast<long long>(reps));
 
   std::printf(
       "Ablation A5 — simulated SpMV by model (K=%d, scale=%.2f, %d repetitions)\n"
       "'est par' is the alpha-beta-gamma BSP estimate; 'mt wall' is measured wall time\n"
-      "of the threaded executor (shared-memory, so communication is cheap here —\n"
+      "of the threaded compiled session (shared-memory, so communication is cheap here —\n"
       "the cost model is what reflects the paper's distributed setting).\n\n",
-      static_cast<int>(K), env.scale, reps);
+      static_cast<int>(K0), env.scale, reps);
 
   Table t({"matrix", "model", "volume[w]", "est par[ms]", "est speedup", "mt wall[ms]"});
   for (const auto& name : env.matrices) {
     const sparse::Csr a = sparse::make_matrix(name, 1, env.scale);
-    Rng rng(7);
-    std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
-    for (auto& v : x) v = rng.uniform01();
+    const std::vector<double> x = random_x(a.num_cols(), 7);
 
     auto eval = [&](const char* label, const model::Decomposition& d) {
       const comm::CommStats s = comm::analyze(a, d);
       const spmv::CostEstimate est = spmv::estimate_cost(a, d, s);
-      const spmv::SpmvPlan plan = spmv::build_plan(a, d);
-      WallTimer timer;
+      spmv::ExecSession session(spmv::build_plan(a, d));
       std::vector<double> y;
-      for (int r = 0; r < reps; ++r) y = spmv::execute_mt(plan, x);
+      WallTimer timer;
+      for (int r = 0; r < reps; ++r) session.run_mt(x, y);
       const double wall = timer.millis() / reps;
       t.add_row({name, label, Table::num(static_cast<long long>(s.totalWords)),
                  Table::num(est.totalSeconds * 1e3, 3), Table::num(est.speedup, 1),
                  Table::num(wall, 2)});
+      json.add("models")
+          .field("matrix", name)
+          .field("model", std::string(label))
+          .field("k", K0)
+          .field("volume_words", static_cast<long long>(s.totalWords))
+          .field("est_par_ms", est.totalSeconds * 1e3)
+          .field("mt_wall_ms", wall);
     };
 
     part::PartitionConfig cfg;
-    eval("graph-1d", model::run_graph_model(a, K, cfg).decomp);
-    eval("hyper-1d", model::run_hypergraph1d(a, K, cfg).decomp);
-    eval("finegrain-2d", model::run_finegrain(a, K, cfg).decomp);
-    eval("checkerboard", model::checkerboard_decompose_k(a, K));
+    eval("graph-1d", model::run_graph_model(a, K0, cfg).decomp);
+    eval("hyper-1d", model::run_hypergraph1d(a, K0, cfg).decomp);
+    eval("finegrain-2d", model::run_finegrain(a, K0, cfg).decomp);
+    eval("checkerboard", model::checkerboard_decompose_k(a, K0));
     t.add_separator();
   }
   t.print();
+
+  std::printf(
+      "\nPer-iteration y = A x throughput, finegrain decomposition (median of %d)\n"
+      "'plan walk' is the legacy global-coordinate executor; 'compiled' is the\n"
+      "local-indexed ExecSession (serial / threaded).\n\n",
+      reps);
+
+  Table tp({"matrix", "K", "nnz", "words", "plan walk[ms]", "compiled[ms]", "mt[ms]",
+            "speedup", "GFLOP/s", "GB/s"});
+  for (const auto& name : env.matrices) {
+    const sparse::Csr a = sparse::make_matrix(name, 1, env.scale);
+    const std::vector<double> x = random_x(a.num_cols(), 11);
+    for (idx_t K : env.kValues) {
+      part::PartitionConfig cfg;
+      const model::ModelRun mrun = model::run_finegrain(a, K, cfg);
+      const spmv::SpmvPlan plan = spmv::build_plan(a, mrun.decomp);
+      const weight_t words = plan.total_words();
+
+      std::vector<double> sink;
+      const double planMs = time_iteration_ms(
+          reps, [&] { sink = spmv::execute_plan_walk(plan, x); });
+
+      spmv::ExecSession session(plan);
+      std::vector<double> y;
+      const double compiledMs = time_iteration_ms(reps, [&] { session.run(x, y); });
+      const double mtMs = time_iteration_ms(reps, [&] { session.run_mt(x, y); });
+
+      const auto& c = session.compiled();
+      const double flops = 2.0 * static_cast<double>(a.nnz());
+      const double bytes =
+          12.0 * static_cast<double>(a.nnz()) +
+          8.0 * static_cast<double>(c.xOff.back() + c.rowOff.back() + c.numRows) +
+          16.0 * static_cast<double>(words);
+      const double gflops = flops / (compiledMs * 1e6);
+      const double gbps = bytes / (compiledMs * 1e6);
+      const double speedup = compiledMs > 0.0 ? planMs / compiledMs : 0.0;
+
+      tp.add_row({name, Table::num(static_cast<long long>(K)),
+                  Table::num(static_cast<long long>(a.nnz())),
+                  Table::num(static_cast<long long>(words)), Table::num(planMs, 3),
+                  Table::num(compiledMs, 3), Table::num(mtMs, 3),
+                  Table::num(speedup, 1), Table::num(gflops, 2), Table::num(gbps, 2)});
+      json.add("runs")
+          .field("matrix", name)
+          .field("k", K)
+          .field("nnz", static_cast<long long>(a.nnz()))
+          .field("words", static_cast<long long>(words))
+          .field("plan_walk_ms", planMs)
+          .field("compiled_ms", compiledMs)
+          .field("compiled_mt_ms", mtMs)
+          .field("speedup", speedup)
+          .field("compiled_gflops", gflops)
+          .field("compiled_gbps", gbps);
+    }
+    tp.add_separator();
+  }
+  tp.print();
+
+  if (const auto path = args.flag("json"); path && !json.write(*path)) return 1;
   return 0;
 }

@@ -11,7 +11,7 @@
 #include "comm/volume.hpp"
 #include "models/finegrain.hpp"
 #include "partition/hg/partitioner.hpp"
-#include "spmv/executor.hpp"
+#include "spmv/compiled.hpp"
 #include "spmv/plan.hpp"
 #include "sparse/generators.hpp"
 #include "util/error.hpp"
@@ -41,11 +41,14 @@ int main(int argc, char** argv) try {
   std::printf("decomposition: %lld words per SpMV (%.2f scaled), imbalance %.2f%%\n",
               static_cast<long long>(cs.totalWords), cs.scaledTotal(a.num_rows()),
               100.0 * r.imbalance);
-  const spmv::SpmvPlan plan = spmv::build_plan(a, d);
+  // Compile the plan once into a reusable session: every CG iteration's
+  // SpMV then runs local-indexed and allocation-free.
+  spmv::ExecSession spmvSession(spmv::build_plan(a, d));
 
   // b = A * ones, so the exact solution is ones.
   std::vector<double> ones(dim, 1.0);
-  const std::vector<double> b = spmv::execute(plan, ones);
+  std::vector<double> b;
+  spmvSession.run(ones, b);
 
   // Conjugate gradients. The dot products and axpys operate on conformal
   // vectors: with owner(x_j) == owner(y_j) they would be communication-free
@@ -60,7 +63,7 @@ int main(int argc, char** argv) try {
   const double bnorm = std::sqrt(dot(b, b));
   long iters = 0;
   while (iters < maxIters && std::sqrt(rr) > tol * bnorm) {
-    ap = spmv::execute(plan, p);  // the only communicating step
+    spmvSession.run(p, ap);  // the only communicating step; reuses scratch
     const double alpha = rr / dot(p, ap);
     for (std::size_t i = 0; i < dim; ++i) {
       x[i] += alpha * p[i];

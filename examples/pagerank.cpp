@@ -13,7 +13,7 @@
 #include "comm/volume.hpp"
 #include "models/finegrain.hpp"
 #include "partition/hg/partitioner.hpp"
-#include "spmv/executor.hpp"
+#include "spmv/compiled.hpp"
 #include "spmv/plan.hpp"
 #include "spmv/transpose.hpp"
 #include "sparse/convert.hpp"
@@ -58,7 +58,9 @@ int main(int argc, char** argv) try {
   part::PartitionConfig cfg;
   const part::HgResult pr = part::partition_hypergraph(m.h, k, cfg);
   const model::Decomposition d = model::decode_finegrain(a, m, pr.partition);
-  const spmv::SpmvPlan planT = spmv::build_transpose_plan(a, d);
+  // Compile the transpose plan once; every power iteration reuses the
+  // session's local-indexed image and scratch.
+  spmv::ExecSession sessionT(spmv::build_transpose_plan(a, d));
   const comm::CommStats fwd = comm::analyze(a, d);
   const comm::CommStats bwd =
       comm::analyze(sparse::transpose(a), spmv::transpose_decomposition(a, d));
@@ -70,8 +72,9 @@ int main(int argc, char** argv) try {
   const double teleport = (1.0 - damping) / static_cast<double>(n);
   long iters = 0;
   double delta = 1.0;
+  std::vector<double> z;
   while (delta > tol && iters < 200) {
-    const std::vector<double> z = spmv::execute(planT, r);  // z = A^T r
+    sessionT.run(r, z);  // z = A^T r
     delta = 0.0;
     for (std::size_t i = 0; i < r.size(); ++i) {
       const double next = damping * z[i] + teleport;

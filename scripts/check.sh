@@ -88,4 +88,23 @@ echo "--- quick benches (reduced scale) ---"
 FGHP_SCALE=0.15 FGHP_SEEDS=1 FGHP_K=16 ./build/bench/bench_table2
 FGHP_SCALE=0.15 ./build/bench/bench_ablation_checkerboard
 
+echo "--- perf smoke: compiled SpMV session ---"
+# One small matrix through bench_spmv's throughput section. Catches gross
+# perf breakage (a dead or mis-lowered compiled image reports zero/NaN
+# throughput); the JSON stays in build/ for comparison against the
+# committed BENCH_spmv.json trajectory.
+FGHP_MATRICES=sherman3 FGHP_SCALE=0.2 FGHP_K=16 FGHP_REPS=5 \
+    ./build/bench/bench_spmv --json build/bench_spmv_smoke.json
+if grep -qiE 'nan|inf' build/bench_spmv_smoke.json; then
+  echo "perf smoke FAILED: non-finite value in build/bench_spmv_smoke.json"
+  exit 1
+fi
+gflops=$(grep -o '"compiled_gflops": *[0-9.eE+-]*' build/bench_spmv_smoke.json \
+         | head -1 | awk '{print $2}')
+awk -v g="${gflops:-0}" 'BEGIN { exit (g > 0) ? 0 : 1 }' || {
+  echo "perf smoke FAILED: compiled throughput is ${gflops:-missing} GFLOP/s"
+  exit 1
+}
+echo "  compiled session: $gflops GFLOP/s (artifact: build/bench_spmv_smoke.json)"
+
 echo "ALL CHECKS PASSED"

@@ -1,0 +1,114 @@
+// Plan compilation: lowers an SpmvPlan into a local-indexed, zero-allocation
+// execution image (CompiledPlan) and runs it through a reusable ExecSession.
+//
+// The one-shot executors walk the plan in *global* coordinates and pay a
+// hash lookup per nonzero plus fresh mailbox/cache/partial allocations on
+// every call. An iterative solver calls y = A x hundreds of times on the
+// same plan, so we lower once instead:
+//
+//  * every processor's nonzeros become a CSR whose column indices point into
+//    a dense per-processor x scratch (local numbering, no hashes),
+//  * every expand/fold message id is pre-translated to a scratch slot, and
+//    all message payloads pack into one flat buffer per processor addressed
+//    by prefix offsets (rowOff/xOff/xSendOff/... below),
+//  * ExecSession owns the image plus the scratch vectors, so iterations
+//    after the first perform no heap allocation at all on the serial path
+//    (the threaded path still spawns its worker threads per call).
+//
+// Both execution paths are bit-identical to the original executors: the
+// per-row multiply accumulates in the plan's nonzero order and the fold
+// accumulates own-partial first, then remote partials in plan (sender-major)
+// order — the exact summation orders execute()/execute_mt() used.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spmv/executor.hpp"
+#include "spmv/plan.hpp"
+
+namespace fghp::spmv {
+
+/// The execution image. All arrays are flat and concatenated processor-major;
+/// a `*Off` array of size numProcs+1 gives processor p the half-open range
+/// [off[p], off[p+1]). "Slot" means an index into the session's flat scratch:
+/// x slots address the local-x gather space, row slots the partial space.
+struct CompiledPlan {
+  idx_t numProcs = 0;
+  idx_t numRows = 0;
+  idx_t numCols = 0;
+
+  // --- per-processor prefix offsets (each numProcs + 1 long) --------------
+  std::vector<idx_t> rowOff;      ///< local row slots (partial scratch)
+  std::vector<idx_t> xOff;        ///< local x slots (gather scratch)
+  std::vector<idx_t> ownXOff;     ///< owned-and-locally-used x pairs
+  std::vector<idx_t> ownYOff;     ///< owned-and-locally-computed y pairs
+  std::vector<idx_t> xSendOff;    ///< expand send-buffer words
+  std::vector<idx_t> xSendMsgOff; ///< expand messages
+  std::vector<idx_t> xRecvOff;    ///< expand recv words
+  std::vector<idx_t> ySendOff;    ///< fold send-buffer words
+  std::vector<idx_t> ySendMsgOff; ///< fold messages
+  std::vector<idx_t> yRecvOff;    ///< fold recv words
+
+  // --- local CSR (concatenated; entries of proc p start at rowPtr[rowOff[p]])
+  std::vector<idx_t> rowPtr;      ///< size rowOff.back() + 1
+  std::vector<idx_t> colSlot;     ///< x slot per nonzero (local numbering)
+  std::vector<double> vals;
+
+  // --- gather / scatter tables -------------------------------------------
+  std::vector<idx_t> xColGlobal;  ///< x slot -> global column (serial gather)
+  std::vector<idx_t> ownXCol;     ///< owned gather: global column ...
+  std::vector<idx_t> ownXSlot;    ///< ... into this x slot (MT superstep 1)
+  std::vector<idx_t> xSendCol;    ///< send word -> global column to copy out
+  std::vector<idx_t> xRecvSlot;   ///< recv word -> destination x slot
+  std::vector<idx_t> xRecvSrc;    ///< recv word -> source word in x send space
+  std::vector<idx_t> ownYRow;     ///< owner fold: global row ...
+  std::vector<idx_t> ownYSlot;    ///< ... accumulated from this row slot
+  std::vector<idx_t> ySendSlot;   ///< send word -> source row slot
+  std::vector<idx_t> ySendRow;    ///< send word -> global row (serial fold)
+  std::vector<idx_t> yRecvRow;    ///< recv word -> global row accumulated into
+  std::vector<idx_t> yRecvSrc;    ///< recv word -> source word in y send space
+
+  idx_t nnz() const { return rowPtr.empty() ? 0 : rowPtr.back(); }
+  weight_t total_words() const;   ///< expand + fold send-buffer words
+  idx_t total_messages() const;   ///< directed messages, both phases
+};
+
+/// Lowers a plan. Throws fghp::InvariantError if the plan's fold schedule
+/// references a row its processor never computes, or if the compiled
+/// send-buffer offsets fail to cover exactly plan.total_words() /
+/// plan.total_messages() (both indicate a corrupt plan).
+CompiledPlan compile_plan(const SpmvPlan& plan);
+
+/// Owns a compiled image plus the scratch to execute it repeatedly.
+/// After the first run() the serial path performs zero heap allocations per
+/// iteration (reuse the same y vector). Not thread-safe: one session per
+/// concurrent caller; run_mt parallelizes internally.
+class ExecSession {
+ public:
+  explicit ExecSession(const SpmvPlan& plan);
+  explicit ExecSession(CompiledPlan compiled);
+
+  const CompiledPlan& compiled() const { return c_; }
+
+  /// Serial y = A x into `y` (resized to numRows, zero-filled, then
+  /// accumulated in the serial executor's exact summation order).
+  void run(std::span<const double> x, std::vector<double>& y,
+           ExecStats* stats = nullptr);
+
+  /// Threaded BSP y = A x (expand / multiply / fold supersteps, barriers in
+  /// between). Same worker-count resolution, `exec.expand` / `exec.fold` /
+  /// `exec.retry` fault sites, one-retry-then-serial-fallback recovery and
+  /// bit-identical output as execute_mt().
+  void run_mt(std::span<const double> x, std::vector<double>& y,
+              idx_t numThreads = 0, ExecStats* stats = nullptr);
+
+ private:
+  CompiledPlan c_;
+  // Scratch, sized once at construction. xSendBuf_/ySendBuf_ are the flat
+  // mailbox spaces the MT path communicates through; the serial path
+  // gathers/scatters directly and never touches them.
+  std::vector<double> xLoc_, partial_, xSendBuf_, ySendBuf_;
+};
+
+}  // namespace fghp::spmv

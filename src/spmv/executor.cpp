@@ -2,12 +2,24 @@
 
 #include <unordered_map>
 
+#include "spmv/compiled.hpp"
 #include "util/assert.hpp"
 
 namespace fghp::spmv {
 
 std::vector<double> execute(const SpmvPlan& plan, std::span<const double> x,
                             ExecStats* stats) {
+  ExecSession session(plan);
+  std::vector<double> y;
+  session.run(x, y, stats);
+  return y;
+}
+
+// The pre-compilation executor, kept verbatim as bench_spmv's baseline: it
+// walks the plan in global coordinates and pays a hash lookup per nonzero.
+std::vector<double> execute_plan_walk(const SpmvPlan& plan,
+                                      std::span<const double> x,
+                                      ExecStats* stats) {
   FGHP_REQUIRE(x.size() == static_cast<std::size_t>(plan.numCols), "x size mismatch");
   const idx_t K = plan.numProcs;
 

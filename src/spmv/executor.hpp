@@ -1,6 +1,11 @@
 // Serial simulation of the distributed SpMV: executes the plan's expand /
 // local-multiply / fold phases processor by processor, counting every word
 // and message, and returns the assembled global y.
+//
+// Both one-shot entry points (execute here, execute_mt in executor_mt.hpp)
+// are thin wrappers that compile the plan and run it once through an
+// ExecSession (spmv/compiled.hpp). Iterative callers should hold the
+// session themselves so the compiled image and scratch are reused.
 #pragma once
 
 #include <span>
@@ -24,5 +29,13 @@ struct ExecStats {
 /// receives the exact traffic counts (equal to comm::analyze's totals).
 std::vector<double> execute(const SpmvPlan& plan, std::span<const double> x,
                             ExecStats* stats = nullptr);
+
+/// The legacy plan-walking implementation: global coordinates, an
+/// unordered_map lookup per nonzero, fresh caches every call. Bit-identical
+/// to execute(); retained only as the baseline bench_spmv measures the
+/// compiled session against. Not used on any product path.
+std::vector<double> execute_plan_walk(const SpmvPlan& plan,
+                                      std::span<const double> x,
+                                      ExecStats* stats = nullptr);
 
 }  // namespace fghp::spmv

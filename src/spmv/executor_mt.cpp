@@ -1,187 +1,14 @@
 #include "spmv/executor_mt.hpp"
 
-#include <atomic>
-#include <barrier>
-#include <string>
-#include <thread>
-#include <unordered_map>
-
-#include "util/assert.hpp"
-#include "util/error.hpp"
-#include "util/fault.hpp"
+#include "spmv/compiled.hpp"
 
 namespace fghp::spmv {
 
 std::vector<double> execute_mt(const SpmvPlan& plan, std::span<const double> x,
                                idx_t numThreads, ExecStats* stats) {
-  FGHP_REQUIRE(x.size() == static_cast<std::size_t>(plan.numCols), "x size mismatch");
-  const idx_t K = plan.numProcs;
-
-  idx_t workers = numThreads;
-  if (workers <= 0) workers = K;
-  const auto hw = static_cast<idx_t>(std::thread::hardware_concurrency());
-  if (hw > 0) workers = std::min(workers, hw);
-  workers = std::min(workers, K);
-  workers = std::max<idx_t>(workers, 1);
-
-  // Mailboxes: xOut[p][s] is the buffer for p's s-th expand send; the
-  // receiver indexes it via Msg::pairIndex. Same for fold.
-  std::vector<std::vector<std::vector<double>>> xOut(static_cast<std::size_t>(K));
-  std::vector<std::vector<std::vector<double>>> yOut(static_cast<std::size_t>(K));
-  for (idx_t p = 0; p < K; ++p) {
-    const auto& pp = plan.procs[static_cast<std::size_t>(p)];
-    xOut[static_cast<std::size_t>(p)].resize(pp.xSends.size());
-    yOut[static_cast<std::size_t>(p)].resize(pp.ySends.size());
-    for (std::size_t s = 0; s < pp.xSends.size(); ++s)
-      xOut[static_cast<std::size_t>(p)][s].resize(pp.xSends[s].ids.size());
-    for (std::size_t s = 0; s < pp.ySends.size(); ++s)
-      yOut[static_cast<std::size_t>(p)][s].resize(pp.ySends[s].ids.size());
-  }
-
-  std::vector<std::unordered_map<idx_t, double>> xCache(static_cast<std::size_t>(K));
-  std::vector<std::unordered_map<idx_t, double>> partial(static_cast<std::size_t>(K));
-  std::vector<double> y(static_cast<std::size_t>(plan.numRows), 0.0);
-  std::atomic<weight_t> words{0};
-  std::atomic<idx_t> msgs{0};
-  std::atomic<idx_t> retries{0};
-  std::atomic<bool> failed{false};
-
-  std::barrier sync(static_cast<std::ptrdiff_t>(workers));
-
-  // Per-processor task wrapper: one retry (fault site `exec.retry`, same
-  // ordinal), then give up and flag the run for the serial fallback. Task
-  // bodies are idempotent — they reset whatever they accumulate into and
-  // commit the traffic counters only on their last line — so a retry after a
-  // partial first attempt cannot double-count or double-accumulate. The flag
-  // is read after the next barrier, so a failed superstep never feeds
-  // garbage into the next one.
-  auto run_task = [&](const char* site, idx_t p, auto&& body) {
-    for (int attempt = 0; attempt < 2; ++attempt) {
-      try {
-        fault::check(attempt == 0 ? site : "exec.retry", p + 1);
-        body();
-        return;
-      } catch (const std::exception& e) {
-        if (attempt == 0) {
-          retries.fetch_add(1, std::memory_order_relaxed);
-          push_warning(std::string("executor task '") + site + "' on processor " +
-                       std::to_string(p) + " failed (" + e.what() + "); retrying");
-        } else {
-          push_warning(std::string("executor task '") + site + "' on processor " +
-                       std::to_string(p) + " failed its retry (" + e.what() +
-                       "); degrading to the serial executor");
-          failed.store(true, std::memory_order_release);
-        }
-      }
-    }
-  };
-
-  auto worker = [&](idx_t wid) {
-    // Superstep 1: load owned x and fill expand mailboxes.
-    for (idx_t p = wid; p < K; p += workers) {
-      run_task("exec.expand", p, [&, p] {
-        const auto& pp = plan.procs[static_cast<std::size_t>(p)];
-        auto& cache = xCache[static_cast<std::size_t>(p)];
-        cache.clear();
-        for (idx_t j : pp.ownedX) cache[j] = x[static_cast<std::size_t>(j)];
-        weight_t w = 0;
-        idx_t m2 = 0;
-        for (std::size_t s = 0; s < pp.xSends.size(); ++s) {
-          const Msg& m = pp.xSends[s];
-          for (std::size_t k = 0; k < m.ids.size(); ++k)
-            xOut[static_cast<std::size_t>(p)][s][k] = x[static_cast<std::size_t>(m.ids[k])];
-          w += static_cast<weight_t>(m.ids.size());
-          ++m2;
-        }
-        words.fetch_add(w, std::memory_order_relaxed);
-        msgs.fetch_add(m2, std::memory_order_relaxed);
-      });
-    }
-    sync.arrive_and_wait();
-
-    // Superstep 2: drain expand mailboxes, multiply locally, fill fold
-    // mailboxes.
-    if (!failed.load(std::memory_order_acquire)) {
-      for (idx_t p = wid; p < K; p += workers) {
-        run_task("exec.fold", p, [&, p] {
-          const auto& pp = plan.procs[static_cast<std::size_t>(p)];
-          auto& cache = xCache[static_cast<std::size_t>(p)];
-          for (const Msg& m : pp.xRecvs) {
-            const auto& buf =
-                xOut[static_cast<std::size_t>(m.peer)][static_cast<std::size_t>(m.pairIndex)];
-            for (std::size_t k = 0; k < m.ids.size(); ++k) cache[m.ids[k]] = buf[k];
-          }
-          auto& part = partial[static_cast<std::size_t>(p)];
-          part.clear();
-          for (std::size_t e = 0; e < pp.rows.size(); ++e) {
-            const auto it = cache.find(pp.cols[e]);
-            FGHP_ASSERT(it != cache.end());
-            part[pp.rows[e]] += pp.vals[e] * it->second;
-          }
-          weight_t w = 0;
-          idx_t m2 = 0;
-          for (std::size_t s = 0; s < pp.ySends.size(); ++s) {
-            const Msg& m = pp.ySends[s];
-            for (std::size_t k = 0; k < m.ids.size(); ++k) {
-              const auto it = part.find(m.ids[k]);
-              FGHP_ASSERT(it != part.end());
-              yOut[static_cast<std::size_t>(p)][s][k] = it->second;
-            }
-            w += static_cast<weight_t>(m.ids.size());
-            ++m2;
-          }
-          words.fetch_add(w, std::memory_order_relaxed);
-          msgs.fetch_add(m2, std::memory_order_relaxed);
-        });
-      }
-    }
-    sync.arrive_and_wait();
-
-    // Superstep 3: owners accumulate their own partial plus remote partials
-    // in plan order (same order as the serial executor). Each y_i has a
-    // unique owner, so writes to y are disjoint across processors.
-    if (!failed.load(std::memory_order_acquire)) {
-      for (idx_t p = wid; p < K; p += workers) {
-        const auto& pp = plan.procs[static_cast<std::size_t>(p)];
-        const auto& part = partial[static_cast<std::size_t>(p)];
-        for (idx_t i : pp.ownedY) {
-          const auto it = part.find(i);
-          if (it != part.end()) y[static_cast<std::size_t>(i)] += it->second;
-        }
-        for (const Msg& m : pp.yRecvs) {
-          const auto& buf =
-              yOut[static_cast<std::size_t>(m.peer)][static_cast<std::size_t>(m.pairIndex)];
-          for (std::size_t k = 0; k < m.ids.size(); ++k)
-            y[static_cast<std::size_t>(m.ids[k])] += buf[k];
-        }
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (idx_t w = 0; w < workers; ++w) pool.emplace_back(worker, w);
-  for (auto& t : pool) t.join();
-
-  const idx_t taskRetries = retries.load(std::memory_order_relaxed);
-  if (failed.load(std::memory_order_acquire)) {
-    // Some task failed even its retry: discard the partial parallel run and
-    // recompute from scratch on the (uninstrumented) serial path. Output and
-    // traffic counts match a clean run exactly.
-    std::vector<double> out = execute(plan, x, stats);
-    if (stats != nullptr) {
-      stats->taskRetries = taskRetries;
-      stats->serialFallback = true;
-    }
-    return out;
-  }
-
-  if (stats != nullptr) {
-    stats->wordsSent = words.load();
-    stats->messagesSent = msgs.load();
-    stats->taskRetries = taskRetries;
-    stats->serialFallback = false;
-  }
+  ExecSession session(plan);
+  std::vector<double> y;
+  session.run_mt(x, y, numThreads, stats);
   return y;
 }
 

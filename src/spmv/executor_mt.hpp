@@ -1,9 +1,9 @@
-// Multi-threaded BSP execution of the distributed SpMV plan: every logical
+// Multi-threaded BSP execution of the distributed SpMV: every logical
 // processor runs the expand / multiply / fold supersteps separated by
-// barriers, with lock-free mailboxes (each (src, dst) message has a
-// dedicated preallocated buffer written only by src and read only by dst,
-// strictly after the barrier). Demonstrates that the schedules are a real
-// parallel program, not just an accounting device.
+// barriers, with lock-free mailboxes (flat per-processor send buffers in the
+// compiled image, each word written only by its source and read only by its
+// destination, strictly after the barrier). Demonstrates that the schedules
+// are a real parallel program, not just an accounting device.
 #pragma once
 
 #include <span>
@@ -17,7 +17,9 @@ namespace fghp::spmv {
 /// Runs one distributed y = A x with `numThreads` worker threads (0 = one
 /// per logical processor, capped at hardware concurrency). Logical
 /// processors are distributed round-robin over the workers. Produces the
-/// same y as execute() (identical per-partial summation order).
+/// same y as execute() (identical per-partial summation order). One-shot
+/// wrapper over ExecSession::run_mt (spmv/compiled.hpp) — iterative callers
+/// should hold the session to amortize compilation and scratch setup.
 std::vector<double> execute_mt(const SpmvPlan& plan, std::span<const double> x,
                                idx_t numThreads = 0, ExecStats* stats = nullptr);
 

@@ -1,0 +1,270 @@
+// Compiled execution image tests: plan lowering invariants, session reuse
+// (bit-identity with the one-shot executors at several thread counts, with
+// and without injected faults), the zero-allocation guarantee of the serial
+// iteration path, and the traffic-accounting property across the whole test
+// suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "comm/volume.hpp"
+#include "models/checkerboard.hpp"
+#include "models/finegrain.hpp"
+#include "spmv/compiled.hpp"
+#include "spmv/executor.hpp"
+#include "spmv/executor_mt.hpp"
+#include "spmv/plan.hpp"
+#include "spmv/reference.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/testsuite.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: the session-reuse test asserts that iterations
+// after the first perform zero heap allocations on the serial path. Counting
+// every operator new in the binary is crude but exact — the measured window
+// contains nothing but ExecSession::run.
+namespace {
+std::atomic<long> g_allocCount{0};
+}
+
+void* operator new(std::size_t sz) {
+  g_allocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) {
+  g_allocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace fghp::spmv {
+namespace {
+
+std::vector<double> random_x(idx_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform01() * 2.0 - 1.0;
+  return x;
+}
+
+model::Decomposition random_decomposition(const sparse::Csr& a, idx_t K,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  model::Decomposition d;
+  d.numProcs = K;
+  d.nnzOwner.resize(static_cast<std::size_t>(a.nnz()));
+  for (auto& p : d.nnzOwner) p = rng.uniform(0, K - 1);
+  d.xOwner.resize(static_cast<std::size_t>(a.num_cols()));
+  d.yOwner.resize(static_cast<std::size_t>(a.num_rows()));
+  for (auto& p : d.xOwner) p = rng.uniform(0, K - 1);
+  for (auto& p : d.yOwner) p = rng.uniform(0, K - 1);
+  return d;
+}
+
+void expect_bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << "index " << i;
+}
+
+// ------------------------------------------------------------- lowering ----
+
+TEST(CompilePlan, ImageCoversPlanExactly) {
+  const sparse::Csr a = sparse::random_square(120, 6, 5);
+  for (idx_t K : {1, 3, 8}) {
+    const auto d = random_decomposition(a, K, 17 + static_cast<std::uint64_t>(K));
+    const SpmvPlan plan = build_plan(a, d);
+    const CompiledPlan c = compile_plan(plan);
+
+    // Send-buffer offsets cover exactly the plan's traffic.
+    EXPECT_EQ(c.total_words(), plan.total_words());
+    EXPECT_EQ(c.total_messages(), plan.total_messages());
+    EXPECT_EQ(static_cast<idx_t>(c.xSendCol.size()), c.xSendOff.back());
+    EXPECT_EQ(static_cast<idx_t>(c.ySendSlot.size()), c.ySendOff.back());
+    // Every send word is received exactly once.
+    EXPECT_EQ(c.xRecvOff.back(), c.xSendOff.back());
+    EXPECT_EQ(c.yRecvOff.back(), c.ySendOff.back());
+    // The local CSR partitions the matrix's nonzeros.
+    EXPECT_EQ(c.nnz(), a.nnz());
+    EXPECT_EQ(c.rowPtr.size(), static_cast<std::size_t>(c.rowOff.back()) + 1);
+    // Local column slots stay inside their processor's x range.
+    for (idx_t p = 0; p < K; ++p) {
+      for (idx_t e = c.rowPtr[static_cast<std::size_t>(c.rowOff[static_cast<std::size_t>(p)])];
+           e < c.rowPtr[static_cast<std::size_t>(c.rowOff[static_cast<std::size_t>(p) + 1])];
+           ++e) {
+        EXPECT_GE(c.colSlot[static_cast<std::size_t>(e)], c.xOff[static_cast<std::size_t>(p)]);
+        EXPECT_LT(c.colSlot[static_cast<std::size_t>(e)],
+                  c.xOff[static_cast<std::size_t>(p) + 1]);
+      }
+    }
+  }
+}
+
+TEST(CompilePlan, RejectsFoldOfUncomputedRow) {
+  const sparse::Csr a = sparse::random_square(40, 4, 6);
+  const auto d = random_decomposition(a, 3, 7);
+  SpmvPlan plan = build_plan(a, d);
+  // Corrupt: make some processor's fold send reference a row it never owns a
+  // nonzero of. Find a proc with a ySend and splice in an impossible row.
+  for (auto& pp : plan.procs) {
+    if (pp.ySends.empty() || pp.rows.empty()) continue;
+    idx_t bogus = kInvalidIdx;
+    std::vector<bool> has(static_cast<std::size_t>(a.num_rows()), false);
+    for (idx_t i : pp.rows) has[static_cast<std::size_t>(i)] = true;
+    for (idx_t i = 0; i < a.num_rows(); ++i)
+      if (!has[static_cast<std::size_t>(i)]) { bogus = i; break; }
+    if (bogus == kInvalidIdx) continue;
+    pp.ySends.front().ids.push_back(bogus);
+    EXPECT_THROW(compile_plan(plan), InvariantError);
+    return;
+  }
+  GTEST_SKIP() << "no processor suitable for corruption";
+}
+
+// -------------------------------------------------------- session reuse ----
+
+TEST(ExecSessionReuse, FiveIterationsBitIdenticalToOneShots) {
+  const sparse::Csr a = sparse::random_square(150, 6, 41);
+  part::PartitionConfig cfg;
+  const model::ModelRun run = model::run_finegrain(a, 8, cfg);
+  const SpmvPlan plan = build_plan(a, run.decomp);
+
+  ExecSession session(plan);
+  std::vector<double> y;
+  for (int iter = 0; iter < 5; ++iter) {
+    const auto x = random_x(a.num_cols(), 100 + static_cast<std::uint64_t>(iter));
+    ExecStats sessionStats, oneShotStats;
+
+    session.run(x, y, &sessionStats);
+    expect_bit_identical(y, execute(plan, x, &oneShotStats));
+    EXPECT_EQ(sessionStats.wordsSent, oneShotStats.wordsSent);
+    EXPECT_EQ(sessionStats.messagesSent, oneShotStats.messagesSent);
+
+    for (idx_t threads : {1, 2, 8}) {
+      session.run_mt(x, y, threads, &sessionStats);
+      expect_bit_identical(y, execute_mt(plan, x, threads, &oneShotStats));
+      EXPECT_EQ(sessionStats.wordsSent, oneShotStats.wordsSent);
+      EXPECT_EQ(sessionStats.messagesSent, oneShotStats.messagesSent);
+    }
+  }
+}
+
+TEST(ExecSessionReuse, BitIdenticalUnderRetriedFault) {
+  const sparse::Csr a = sparse::random_square(130, 5, 42);
+  const auto d = random_decomposition(a, 6, 43);
+  const SpmvPlan plan = build_plan(a, d);
+  const auto x = random_x(a.num_cols(), 44);
+  const auto clean = execute(plan, x);
+
+  // Ordinal 2 = processor 1: its expand task fails once, the retry succeeds.
+  fault::ScopedSpec spec("exec.expand:2");
+  ExecSession session(plan);
+  std::vector<double> y;
+  for (idx_t threads : {1, 2, 8}) {
+    for (int iter = 0; iter < 5; ++iter) {
+      ExecStats stats;
+      session.run_mt(x, y, threads, &stats);
+      expect_bit_identical(y, clean);
+      EXPECT_EQ(stats.taskRetries, 1);
+      EXPECT_FALSE(stats.serialFallback);
+    }
+  }
+  drain_warnings();
+}
+
+TEST(ExecSessionReuse, SerialFallbackBitIdentical) {
+  const sparse::Csr a = sparse::random_square(130, 5, 45);
+  const auto d = random_decomposition(a, 6, 46);
+  const SpmvPlan plan = build_plan(a, d);
+  const auto x = random_x(a.num_cols(), 47);
+  const auto clean = execute(plan, x);
+
+  // Processor 0's fold task fails both attempts: the run degrades to the
+  // serial path, which must still produce the clean answer and totals.
+  fault::ScopedSpec spec("exec.fold:1,exec.retry:1");
+  ExecSession session(plan);
+  std::vector<double> y;
+  for (idx_t threads : {1, 2, 8}) {
+    ExecStats stats;
+    session.run_mt(x, y, threads, &stats);
+    expect_bit_identical(y, clean);
+    EXPECT_TRUE(stats.serialFallback);
+    EXPECT_EQ(stats.taskRetries, 1);
+    EXPECT_EQ(stats.wordsSent, plan.total_words());
+    EXPECT_EQ(stats.messagesSent, plan.total_messages());
+
+    // A clean run right after the fallback reuses the same scratch.
+    {
+      fault::ScopedSpec disarm("");
+      session.run_mt(x, y, threads, &stats);
+      expect_bit_identical(y, clean);
+      EXPECT_FALSE(stats.serialFallback);
+    }
+  }
+  drain_warnings();
+}
+
+TEST(ExecSessionReuse, SerialIterationsAllocateNothingAfterTheFirst) {
+  const sparse::Csr a = sparse::random_square(200, 6, 48);
+  part::PartitionConfig cfg;
+  const model::ModelRun run = model::run_finegrain(a, 8, cfg);
+  ExecSession session(build_plan(a, run.decomp));
+  const auto x = random_x(a.num_cols(), 49);
+
+  std::vector<double> y;
+  ExecStats stats;
+  session.run(x, y, &stats);  // first call sizes y
+
+  long deltas[4];
+  for (int iter = 0; iter < 4; ++iter) {
+    const long before = g_allocCount.load(std::memory_order_relaxed);
+    session.run(x, y, &stats);
+    deltas[iter] = g_allocCount.load(std::memory_order_relaxed) - before;
+  }
+  for (int iter = 0; iter < 4; ++iter)
+    EXPECT_EQ(deltas[iter], 0) << "iteration " << iter + 2 << " allocated";
+}
+
+// ----------------------------------------------- traffic accounting ----
+
+TEST(ExecStatsProperty, BothExecutorsMatchAnalyzerOnEverySuiteMatrix) {
+  // On every matrix of the paper's test suite (reduced scale), the counted
+  // traffic of the serial and threaded executors must equal both the
+  // communication analyzer's totals and the plan's own accounting.
+  for (const std::string& name : sparse::suite_names()) {
+    const sparse::Csr a = sparse::make_matrix(name, 1, 0.1);
+    const model::Decomposition d = model::checkerboard_decompose_k(a, 8);
+    const SpmvPlan plan = build_plan(a, d);
+    const comm::CommStats cs = comm::analyze(a, d);
+    ASSERT_EQ(plan.total_words(), cs.totalWords) << name;
+    ASSERT_EQ(plan.total_messages(), cs.expandMessages + cs.foldMessages) << name;
+
+    const auto x = random_x(a.num_cols(), 50);
+    ExecStats serialStats, mtStats;
+    const auto ySerial = execute(plan, x, &serialStats);
+    const auto yMt = execute_mt(plan, x, 4, &mtStats);
+    EXPECT_EQ(serialStats.wordsSent, cs.totalWords) << name;
+    EXPECT_EQ(serialStats.messagesSent, cs.expandMessages + cs.foldMessages) << name;
+    EXPECT_EQ(mtStats.wordsSent, cs.totalWords) << name;
+    EXPECT_EQ(mtStats.messagesSent, cs.expandMessages + cs.foldMessages) << name;
+    expect_bit_identical(ySerial, yMt);
+
+    // And the executors must actually multiply correctly.
+    const auto yRef = multiply(a, x);
+    ASSERT_EQ(ySerial.size(), yRef.size()) << name;
+    for (std::size_t i = 0; i < yRef.size(); ++i)
+      EXPECT_NEAR(ySerial[i], yRef[i], 1e-9 * (1.0 + std::abs(yRef[i]))) << name;
+  }
+}
+
+}  // namespace
+}  // namespace fghp::spmv
