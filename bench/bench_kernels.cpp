@@ -25,6 +25,7 @@
 #include "spmv/reference.hpp"
 #include "sparse/testsuite.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -158,6 +159,32 @@ void BM_CompiledSpmvSession(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * a.nnz());
 }
 BENCHMARK(BM_CompiledSpmvSession)->Unit(benchmark::kMicrosecond);
+
+// The per-site cost of an instrumentation point while tracing is disabled
+// (the default): one relaxed atomic load and a branch. Compare against
+// BM_CompiledSpmvSession to see that the budget holds in context, and
+// against the enabled variant for the recording cost.
+void BM_DisabledTraceScope(benchmark::State& state) {
+  trace::disable();
+  for (auto _ : state) {
+    trace::TraceScope span("bench", "disabled.site", "arg", 1);
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DisabledTraceScope);
+
+void BM_EnabledTraceScope(benchmark::State& state) {
+  trace::enable();
+  for (auto _ : state) {
+    trace::TraceScope span("bench", "enabled.site", "arg", 1);
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+  trace::disable();
+  trace::reset();
+}
+BENCHMARK(BM_EnabledTraceScope);
 
 // Captures every finished run for the --json flag while still printing the
 // normal console table.

@@ -5,6 +5,7 @@
 // local: only the SpMV communicates.
 //
 //   ./cg_solver [--n 64] [--k 8] [--tol 1e-8] [--max-iters 500]
+//               [--trace-out trace.json] [--metrics-out metrics.json|-]
 #include <cmath>
 #include <cstdio>
 
@@ -15,7 +16,9 @@
 #include "spmv/plan.hpp"
 #include "sparse/generators.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/options.hpp"
+#include "util/trace.hpp"
 
 int main(int argc, char** argv) try {
   using namespace fghp;
@@ -24,6 +27,9 @@ int main(int argc, char** argv) try {
   const auto k = static_cast<idx_t>(args.flag_long("k", 8));
   const double tol = std::stod(args.flag("tol").value_or("1e-8"));
   const long maxIters = args.flag_long("max-iters", 500);
+  const std::string traceOut = args.flag("trace-out").value_or("");
+  const std::string metricsOut = args.flag("metrics-out").value_or("");
+  if (!traceOut.empty()) trace::enable();
 
   // SPD system: 5-point Laplacian on an n x n grid.
   const sparse::Csr a = sparse::stencil2d(n, n);
@@ -84,6 +90,8 @@ int main(int argc, char** argv) try {
               iters, std::sqrt(rr) / bnorm, maxErr);
   std::printf("total SpMV communication: %lld words over %ld iterations\n",
               static_cast<long long>(cs.totalWords) * (iters + 1), iters + 1);
+  if (!traceOut.empty()) trace::write_chrome_trace_file(traceOut);
+  if (!metricsOut.empty()) metrics::write_global_json(metricsOut);
   return maxErr < 1e-6 ? 0 : 1;
 } catch (const std::exception& e) {
   for (const auto& w : fghp::drain_warnings())

@@ -14,9 +14,18 @@
 //   fghp_tool faults
 //       list every fault-injection site (see FGHP_FAULT_SPEC)
 //
+// Every command also takes --trace-out FILE (Chrome trace-event JSON of the
+// whole invocation; FGHP_TRACE=FILE is the no-flag equivalent) and
+// --metrics-out FILE|- (flat metrics JSON; "-" = stdout).
+//
 // Exit codes follow fghp::ErrorCode: 0 success, 1 unknown error, 2 usage,
 // 3 io, 4 format, 5 invariant, 6 infeasible, 7 injected fault. Errors and
-// recovery warnings go to stderr; results go to stdout.
+// recovery warnings go to stderr; results go to stdout. Observability files
+// are written even when the command fails, and the command's typed-error
+// exit code always wins: a trace of a failing run is exactly what you want
+// to look at, and an export failure on top of it only adds a stderr line.
+// Only on an otherwise successful run does a failed export turn into exit
+// code 3 (io).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -43,9 +52,11 @@
 #include "sparse/testsuite.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -61,8 +72,13 @@ int usage() {
                "            [--fault-spec SPEC] [--out d.decomp]\n"
                "  simulate <m.mtx> <d.decomp> [--reps R] [--threads T]\n"
                "  faults\n"
+               "every command also accepts:\n"
+               "  --trace-out FILE    Chrome trace-event JSON (or FGHP_TRACE=FILE)\n"
+               "  --metrics-out FILE  flat metrics JSON; '-' writes to stdout\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 io, 4 format,\n"
-               "            5 invariant, 6 infeasible, 7 injected fault\n");
+               "            5 invariant, 6 infeasible, 7 injected fault\n"
+               "(observability files are written even on failure; the typed\n"
+               " error code wins over any export failure)\n");
   return static_cast<int>(ErrorCode::kUsage);
 }
 
@@ -215,11 +231,38 @@ void print_warnings() {
     std::fprintf(stderr, "warning: %s\n", w.c_str());
 }
 
+/// Writes the requested trace / metrics outputs. Returns 0, or the io exit
+/// code if an export failed (reported to stderr either way); callers on a
+/// failing command path ignore it so the typed error code wins.
+int write_observability(const std::string& traceOut, const std::string& metricsOut) {
+  int rc = 0;
+  if (!traceOut.empty()) {
+    try {
+      trace::write_chrome_trace_file(traceOut);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      rc = static_cast<int>(ErrorCode::kIo);
+    }
+  }
+  if (!metricsOut.empty()) {
+    try {
+      metrics::write_global_json(metricsOut);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      rc = static_cast<int>(ErrorCode::kIo);
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   if (args.positional().empty()) return usage();
+  const std::string traceOut = args.flag("trace-out").value_or("");
+  const std::string metricsOut = args.flag("metrics-out").value_or("");
+  if (!traceOut.empty()) trace::enable();
   const std::string& cmd = args.positional().front();
   int rc = -1;
   try {
@@ -231,8 +274,11 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     print_warnings();
     std::fprintf(stderr, "error: %s\n", e.what());
+    write_observability(traceOut, metricsOut);  // typed error code wins
     return fghp::exit_code(e);
   }
   print_warnings();
-  return rc == -1 ? usage() : rc;
+  const int obsRc = write_observability(traceOut, metricsOut);
+  if (rc == -1) return usage();
+  return rc == 0 && obsRc != 0 ? obsRc : rc;
 }

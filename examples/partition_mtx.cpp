@@ -6,6 +6,7 @@
 //
 //   ./partition_mtx matrix.mtx [--model finegrain|hyper1d|graph|checkerboard]
 //                   [--k 16] [--eps 0.03] [--seed 1] [--out owners.txt]
+//                   [--trace-out trace.json] [--metrics-out metrics.json|-]
 #include <cstdio>
 
 #include "comm/volume.hpp"
@@ -17,7 +18,9 @@
 #include "sparse/mmio.hpp"
 #include "sparse/stats.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/options.hpp"
+#include "util/trace.hpp"
 
 int main(int argc, char** argv) try {
   using namespace fghp;
@@ -25,13 +28,17 @@ int main(int argc, char** argv) try {
   if (args.positional().empty()) {
     std::fprintf(stderr,
                  "usage: partition_mtx <matrix.mtx> [--model finegrain|hyper1d|graph|"
-                 "checkerboard] [--k 16] [--eps 0.03] [--seed 1] [--out owners.txt]\n");
+                 "checkerboard] [--k 16] [--eps 0.03] [--seed 1] [--out owners.txt]\n"
+                 "       [--trace-out trace.json] [--metrics-out metrics.json|-]\n");
     return 2;
   }
   const std::string path = args.positional().front();
   const std::string modelName = args.flag("model").value_or("finegrain");
   const auto k = static_cast<idx_t>(args.flag_long("k", 16));
   const auto seed = static_cast<std::uint64_t>(args.flag_long("seed", 1));
+  const std::string traceOut = args.flag("trace-out").value_or("");
+  const std::string metricsOut = args.flag("metrics-out").value_or("");
+  if (!traceOut.empty()) trace::enable();
 
   const sparse::Csr a = sparse::read_matrix_market_file(path);
   if (!a.is_square()) {
@@ -78,6 +85,8 @@ int main(int argc, char** argv) try {
     std::printf("owner maps written to %s (readable by fghp_tool simulate)\n",
                 out->c_str());
   }
+  if (!traceOut.empty()) trace::write_chrome_trace_file(traceOut);
+  if (!metricsOut.empty()) metrics::write_global_json(metricsOut);
   return 0;
 } catch (const std::exception& e) {
   for (const auto& w : fghp::drain_warnings())

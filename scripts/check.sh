@@ -9,11 +9,12 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure
 
-echo "--- ThreadSanitizer: task-parallel recursive bisection ---"
+echo "--- ThreadSanitizer: task-parallel recursive bisection + tracing ---"
 cmake -B build-tsan -G Ninja -DFGHP_SANITIZE=thread \
       -DFGHP_BUILD_BENCH=OFF -DFGHP_BUILD_EXAMPLES=OFF > /dev/null
-cmake --build build-tsan --target test_parallel_rb
+cmake --build build-tsan --target test_parallel_rb test_trace
 FGHP_THREADS=8 ./build-tsan/tests/test_parallel_rb
+./build-tsan/tests/test_trace
 
 echo "--- Address/UB sanitizers: Matrix Market reader ---"
 cmake -B build-asan -G Ninja -DFGHP_SANITIZE=address,undefined \
@@ -83,6 +84,31 @@ tmp=$(mktemp -d)
 ./build/examples/fghp_tool partition "$tmp/m.mtx" --model finegrain --k 8 --out "$tmp/d.decomp"
 ./build/examples/fghp_tool simulate "$tmp/m.mtx" "$tmp/d.decomp" --reps 3
 rm -rf "$tmp"
+
+echo "--- trace smoke: Chrome-trace & metrics export ---"
+# One partition and one simulate through both capture routes (--trace-out
+# flag, FGHP_TRACE env). Every artifact must be valid JSON and each trace
+# must actually contain spans — an exporter that silently records nothing
+# would otherwise pass.
+ttmp=$(mktemp -d)
+ttool=./build/examples/fghp_tool
+"$ttool" gen sherman3 --out "$ttmp/m.mtx" --scale 0.2 > /dev/null
+"$ttool" partition "$ttmp/m.mtx" --model finegrain --k 8 --out "$ttmp/d.decomp" \
+    --trace-out "$ttmp/partition_trace.json" --metrics-out "$ttmp/metrics.json" > /dev/null
+FGHP_TRACE="$ttmp/simulate_trace.json" "$ttool" simulate "$ttmp/m.mtx" "$ttmp/d.decomp" \
+    --reps 2 > /dev/null
+for f in partition_trace simulate_trace metrics; do
+  python3 -m json.tool "$ttmp/$f.json" > /dev/null || {
+    echo "trace smoke FAILED: $f.json is not valid JSON"; exit 1; }
+done
+for f in partition_trace simulate_trace; do
+  spans=$(grep -c '"ph":"X"' "$ttmp/$f.json" || true)
+  if [ "${spans:-0}" -eq 0 ]; then
+    echo "trace smoke FAILED: $f.json contains no spans"; exit 1
+  fi
+  echo "  $f.json: $spans spans"
+done
+rm -rf "$ttmp"
 
 echo "--- quick benches (reduced scale) ---"
 FGHP_SCALE=0.15 FGHP_SEEDS=1 FGHP_K=16 ./build/bench/bench_table2

@@ -4,6 +4,7 @@
 
 #include "sparse/convert.hpp"
 #include "util/assert.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::model {
 
@@ -38,6 +39,7 @@ Decomposition checkerboard_decompose(const sparse::Csr& a, idx_t pr, idx_t pc) {
   FGHP_REQUIRE(a.is_square(), "checkerboard requires a square matrix");
   FGHP_REQUIRE(pr >= 1 && pc >= 1, "grid dimensions must be positive");
   const idx_t n = a.num_rows();
+  trace::TraceScope span("model", "build.checkerboard", "pr", pr, "pc", pc);
 
   std::vector<idx_t> rowCount(static_cast<std::size_t>(n));
   for (idx_t i = 0; i < n; ++i) rowCount[static_cast<std::size_t>(i)] = a.row_size(i);

@@ -2,6 +2,7 @@
 
 #include "partition/hg/partitioner.hpp"
 #include "util/assert.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::model {
 
@@ -9,6 +10,7 @@ FineGrainModel build_finegrain(const sparse::Csr& a) {
   FGHP_REQUIRE(a.is_square(), "the fine-grain model requires a square matrix");
   const idx_t n = a.num_rows();
   const idx_t z = a.nnz();
+  trace::TraceScope span("model", "build.finegrain", "n", n, "nnz", z);
 
   FineGrainModel m;
   m.numRows = n;

@@ -4,12 +4,14 @@
 
 #include "partition/gp/gpartitioner.hpp"
 #include "util/assert.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::model {
 
 gp::Graph build_standard_graph(const sparse::Csr& a) {
   FGHP_REQUIRE(a.is_square(), "the standard graph model requires a square matrix");
   const idx_t n = a.num_rows();
+  trace::TraceScope span("model", "build.graph", "n", n, "nnz", a.nnz());
 
   std::vector<weight_t> vwgt(static_cast<std::size_t>(n));
   for (idx_t i = 0; i < n; ++i) vwgt[static_cast<std::size_t>(i)] = a.row_size(i);

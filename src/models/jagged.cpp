@@ -6,6 +6,7 @@
 #include "partition/hg/partitioner.hpp"
 #include "sparse/convert.hpp"
 #include "util/assert.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::model {
 
@@ -14,6 +15,7 @@ ModelRun run_jagged(const sparse::Csr& a, idx_t pr, idx_t pc,
   FGHP_REQUIRE(a.is_square(), "the jagged model requires a square matrix");
   FGHP_REQUIRE(pr >= 1 && pc >= 1, "grid dimensions must be positive");
   const idx_t n = a.num_rows();
+  trace::TraceScope span("model", "build.jagged", "pr", pr, "pc", pc);
 
   ModelRun run;
 

@@ -3,12 +3,14 @@
 #include "partition/hg/partitioner.hpp"
 #include "sparse/convert.hpp"
 #include "util/assert.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::model {
 
 hg::Hypergraph build_rownet_hypergraph(const sparse::Csr& a) {
   FGHP_REQUIRE(a.is_square(), "the row-net model requires a square matrix");
   const idx_t n = a.num_rows();
+  trace::TraceScope span("model", "build.rownet", "n", n, "nnz", a.nnz());
   const sparse::Csr at = sparse::transpose(a);
 
   std::vector<weight_t> vwgt(static_cast<std::size_t>(n));

@@ -5,6 +5,7 @@
 #include "partition/gp/match.hpp"
 #include "partition/phase_timers.hpp"
 #include "util/fault.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::part::gpb {
 
@@ -21,6 +22,8 @@ gp::GPartition multilevel_gbisect(const gp::Graph& g, const std::array<weight_t,
     ScopedPhase phase(Phase::kCoarsen);
     for (idx_t lvl = 0; lvl < cfg.maxCoarsenLevels; ++lvl) {
       if (cur->num_vertices() <= cfg.coarsenTo) break;
+      trace::TraceScope lvlSpan("rb", "coarsen.level", "level", lvl, "verts",
+                                cur->num_vertices());
       gpm::GCoarseLevel next = gpm::coarsen_one_level(*cur, cfg, rng);
       const double reduction = static_cast<double>(next.coarse.num_vertices()) /
                                static_cast<double>(cur->num_vertices());
@@ -43,6 +46,9 @@ gp::GPartition multilevel_gbisect(const gp::Graph& g, const std::array<weight_t,
   fm.refine(*cur, p, maxWeight, rng);
   for (std::size_t i = levels.size(); i > 0; --i) {
     const gp::Graph& fine = (i >= 2) ? levels[i - 2].coarse : g;
+    trace::TraceScope lvlSpan("rb", "refine.level", "level",
+                              static_cast<std::int64_t>(i - 1), "verts",
+                              fine.num_vertices());
     const auto& map = levels[i - 1].fineToCoarse;
     std::vector<idx_t> assignment(static_cast<std::size_t>(fine.num_vertices()));
     for (idx_t v = 0; v < fine.num_vertices(); ++v)

@@ -7,8 +7,10 @@
 #include "partition/gp/gkway.hpp"
 #include "partition/gp/grecursive.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::part {
 
@@ -61,9 +63,13 @@ GpResult partition_graph(const gp::Graph& g, idx_t K, const PartitionConfig& cfg
   WallTimer timer;
 
   // Scope the configured fault spec to this call; an empty spec leaves any
-  // process-global (FGHP_FAULT_SPEC) installation untouched.
+  // process-global (FGHP_FAULT_SPEC) installation untouched. The trace
+  // capture follows the same contract for cfg.traceOut.
   std::optional<fault::ScopedSpec> faultScope;
   if (!cfg.faultSpec.empty()) faultScope.emplace(cfg.faultSpec);
+  trace::ScopedCapture traceScope(cfg.traceOut);
+  trace::TraceScope span("partition", "gp.partition", "k", K, "verts",
+                         g.num_vertices());
 
   const bool strict = cfg.validateLevel == ValidateLevel::kStrict;
   if (strict) gp::validate_or_throw(g);
@@ -80,6 +86,11 @@ GpResult partition_graph(const gp::Graph& g, idx_t K, const PartitionConfig& cfg
     gpk::gkway_refine(g, rb.partition, cfg, rng);
     if (strict) gp::validate_partition_or_throw(g, rb.partition, "kway-refine");
   }
+
+  static metrics::Counter& runs = metrics::counter("partition.gp.runs");
+  static metrics::Counter& recovered = metrics::counter("partition.recoveries");
+  runs.add();
+  recovered.add(rb.numRecoveries);
 
   GpResult out;
   out.seconds = timer.seconds();

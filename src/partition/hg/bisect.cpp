@@ -7,6 +7,7 @@
 #include "partition/hg/refine.hpp"
 #include "partition/phase_timers.hpp"
 #include "util/fault.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::part::hgb {
 
@@ -29,6 +30,8 @@ hg::Partition multilevel_bisect(const hg::Hypergraph& h, const std::array<weight
     ScopedPhase phase(Phase::kCoarsen);
     for (idx_t lvl = 0; lvl < cfg.maxCoarsenLevels; ++lvl) {
       if (cur->num_vertices() <= cfg.coarsenTo) break;
+      trace::TraceScope lvlSpan("rb", "coarsen.level", "level", lvl, "verts",
+                                cur->num_vertices());
       hgc::CoarseLevel next = hgc::coarsen_one_level(*cur, cfg, rng, *curFixed);
       const double reduction = static_cast<double>(next.coarse.num_vertices()) /
                                static_cast<double>(cur->num_vertices());
@@ -54,6 +57,9 @@ hg::Partition multilevel_bisect(const hg::Hypergraph& h, const std::array<weight
   for (std::size_t i = levels.size(); i > 0; --i) {
     const hg::Hypergraph& fine = (i >= 2) ? levels[i - 2].coarse : h;
     const hgc::FixedSides& fineFixed = (i >= 2) ? levels[i - 2].coarseFixed : fixed;
+    trace::TraceScope lvlSpan("rb", "refine.level", "level",
+                              static_cast<std::int64_t>(i - 1), "verts",
+                              fine.num_vertices());
     const auto& map = levels[i - 1].fineToCoarse;
     std::vector<idx_t> assignment(static_cast<std::size_t>(fine.num_vertices()));
     for (idx_t v = 0; v < fine.num_vertices(); ++v)

@@ -7,8 +7,10 @@
 #include "partition/hg/recursive.hpp"
 #include "partition/hg/vcycle.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::part {
 
@@ -53,9 +55,13 @@ HgResult partition_hypergraph(const hg::Hypergraph& h, idx_t K, const PartitionC
   WallTimer timer;
 
   // Scope the configured fault spec to this call; an empty spec leaves any
-  // process-global (FGHP_FAULT_SPEC) installation untouched.
+  // process-global (FGHP_FAULT_SPEC) installation untouched. The trace
+  // capture follows the same contract for cfg.traceOut.
   std::optional<fault::ScopedSpec> faultScope;
   if (!cfg.faultSpec.empty()) faultScope.emplace(cfg.faultSpec);
+  trace::ScopedCapture traceScope(cfg.traceOut);
+  trace::TraceScope span("partition", "hg.partition", "k", K, "verts",
+                         h.num_vertices());
 
   if (cfg.validateLevel == ValidateLevel::kStrict) hg::validate_or_throw(h);
 
@@ -77,6 +83,11 @@ HgResult partition_hypergraph(const hg::Hypergraph& h, idx_t K, const PartitionC
       bestCut = cut;
     }
   }
+
+  static metrics::Counter& runs = metrics::counter("partition.hg.runs");
+  static metrics::Counter& recovered = metrics::counter("partition.recoveries");
+  runs.add();
+  recovered.add(recoveries);
 
   HgResult out;
   out.seconds = timer.seconds();

@@ -6,13 +6,19 @@
 // subtracts. Times are summed across threads, so under a parallel run the
 // phase total can exceed the region's wall time — it measures where the
 // *work* goes, which is what the scaling bench reports per phase.
+//
+// Since the tracing layer landed, this is a thin adapter over trace spans:
+// ScopedPhase reads the trace clock once at each end, feeds the elapsed time
+// into the phase totals (unchanged bench_* JSON), and emits the same
+// interval as a "rb.phase" span when tracing is enabled — one clock source
+// powering both views.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 
-#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::part {
 
@@ -51,18 +57,27 @@ class PhaseTimers {
 /// The process-global instance every partitioner run reports into.
 PhaseTimers& phase_timers();
 
-/// RAII section: adds the elapsed wall time to a phase on destruction.
+/// RAII section: adds the elapsed wall time to a phase on destruction and,
+/// when tracing is enabled, emits the interval as a "rb.phase" span carrying
+/// the optional (key, val) tag (e.g. the multilevel depth).
 class ScopedPhase {
  public:
-  explicit ScopedPhase(Phase p) : phase_(p) {}
-  ~ScopedPhase() { phase_timers().add(phase_, timer_.seconds()); }
+  explicit ScopedPhase(Phase p, const char* key = nullptr, std::int64_t val = 0)
+      : phase_(p), key_(key), val_(val), startNs_(trace::now_ns()) {}
+  ~ScopedPhase() {
+    const std::uint64_t end = trace::now_ns();
+    phase_timers().add(phase_, static_cast<double>(end - startNs_) * 1e-9);
+    trace::complete("rb.phase", phase_name(phase_), startNs_, end, key_, val_);
+  }
 
   ScopedPhase(const ScopedPhase&) = delete;
   ScopedPhase& operator=(const ScopedPhase&) = delete;
 
  private:
   Phase phase_;
-  WallTimer timer_;
+  const char* key_;
+  std::int64_t val_;
+  std::uint64_t startNs_;
 };
 
 }  // namespace fghp::part

@@ -17,6 +17,7 @@
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::part {
 
@@ -81,6 +82,8 @@ struct Recurser {
         if (feasible) {
           if (a > 0) {
             recoveries.fetch_add(1, std::memory_order_relaxed);
+            trace::instant("recovery", "rb.retry_recovered", "part0", partOffset,
+                           "attempt", a + 1);
             std::ostringstream os;
             os << "bisection at part offset " << partOffset << " recovered on attempt "
                << a + 1 << " of " << attempts << " (reseeded rng, relaxed caps)";
@@ -98,6 +101,8 @@ struct Recurser {
         }
         throw InfeasibleError(os.str());
       } catch (const std::exception& e) {
+        trace::instant("recovery", "rb.attempt_failed", "part0", partOffset, "attempt",
+                       a + 1);
         std::ostringstream os;
         os << "bisection attempt " << a + 1 << " of " << attempts << " at part offset "
            << partOffset << " failed: " << e.what();
@@ -108,10 +113,12 @@ struct Recurser {
     if (haveBest) {
       // Every attempt was infeasible but at least one completed; keep the
       // first (lowest-cut FM output) and let the K-way rebalance repair it.
+      trace::instant("recovery", "rb.best_effort", "part0", partOffset);
       push_warning("bisection at part offset " + std::to_string(partOffset) +
                    " stayed infeasible after all attempts; keeping best-effort result");
       return best;
     }
+    trace::instant("recovery", "rb.greedy_fallback", "part0", partOffset);
     push_warning("bisection at part offset " + std::to_string(partOffset) +
                  " failed every attempt; degrading to the deterministic greedy split");
     return Traits::greedy_fallback(h, target, fixed);
@@ -124,6 +131,10 @@ struct Recurser {
         finalPart[static_cast<std::size_t>(toOrig[static_cast<std::size_t>(v)])] = partOffset;
       return;
     }
+
+    // One span per bisection node, recorded on whichever worker ran it (the
+    // exported tid shows the fork-join schedule); parts [part0, part0 + k).
+    trace::TraceScope span("rb", "rb.node", "part0", partOffset, "k", K);
 
     const idx_t k0 = K / 2;
     const idx_t k1 = K - k0;

@@ -10,6 +10,8 @@
 #include "sparse/convert.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::sparse {
 
@@ -46,6 +48,7 @@ bool blank_or_comment(const std::string& line) {
 }  // namespace
 
 Csr read_matrix_market(std::istream& in, const std::string& path) {
+  trace::TraceScope span("io", "mmio.parse");
   std::string line;
   long lineNo = 0;
 
@@ -136,6 +139,11 @@ Csr read_matrix_market(std::istream& in, const std::string& path) {
   if (pattern) {
     for (auto& t : coo.entries()) t.value = t.value < 0.0 ? -1.0 : 1.0;
   }
+  span.set_args("rows", rows, "entries", seen);
+  static metrics::Counter& filesRead = metrics::counter("mmio.files_read");
+  static metrics::Counter& entriesRead = metrics::counter("mmio.entries_read");
+  filesRead.add();
+  entriesRead.add(seen);
   return to_csr(std::move(coo));
 }
 
@@ -163,6 +171,7 @@ void write_matrix_market(std::ostream& out, const Csr& a) {
 }
 
 void write_matrix_market_file(const std::string& path, const Csr& a) {
+  trace::TraceScope span("io", "mmio.write", "rows", a.num_rows(), "nnz", a.nnz());
   std::ofstream out(path);
   if (!out) throw IoError("cannot open for writing: " + path, at_path(path));
   write_matrix_market(out, a);

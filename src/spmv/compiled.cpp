@@ -9,6 +9,8 @@
 #include "util/assert.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::spmv {
 
@@ -36,6 +38,8 @@ idx_t CompiledPlan::total_messages() const {
 CompiledPlan compile_plan(const SpmvPlan& plan) {
   const idx_t K = plan.numProcs;
   FGHP_REQUIRE(plan.procs.size() == uz(K), "plan.procs inconsistent with numProcs");
+  trace::TraceScope span("spmv", "plan.compile", "procs", K, "words",
+                         plan.total_words());
 
   CompiledPlan c;
   c.numProcs = K;
@@ -263,6 +267,7 @@ ExecSession::ExecSession(const SpmvPlan& plan) : ExecSession(compile_plan(plan))
 
 void ExecSession::run(std::span<const double> x, std::vector<double>& y,
                       ExecStats* stats) {
+  trace::TraceScope span("spmv", "spmv.iteration", "procs", c_.numProcs, "mt", 0);
   FGHP_REQUIRE(x.size() == uz(c_.numCols), "x size mismatch");
   y.resize(uz(c_.numRows));
   std::fill(y.begin(), y.end(), 0.0);
@@ -293,10 +298,22 @@ void ExecSession::run(std::span<const double> x, std::vector<double>& y,
     stats->wordsSent = c_.total_words();
     stats->messagesSent = c_.total_messages();
   }
+
+  // Registered counters resolve once (magic statics), so iterations after
+  // the first stay allocation-free — the contract test_compiled asserts.
+  static metrics::Counter& iterations = metrics::counter("spmv.iterations");
+  static metrics::Counter& expandWords = metrics::counter("spmv.expand.words");
+  static metrics::Counter& foldWords = metrics::counter("spmv.fold.words");
+  static metrics::Counter& messages = metrics::counter("spmv.messages");
+  iterations.add();
+  expandWords.add(c_.xSendOff.back());
+  foldWords.add(c_.ySendOff.back());
+  messages.add(c_.total_messages());
 }
 
 void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
                          idx_t numThreads, ExecStats* stats) {
+  trace::TraceScope span("spmv", "spmv.iteration", "procs", c_.numProcs, "mt", 1);
   FGHP_REQUIRE(x.size() == uz(c_.numCols), "x size mismatch");
   const idx_t K = c_.numProcs;
 
@@ -310,9 +327,11 @@ void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
   y.resize(uz(c_.numRows));
   std::fill(y.begin(), y.end(), 0.0);
 
-  std::atomic<weight_t> words{0};
-  std::atomic<idx_t> msgs{0};
-  std::atomic<idx_t> retries{0};
+  // This run's traffic tallies are standalone metrics counters: the tasks
+  // below are the only writers, ExecStats reads them back, and the totals
+  // fold into the registered metrics once at the end — one source of truth
+  // instead of parallel hand-rolled atomics.
+  metrics::Counter expandWords, foldWords, messages, taskRetries;
   std::atomic<bool> failed{false};
 
   std::barrier sync(static_cast<std::ptrdiff_t>(workers));
@@ -323,19 +342,25 @@ void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
   // accumulated, and the traffic counters commit only on their last line —
   // so a retry after a partial first attempt cannot double-count or
   // double-accumulate. The flag is read after the next barrier, so a failed
-  // superstep never feeds garbage into the next one.
+  // superstep never feeds garbage into the next one. Each completed task is
+  // a trace span bracketed explicitly (begin/end on the worker that ran it).
   auto run_task = [&](const char* site, idx_t p, auto&& body) {
     for (int attempt = 0; attempt < 2; ++attempt) {
       try {
         fault::check(attempt == 0 ? site : "exec.retry", p + 1);
+        const bool traced = trace::enabled();
+        const std::uint64_t t0 = traced ? trace::now_ns() : 0;
         body();
+        if (traced) trace::complete("spmv", site, t0, trace::now_ns(), "proc", p);
         return;
       } catch (const std::exception& e) {
         if (attempt == 0) {
-          retries.fetch_add(1, std::memory_order_relaxed);
+          taskRetries.add();
+          trace::instant("recovery", "exec.task_retry", "proc", p);
           push_warning(std::string("executor task '") + site + "' on processor " +
                        std::to_string(p) + " failed (" + e.what() + "); retrying");
         } else {
+          trace::instant("recovery", "exec.serial_fallback", "proc", p);
           push_warning(std::string("executor task '") + site + "' on processor " +
                        std::to_string(p) + " failed its retry (" + e.what() +
                        "); degrading to the serial executor");
@@ -353,10 +378,10 @@ void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
           xLoc_[uz(c_.ownXSlot[uz(w)])] = x[uz(c_.ownXCol[uz(w)])];
         for (idx_t w = c_.xSendOff[uz(p)]; w < c_.xSendOff[uz(p) + 1]; ++w)
           xSendBuf_[uz(w)] = x[uz(c_.xSendCol[uz(w)])];
-        words.fetch_add(c_.xSendOff[uz(p) + 1] - c_.xSendOff[uz(p)],
-                        std::memory_order_relaxed);
-        msgs.fetch_add(c_.xSendMsgOff[uz(p) + 1] - c_.xSendMsgOff[uz(p)],
-                       std::memory_order_relaxed);
+        const idx_t sent = c_.xSendOff[uz(p) + 1] - c_.xSendOff[uz(p)];
+        expandWords.add(sent);
+        messages.add(c_.xSendMsgOff[uz(p) + 1] - c_.xSendMsgOff[uz(p)]);
+        trace::counter("spmv", "expand.words", static_cast<double>(sent), "proc", p);
       });
     }
     sync.arrive_and_wait();
@@ -377,10 +402,10 @@ void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
           }
           for (idx_t w = c_.ySendOff[uz(p)]; w < c_.ySendOff[uz(p) + 1]; ++w)
             ySendBuf_[uz(w)] = partial_[uz(c_.ySendSlot[uz(w)])];
-          words.fetch_add(c_.ySendOff[uz(p) + 1] - c_.ySendOff[uz(p)],
-                          std::memory_order_relaxed);
-          msgs.fetch_add(c_.ySendMsgOff[uz(p) + 1] - c_.ySendMsgOff[uz(p)],
-                         std::memory_order_relaxed);
+          const idx_t sent = c_.ySendOff[uz(p) + 1] - c_.ySendOff[uz(p)];
+          foldWords.add(sent);
+          messages.add(c_.ySendMsgOff[uz(p) + 1] - c_.ySendMsgOff[uz(p)]);
+          trace::counter("spmv", "fold.words", static_cast<double>(sent), "proc", p);
         });
       }
     }
@@ -404,23 +429,36 @@ void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
   for (idx_t w = 0; w < workers; ++w) pool.emplace_back(worker, w);
   for (auto& t : pool) t.join();
 
-  const idx_t taskRetries = retries.load(std::memory_order_relaxed);
+  static metrics::Counter& gRetries = metrics::counter("spmv.task_retries");
+  static metrics::Counter& gFallbacks = metrics::counter("spmv.serial_fallbacks");
+  gRetries.add(taskRetries.value());
+
   if (failed.load(std::memory_order_acquire)) {
     // Some task failed even its retry: discard the partial parallel run and
     // recompute from scratch on the (uninstrumented) serial path, which
     // re-zeroes y. Output and traffic counts match a clean run exactly.
+    gFallbacks.add();
     run(x, y, stats);
     if (stats != nullptr) {
-      stats->taskRetries = taskRetries;
+      stats->taskRetries = static_cast<idx_t>(taskRetries.value());
       stats->serialFallback = true;
     }
     return;
   }
 
+  static metrics::Counter& gIterations = metrics::counter("spmv.iterations");
+  static metrics::Counter& gExpandWords = metrics::counter("spmv.expand.words");
+  static metrics::Counter& gFoldWords = metrics::counter("spmv.fold.words");
+  static metrics::Counter& gMessages = metrics::counter("spmv.messages");
+  gIterations.add();
+  gExpandWords.add(expandWords.value());
+  gFoldWords.add(foldWords.value());
+  gMessages.add(messages.value());
+
   if (stats != nullptr) {
-    stats->wordsSent = words.load();
-    stats->messagesSent = msgs.load();
-    stats->taskRetries = taskRetries;
+    stats->wordsSent = static_cast<weight_t>(expandWords.value() + foldWords.value());
+    stats->messagesSent = static_cast<idx_t>(messages.value());
+    stats->taskRetries = static_cast<idx_t>(taskRetries.value());
     stats->serialFallback = false;
   }
 }

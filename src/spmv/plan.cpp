@@ -6,6 +6,7 @@
 
 #include "util/assert.hpp"
 #include "util/error.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::spmv {
 
@@ -26,6 +27,7 @@ idx_t SpmvPlan::total_messages() const {
 }
 
 SpmvPlan build_plan(const sparse::Csr& a, const model::Decomposition& d) {
+  trace::TraceScope span("spmv", "plan.build", "procs", d.numProcs, "nnz", a.nnz());
   model::validate(a, d);
   const idx_t K = d.numProcs;
   const idx_t n = a.num_rows();

@@ -6,7 +6,9 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/options.hpp"
+#include "util/trace.hpp"
 
 namespace fghp::fault {
 
@@ -139,6 +141,14 @@ bool should_fail(std::string_view site, long ordinal) {
 
 void check(std::string_view site, long ordinal) {
   if (!should_fail(site, ordinal)) return;
+  // The fault is observable before it propagates: an instant event in the
+  // trace (named by the canonical entry from known_sites(), whose storage is
+  // static — trace events never copy strings) and a fired counter.
+  const auto& sites = known_sites();
+  const auto it = std::find(sites.begin(), sites.end(), site);
+  if (it != sites.end()) trace::instant("fault", it->c_str(), "ordinal", ordinal);
+  static metrics::Counter& fired = metrics::counter("fault.fired");
+  fired.add();
   ErrorContext ctx;
   ctx.phase = std::string(site);
   ctx.part = ordinal;

@@ -1,0 +1,166 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/error.hpp"
+
+namespace fghp::metrics {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds) : bounds_(std::move(bounds)) {
+  FGHP_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be ascending");
+  counts_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(std::int64_t x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::bucket_count(std::size_t i) const {
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& n : counters_)
+    if (n.name == name) return *n.metric;
+  counters_.push_back({name, std::make_unique<Counter>()});
+  return *counters_.back().metric;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& n : gauges_)
+    if (n.name == name) return *n.metric;
+  gauges_.push_back({name, std::make_unique<Gauge>()});
+  return *gauges_.back().metric;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<std::int64_t> bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& n : histograms_)
+    if (n.name == name) return *n.metric;
+  histograms_.push_back({name, std::make_unique<Histogram>(std::move(bounds))});
+  return *histograms_.back().metric;
+}
+
+namespace {
+
+void json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\')
+      out << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20)
+      out << ' ';
+    else
+      out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& out) const {
+  // Copy name -> value snapshots under the lock, then format sorted.
+  std::map<std::string, std::int64_t> counters, gauges;
+  struct HistSnap {
+    std::vector<std::int64_t> bounds, counts;
+    std::int64_t count, sum;
+  };
+  std::map<std::string, HistSnap> hists;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& n : counters_) counters[n.name] = n.metric->value();
+    for (const auto& n : gauges_) gauges[n.name] = n.metric->value();
+    for (const auto& n : histograms_) {
+      HistSnap s;
+      s.bounds = n.metric->bounds();
+      for (std::size_t i = 0; i < n.metric->num_buckets(); ++i)
+        s.counts.push_back(n.metric->bucket_count(i));
+      s.count = n.metric->count();
+      s.sum = n.metric->sum();
+      hists[n.name] = std::move(s);
+    }
+  }
+
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(out, name);
+    out << ": " << v;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(out, name);
+    out << ": " << v;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, s] : hists) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(out, name);
+    out << ": {\"bounds\": [";
+    for (std::size_t i = 0; i < s.bounds.size(); ++i)
+      out << (i ? "," : "") << s.bounds[i];
+    out << "], \"counts\": [";
+    for (std::size_t i = 0; i < s.counts.size(); ++i)
+      out << (i ? "," : "") << s.counts[i];
+    out << "], \"count\": " << s.count << ", \"sum\": " << s.sum << '}';
+  }
+  out << "\n  }\n}\n";
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& n : counters_) n.metric->reset();
+  for (auto& n : gauges_) n.metric->reset();
+  for (auto& n : histograms_) n.metric->reset();
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+void write_global_json(const std::string& pathOrDash) {
+  if (pathOrDash == "-") {
+    Registry::global().write_json(std::cout);
+    std::cout.flush();
+    return;
+  }
+  std::ofstream out(pathOrDash);
+  if (!out)
+    throw IoError("cannot open metrics file for writing: " + pathOrDash,
+                  at_path(pathOrDash));
+  Registry::global().write_json(out);
+  out.flush();
+  if (!out) throw IoError("metrics write failed: " + pathOrDash, at_path(pathOrDash));
+}
+
+}  // namespace fghp::metrics

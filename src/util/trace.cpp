@@ -1,0 +1,355 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/options.hpp"
+
+namespace fghp::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 1u << 15;  // 32768 events per thread
+
+enum class Kind : std::uint8_t { kSpan, kInstant, kCounter };
+
+struct Event {
+  std::uint64_t start = 0;  ///< ns since trace epoch
+  std::uint64_t dur = 0;    ///< ns, spans only
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  const char* k0 = nullptr;
+  const char* k1 = nullptr;
+  std::int64_t v0 = 0;
+  std::int64_t v1 = 0;
+  double value = 0.0;  ///< counters only
+  Kind kind = Kind::kInstant;
+};
+
+/// One fixed-capacity ring per thread. The owning thread is the only writer;
+/// the head counter is monotonic, so slot (head % cap) always holds the
+/// newest event and overflow silently retires the oldest. Readers snapshot
+/// head with acquire ordering and walk the live window — consistent whenever
+/// the writer is quiescent (the exporters' documented contract).
+class ThreadBuffer {
+ public:
+  ThreadBuffer(std::uint32_t tid, std::size_t cap) : tid_(tid), slots_(cap) {}
+
+  void push(const Event& e) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    slots_[static_cast<std::size_t>(h % slots_.size())] = e;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  std::uint32_t tid() const { return tid_; }
+
+  std::uint64_t head() const { return head_.load(std::memory_order_acquire); }
+  std::size_t capacity() const { return slots_.size(); }
+  const Event& slot(std::uint64_t i) const {
+    return slots_[static_cast<std::size_t>(i % slots_.size())];
+  }
+
+ private:
+  std::uint32_t tid_;
+  std::vector<Event> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  // shared_ptr keeps a buffer alive for export after its thread exits.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::size_t capacity = 0;  // 0 = not yet resolved (env / default)
+  // Bumped by enable(new capacity) / reset(); stale thread-local buffers
+  // re-register on their next emit.
+  std::atomic<std::uint64_t> epoch{1};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+thread_local std::shared_ptr<ThreadBuffer> t_buf;
+thread_local std::uint64_t t_epoch = 0;
+
+ThreadBuffer& local_buffer() {
+  Registry& r = registry();
+  const std::uint64_t ep = r.epoch.load(std::memory_order_acquire);
+  if (t_epoch != ep || t_buf == nullptr) {
+    std::lock_guard<std::mutex> lk(r.mu);
+    auto buf = std::make_shared<ThreadBuffer>(static_cast<std::uint32_t>(r.buffers.size()),
+                                              r.capacity == 0 ? kDefaultCapacity : r.capacity);
+    r.buffers.push_back(buf);
+    t_buf = std::move(buf);
+    t_epoch = ep;
+  }
+  return *t_buf;
+}
+
+std::string& export_path() {
+  static std::string path;
+  return path;
+}
+
+/// FGHP_TRACE=path turns tracing on for the whole process and registers an
+/// atexit export, so any repo binary is traceable with no code changes.
+struct EnvInit {
+  EnvInit() {
+    const auto path = env_str("FGHP_TRACE");
+    if (!path) return;
+    export_path() = *path;
+    enable();
+    std::atexit([] {
+      try {
+        write_chrome_trace_file(export_path());
+      } catch (...) {
+        // Exit-time export is best-effort; never abort the process over it.
+      }
+    });
+  }
+};
+const EnvInit g_envInit;
+
+void json_escape(std::ostream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out << buf;
+    } else {
+      out << c;
+    }
+  }
+}
+
+void write_us(std::ostream& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out << buf;
+}
+
+void write_args(std::ostream& out, const Event& e, bool withValue) {
+  out << "\"args\":{";
+  bool first = true;
+  if (withValue) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", e.value);
+    out << "\"value\":" << buf;
+    first = false;
+  }
+  if (e.k0 != nullptr) {
+    if (!first) out << ',';
+    out << '"';
+    json_escape(out, e.k0);
+    out << "\":" << e.v0;
+    first = false;
+  }
+  if (e.k1 != nullptr) {
+    if (!first) out << ',';
+    out << '"';
+    json_escape(out, e.k1);
+    out << "\":" << e.v1;
+  }
+  out << '}';
+}
+
+}  // namespace
+
+namespace detail {
+
+void emit_span(const char* cat, const char* name, std::uint64_t startNs,
+               std::uint64_t endNs, const char* k0, std::int64_t v0, const char* k1,
+               std::int64_t v1) {
+  Event e;
+  e.kind = Kind::kSpan;
+  e.start = startNs;
+  e.dur = endNs >= startNs ? endNs - startNs : 0;
+  e.cat = cat;
+  e.name = name;
+  e.k0 = k0;
+  e.v0 = v0;
+  e.k1 = k1;
+  e.v1 = v1;
+  local_buffer().push(e);
+}
+
+void emit_instant(const char* cat, const char* name, const char* k0, std::int64_t v0,
+                  const char* k1, std::int64_t v1) {
+  Event e;
+  e.kind = Kind::kInstant;
+  e.start = now_ns();
+  e.cat = cat;
+  e.name = name;
+  e.k0 = k0;
+  e.v0 = v0;
+  e.k1 = k1;
+  e.v1 = v1;
+  local_buffer().push(e);
+}
+
+void emit_counter(const char* cat, const char* name, double value, const char* k0,
+                  std::int64_t v0) {
+  Event e;
+  e.kind = Kind::kCounter;
+  e.start = now_ns();
+  e.cat = cat;
+  e.name = name;
+  e.value = value;
+  e.k0 = k0;
+  e.v0 = v0;
+  local_buffer().push(e);
+}
+
+}  // namespace detail
+
+std::uint64_t now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void enable(std::size_t perThreadCapacity) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::size_t cap = perThreadCapacity;
+  if (cap == 0) {
+    cap = r.capacity != 0
+              ? r.capacity
+              : static_cast<std::size_t>(std::max(
+                    16L, env_long("FGHP_TRACE_CAP",
+                                  static_cast<long>(kDefaultCapacity))));
+  }
+  cap = std::max<std::size_t>(cap, 4);
+  if (cap != r.capacity) {
+    r.capacity = cap;
+    r.buffers.clear();
+    r.epoch.fetch_add(1, std::memory_order_acq_rel);
+  }
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void disable() { detail::g_enabled.store(false, std::memory_order_release); }
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.buffers.clear();
+  r.epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::size_t event_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::size_t n = 0;
+  for (const auto& b : r.buffers)
+    n += static_cast<std::size_t>(std::min<std::uint64_t>(b->head(), b->capacity()));
+  return n;
+}
+
+std::uint64_t dropped_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::uint64_t n = 0;
+  for (const auto& b : r.buffers) {
+    const std::uint64_t head = b->head();
+    if (head > b->capacity()) n += head - b->capacity();
+  }
+  return n;
+}
+
+void write_chrome_trace(std::ostream& out) {
+  struct Rec {
+    std::uint32_t tid;
+    Event e;
+  };
+  std::vector<Rec> recs;
+  std::uint64_t dropped = 0;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (const auto& b : r.buffers) {
+      const std::uint64_t head = b->head();
+      const std::uint64_t lo = head > b->capacity() ? head - b->capacity() : 0;
+      if (head > b->capacity()) dropped += head - b->capacity();
+      for (std::uint64_t i = lo; i < head; ++i) recs.push_back({b->tid(), b->slot(i)});
+    }
+  }
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const Rec& a, const Rec& b) { return a.e.start < b.e.start; });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":" << dropped
+      << "},\"traceEvents\":[";
+  bool first = true;
+  for (const Rec& rec : recs) {
+    const Event& e = rec.e;
+    if (!first) out << ',';
+    first = false;
+    out << "\n{\"ph\":\"";
+    switch (e.kind) {
+      case Kind::kSpan: out << 'X'; break;
+      case Kind::kInstant: out << 'i'; break;
+      case Kind::kCounter: out << 'C'; break;
+    }
+    out << "\",\"cat\":\"";
+    json_escape(out, e.cat != nullptr ? e.cat : "");
+    out << "\",\"name\":\"";
+    json_escape(out, e.name != nullptr ? e.name : "");
+    out << "\",\"pid\":1,\"tid\":" << rec.tid << ",\"ts\":";
+    write_us(out, e.start);
+    if (e.kind == Kind::kSpan) {
+      out << ",\"dur\":";
+      write_us(out, e.dur);
+    }
+    if (e.kind == Kind::kInstant) out << ",\"s\":\"t\"";
+    out << ',';
+    write_args(out, e, e.kind == Kind::kCounter);
+    out << '}';
+  }
+  out << "\n]}\n";
+}
+
+void write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open trace file for writing: " + path, at_path(path));
+  write_chrome_trace(out);
+  out.flush();
+  if (!out) throw IoError("trace write failed: " + path, at_path(path));
+}
+
+ScopedCapture::ScopedCapture(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  wasEnabled_ = enabled();
+  enable();
+}
+
+ScopedCapture::~ScopedCapture() {
+  if (path_.empty()) return;
+  try {
+    write_chrome_trace_file(path_);
+  } catch (...) {
+    // Losing a trace must never fail the traced computation.
+  }
+  if (!wasEnabled_) disable();
+}
+
+}  // namespace fghp::trace

@@ -1,0 +1,172 @@
+// Thread-safe hierarchical span tracer for the partition -> SpMV pipeline.
+//
+// Every instrumented site costs a single relaxed atomic load plus one branch
+// while tracing is disabled (the default). When enabled — programmatically,
+// via the FGHP_TRACE environment variable, or per partitioner run through
+// PartitionConfig::traceOut — events are recorded into per-thread ring
+// buffers with no locking and no heap allocation on the hot path, and can be
+// exported as Chrome trace-event JSON (loadable in chrome://tracing or
+// https://ui.perfetto.dev) at any quiescent point.
+//
+// Event kinds:
+//   * span    — a named duration ("X" complete events). The RAII TraceScope
+//               covers the synchronous case; now_ns() + complete() cover
+//               fork-join tasks whose begin and end the caller brackets
+//               explicitly.
+//   * instant — a point event ("i"): fault-point fires, recovery-ladder
+//               steps.
+//   * counter — a sampled numeric series ("C"): per-processor expand/fold
+//               word volume per SpMV iteration.
+//
+// String arguments (cat / name / arg keys) must have static storage duration
+// (string literals, interned registry strings): events store the pointers,
+// never copies. Each event carries up to two named integer args.
+//
+// Ring buffers drop the *oldest* events on overflow and count every drop
+// (dropped_count(), also exported in the JSON). The default per-thread
+// capacity is 32768 events; override with enable(capacity) or the
+// FGHP_TRACE_CAP environment variable.
+//
+// FGHP_TRACE=trace.json enables tracing at process start and writes the file
+// from an atexit handler, so any binary in the repo can be traced without
+// code changes. Exporters read buffers without stopping writers; call them
+// when instrumented threads are quiescent (joined or idle) for a consistent
+// snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace fghp::trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void emit_span(const char* cat, const char* name, std::uint64_t startNs,
+               std::uint64_t endNs, const char* k0, std::int64_t v0,
+               const char* k1, std::int64_t v1);
+void emit_instant(const char* cat, const char* name, const char* k0, std::int64_t v0,
+                  const char* k1, std::int64_t v1);
+void emit_counter(const char* cat, const char* name, double value, const char* k0,
+                  std::int64_t v0);
+}  // namespace detail
+
+/// The one-branch gate every instrumented site checks first.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+/// Monotonic nanoseconds since the process trace epoch. Always available
+/// (independent of enabled()); pairs with complete() for explicit
+/// begin/end spans.
+std::uint64_t now_ns();
+
+/// Turns recording on. perThreadCapacity = events per thread ring; 0 keeps
+/// the current capacity (first call: FGHP_TRACE_CAP or the 32768 default).
+/// Changing the capacity discards previously recorded events.
+void enable(std::size_t perThreadCapacity = 0);
+
+/// Turns recording off. Recorded events are kept for export.
+void disable();
+
+/// Discards every recorded event and the drop counts (enabled state and
+/// capacity unchanged).
+void reset();
+
+/// Events currently held across all thread buffers / events overwritten by
+/// ring overflow since the last reset.
+std::size_t event_count();
+std::uint64_t dropped_count();
+
+/// Explicit-bracket span: record start = now_ns() yourself, then call
+/// complete() at the end (on the thread that finished the work).
+inline void complete(const char* cat, const char* name, std::uint64_t startNs,
+                     std::uint64_t endNs, const char* k0 = nullptr, std::int64_t v0 = 0,
+                     const char* k1 = nullptr, std::int64_t v1 = 0) {
+  if (enabled()) detail::emit_span(cat, name, startNs, endNs, k0, v0, k1, v1);
+}
+
+/// Point event (fault fire, recovery step).
+inline void instant(const char* cat, const char* name, const char* k0 = nullptr,
+                    std::int64_t v0 = 0, const char* k1 = nullptr, std::int64_t v1 = 0) {
+  if (enabled()) detail::emit_instant(cat, name, k0, v0, k1, v1);
+}
+
+/// Sampled numeric series; k0/v0 disambiguates the series (e.g. "proc", p).
+inline void counter(const char* cat, const char* name, double value,
+                    const char* k0 = nullptr, std::int64_t v0 = 0) {
+  if (enabled()) detail::emit_counter(cat, name, value, k0, v0);
+}
+
+/// RAII span: one complete event from construction to destruction, recorded
+/// on the destructing thread. Costs one branch when tracing is disabled.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* cat, const char* name, const char* k0 = nullptr,
+                      std::int64_t v0 = 0, const char* k1 = nullptr,
+                      std::int64_t v1 = 0) {
+    if (!enabled()) return;
+    active_ = true;
+    cat_ = cat;
+    name_ = name;
+    k0_ = k0;
+    v0_ = v0;
+    k1_ = k1;
+    v1_ = v1;
+    start_ = now_ns();
+  }
+  ~TraceScope() {
+    if (active_) detail::emit_span(cat_, name_, start_, now_ns(), k0_, v0_, k1_, v1_);
+  }
+
+  /// Replaces the span's args with values only known at the end of the scope
+  /// (e.g. an entry count discovered while parsing). No-op while disabled.
+  void set_args(const char* k0, std::int64_t v0, const char* k1 = nullptr,
+                std::int64_t v1 = 0) {
+    if (!active_) return;
+    k0_ = k0;
+    v0_ = v0;
+    k1_ = k1;
+    v1_ = v1;
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool active_ = false;
+  const char* cat_ = nullptr;
+  const char* name_ = nullptr;
+  const char* k0_ = nullptr;
+  const char* k1_ = nullptr;
+  std::int64_t v0_ = 0;
+  std::int64_t v1_ = 0;
+  std::uint64_t start_ = 0;
+};
+
+/// Writes every recorded event as Chrome trace-event JSON
+/// ({"traceEvents":[...]}). Events are sorted by start time; ts/dur are in
+/// microseconds as the format requires.
+void write_chrome_trace(std::ostream& out);
+
+/// Same, to a file. Throws IoError if the file cannot be written.
+void write_chrome_trace_file(const std::string& path);
+
+/// Captures one region into a trace file: enables tracing on construction
+/// (remembering whether it was already on) and writes `path` on destruction,
+/// restoring the previous enabled state. An empty path is a no-op, so
+/// callers can pass a config field through unconditionally. Export failures
+/// are swallowed (a lost trace must never fail the traced computation).
+class ScopedCapture {
+ public:
+  explicit ScopedCapture(std::string path);
+  ~ScopedCapture();
+
+  ScopedCapture(const ScopedCapture&) = delete;
+  ScopedCapture& operator=(const ScopedCapture&) = delete;
+
+ private:
+  std::string path_;
+  bool wasEnabled_ = false;
+};
+
+}  // namespace fghp::trace

@@ -4,23 +4,30 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
 #include <string>
 
 #include "graph/gmetrics.hpp"
 #include "graph/gvalidate.hpp"
+#include "hypergraph/builder.hpp"
 #include "hypergraph/metrics.hpp"
 #include "hypergraph/validate.hpp"
+#include "models/decomp_io.hpp"
 #include "models/finegrain.hpp"
 #include "models/graph_model.hpp"
 #include "partition/gp/gpartitioner.hpp"
 #include "partition/hg/partitioner.hpp"
 #include "sparse/generators.hpp"
+#include "sparse/mmio.hpp"
 #include "spmv/executor_mt.hpp"
 #include "spmv/plan.hpp"
 #include "spmv/reference.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace fghp {
 namespace {
@@ -337,6 +344,142 @@ TEST(ExecRecovery, RecoveredRunMatchesCleanRunExactly) {
   const auto yFault = spmv::execute_mt(f.plan, f.x, 3, nullptr);
   drain_warnings();
   EXPECT_EQ(yClean, yFault);  // bitwise: same summation order either way
+}
+
+// ------------------------------------------------- fault-site tracing ----
+// A firing fault site announces itself in the trace as one instant event
+// (cat "fault") named after the site, so a captured trace shows exactly
+// where the recovery ladder was entered. Table-driven over known_sites():
+// a registered site without a trigger below fails the test, which keeps
+// this coverage in sync with the registry.
+
+/// Runs `op` (which arms its own fault spec) with tracing on and returns the
+/// exported Chrome JSON. FaultErrors escaping `op` are expected for sites
+/// with no recovery path above them.
+std::string trigger_and_export(const std::function<void()>& op) {
+  trace::enable(1u << 15);
+  trace::reset();
+  try {
+    op();
+  } catch (const FaultError&) {
+  }
+  std::ostringstream os;
+  trace::write_chrome_trace(os);
+  trace::disable();
+  trace::reset();
+  drain_warnings();
+  return os.str();
+}
+
+/// Counts instant events for `site` by the exporter's fixed field order.
+int count_site_instants(const std::string& json, const std::string& site) {
+  const std::string needle = "\"cat\":\"fault\",\"name\":\"" + site + "\"";
+  int n = 0;
+  for (std::size_t pos = json.find(needle); pos != std::string::npos;
+       pos = json.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(FaultTracing, EveryKnownSiteEmitsExactlyOneInstantWhenArmed) {
+  // Shared fixtures, built before any spec is armed.
+  const sparse::Csr a = sparse::random_square(60, 4, 11);
+  const model::FineGrainModel m = model::build_finegrain(a);
+  const gp::Graph g = model::build_standard_graph(a);
+  const ExecFixture f(5);
+
+  model::Decomposition tinyD;
+  tinyD.numProcs = 1;
+  tinyD.nnzOwner = {0};
+  tinyD.xOwner = {0};
+  tinyD.yOwner = {0};
+
+  const std::string mtx =
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 1.0\n";
+
+  // Each trigger arms one spec and provokes exactly one firing of the
+  // target site (the spec may arm helper sites whose events we don't count).
+  auto hgPartition = [&m](const std::string& spec, idx_t attempts) {
+    part::PartitionConfig cfg;
+    cfg.seed = 42;
+    cfg.faultSpec = spec;
+    cfg.maxBisectAttempts = attempts;
+    part::partition_hypergraph(m.h, 2, cfg);
+  };
+  auto gpPartition = [&g](const std::string& spec, idx_t attempts) {
+    part::PartitionConfig cfg;
+    cfg.seed = 42;
+    cfg.faultSpec = spec;
+    cfg.maxBisectAttempts = attempts;
+    part::partition_graph(g, 2, cfg);
+  };
+
+  std::map<std::string, std::function<void()>> triggers;
+  triggers["decomp.open"] = [] {
+    fault::ScopedSpec s("decomp.open");
+    model::read_decomposition_file("/nonexistent/fghp.decomp");
+  };
+  triggers["decomp.read"] = [] {
+    fault::ScopedSpec s("decomp.read");
+    std::istringstream in;
+    model::read_decomposition(in, "mem");
+  };
+  triggers["decomp.write"] = [&tinyD] {
+    fault::ScopedSpec s("decomp.write");
+    std::ostringstream out;
+    model::write_decomposition(out, tinyD);
+  };
+  triggers["exec.expand"] = [&f] {
+    fault::ScopedSpec s("exec.expand:1");  // proc 0's expand task, attempt 0
+    spmv::execute_mt(f.plan, f.x, 2, nullptr);
+  };
+  triggers["exec.fold"] = [&f] {
+    fault::ScopedSpec s("exec.fold:1");
+    spmv::execute_mt(f.plan, f.x, 2, nullptr);
+  };
+  triggers["exec.retry"] = [&f] {
+    // Proc 0 fails on attempt 0 and again on the retry -> serial fallback
+    // (whose path has no fault sites); exec.retry fires exactly once.
+    fault::ScopedSpec s("exec.expand:1,exec.retry:1");
+    spmv::execute_mt(f.plan, f.x, 2, nullptr);
+  };
+  triggers["fm.refine"] = [&] { hgPartition("fm.refine", 1); };
+  triggers["gfm.refine"] = [&] { gpPartition("gfm.refine", 1); };
+  triggers["hg.build"] = [] {
+    fault::ScopedSpec s("hg.build");
+    hg::HypergraphBuilder b(2);
+    const std::vector<idx_t> pins{0, 1};
+    b.add_net(pins);
+    std::move(b).build();
+  };
+  triggers["mmio.open"] = [] {
+    fault::ScopedSpec s("mmio.open");  // checked before the file is touched
+    sparse::read_matrix_market_file("/nonexistent/fghp.mtx");
+  };
+  triggers["mmio.read"] = [&mtx] {
+    fault::ScopedSpec s("mmio.read:1");
+    std::istringstream in(mtx);
+    sparse::read_matrix_market(in, "mem");
+  };
+  triggers["rb.bisect"] = [&] { hgPartition("rb.bisect:1", 3); };
+  // Attempt 0 fires rb.bisect, attempt 1 fires rb.retry, and capping the
+  // attempts at 2 keeps the retry site from matching again before the
+  // greedy fallback takes over.
+  triggers["rb.retry"] = [&] { hgPartition("rb.bisect:1,rb.retry:1", 2); };
+  triggers["grb.bisect"] = [&] { gpPartition("grb.bisect:1", 3); };
+  triggers["grb.retry"] = [&] { gpPartition("grb.bisect:1,grb.retry:1", 2); };
+
+  for (const std::string& site : fault::known_sites()) {
+    const auto it = triggers.find(site);
+    if (it == triggers.end()) {
+      ADD_FAILURE() << "fault site '" << site
+                    << "' has no trace trigger — add one to this table";
+      continue;
+    }
+    const std::string json = trigger_and_export(it->second);
+    EXPECT_EQ(count_site_instants(json, site), 1)
+        << "site '" << site << "' must emit exactly one fault instant";
+  }
 }
 
 // --------------------------------------------------------- plan checks ----

@@ -1,0 +1,547 @@
+// Tracing & metrics layer tests: span nesting across thread counts, ring
+// overflow (drops-oldest with an exact drop count), Chrome trace-event JSON
+// round-trip through a minimal parser, the disabled-mode guarantees (records
+// nothing, allocates nothing), the phase-timer adapter, ScopedCapture, the
+// metrics registry JSON, and partition bit-identity with tracing on/off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <new>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/finegrain.hpp"
+#include "partition/hg/partitioner.hpp"
+#include "partition/phase_timers.hpp"
+#include "sparse/generators.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (same technique as test_compiled): the disabled-
+// mode test asserts that an untraced instrumentation site performs zero heap
+// allocations.
+namespace {
+std::atomic<long> g_allocCount{0};
+}
+
+void* operator new(std::size_t sz) {
+  g_allocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) {
+  g_allocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace fghp {
+namespace {
+
+// ------------------------------------------------ minimal JSON parser ----
+// Just enough JSON to round-trip the exporters' output: objects, arrays,
+// strings with the escapes the writer emits, and doubles. Throws
+// std::runtime_error on malformed input so a bad export fails the test.
+
+struct JVal {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JVal> arr;
+  std::map<std::string, JVal> obj;
+
+  const JVal& at(const std::string& key) const {
+    const auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) != 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : s_(std::move(text)) {}
+
+  JVal parse() {
+    JVal v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing JSON content");
+    return v;
+  }
+
+ private:
+  std::string s_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error(what + " at offset " + std::to_string(pos_));
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JVal value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JVal v;
+        v.kind = JVal::kStr;
+        v.str = string();
+        return v;
+      }
+      case 't':
+      case 'f': return boolean();
+      case 'n': {
+        literal("null");
+        return JVal{};
+      }
+      default: return number();
+    }
+  }
+
+  void literal(const char* lit) {
+    for (const char* c = lit; *c != '\0'; ++c) expect(*c);
+  }
+
+  JVal boolean() {
+    JVal v;
+    v.kind = JVal::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  JVal number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("invalid JSON value");
+    JVal v;
+    v.kind = JVal::kNum;
+    v.num = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+            out += static_cast<char>(std::stoi(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JVal object() {
+    expect('{');
+    JVal v;
+    v.kind = JVal::kObj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.obj.emplace(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JVal array() {
+    expect('[');
+    JVal v;
+    v.kind = JVal::kArr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+};
+
+/// Exports the current trace and parses it back.
+JVal export_and_parse() {
+  std::ostringstream os;
+  trace::write_chrome_trace(os);
+  return JsonParser(os.str()).parse();
+}
+
+/// RAII guard: every test leaves tracing disabled and empty. The explicit
+/// default capacity keeps tests independent of a smaller ring a previous
+/// test may have installed (capacity is process-global state).
+struct TraceSandbox {
+  explicit TraceSandbox(std::size_t cap = 1u << 15) {
+    trace::enable(cap);
+    trace::reset();
+  }
+  ~TraceSandbox() {
+    trace::disable();
+    trace::reset();
+  }
+};
+
+const JVal* find_event(const JVal& doc, const std::string& name) {
+  for (const JVal& e : doc.at("traceEvents").arr)
+    if (e.at("name").str == name) return &e;
+  return nullptr;
+}
+
+// ------------------------------------------------------- JSON round-trip ----
+
+TEST(ChromeTrace, RoundTripSpanInstantCounter) {
+  TraceSandbox sandbox;
+
+  const std::uint64_t t0 = trace::now_ns();
+  trace::complete("cat.span", "a.span", t0, t0 + 2500, "k0", 7, "k1", -3);
+  trace::instant("cat.inst", "a.instant", "ord", 42);
+  trace::counter("cat.ctr", "a.counter", 12.5, "proc", 2);
+
+  const JVal doc = export_and_parse();
+  EXPECT_EQ(doc.at("otherData").at("droppedEvents").num, 0.0);
+  ASSERT_EQ(doc.at("traceEvents").arr.size(), 3u);
+
+  const JVal* span = find_event(doc, "a.span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->at("ph").str, "X");
+  EXPECT_EQ(span->at("cat").str, "cat.span");
+  EXPECT_EQ(span->at("pid").num, 1.0);
+  EXPECT_NEAR(span->at("dur").num, 2.5, 1e-9);  // 2500 ns in microseconds
+  EXPECT_EQ(span->at("args").at("k0").num, 7.0);
+  EXPECT_EQ(span->at("args").at("k1").num, -3.0);
+
+  const JVal* inst = find_event(doc, "a.instant");
+  ASSERT_NE(inst, nullptr);
+  EXPECT_EQ(inst->at("ph").str, "i");
+  EXPECT_EQ(inst->at("s").str, "t");
+  EXPECT_EQ(inst->at("args").at("ord").num, 42.0);
+  EXPECT_FALSE(inst->has("dur"));
+
+  const JVal* ctr = find_event(doc, "a.counter");
+  ASSERT_NE(ctr, nullptr);
+  EXPECT_EQ(ctr->at("ph").str, "C");
+  EXPECT_EQ(ctr->at("args").at("value").num, 12.5);
+  EXPECT_EQ(ctr->at("args").at("proc").num, 2.0);
+}
+
+// ---------------------------------------------------------- span nesting ----
+
+TEST(TraceSpans, NestedScopesContainedSingleThread) {
+  TraceSandbox sandbox;
+  {
+    trace::TraceScope outer("t", "outer");
+    {
+      trace::TraceScope mid("t", "mid");
+      trace::TraceScope inner("t", "inner");
+    }
+  }
+
+  const JVal doc = export_and_parse();
+  const JVal* outer = find_event(doc, "outer");
+  const JVal* mid = find_event(doc, "mid");
+  const JVal* inner = find_event(doc, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(mid, nullptr);
+  ASSERT_NE(inner, nullptr);
+
+  EXPECT_EQ(outer->at("tid").num, mid->at("tid").num);
+  EXPECT_EQ(mid->at("tid").num, inner->at("tid").num);
+
+  auto contains = [](const JVal& a, const JVal& b) {  // a contains b
+    return a.at("ts").num <= b.at("ts").num &&
+           b.at("ts").num + b.at("dur").num <= a.at("ts").num + a.at("dur").num;
+  };
+  EXPECT_TRUE(contains(*outer, *mid));
+  EXPECT_TRUE(contains(*mid, *inner));
+}
+
+class TraceSpansMt : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceSpansMt, PerThreadNestingAndDistinctTids) {
+  const int numThreads = GetParam();
+  TraceSandbox sandbox;
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < numThreads; ++t) {
+    pool.emplace_back([t] {
+      trace::TraceScope outer("mt", "mt.outer", "tix", t);
+      trace::TraceScope inner("mt", "mt.inner", "tix", t);
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  const JVal doc = export_and_parse();
+  std::map<int, const JVal*> outers, inners;
+  for (const JVal& e : doc.at("traceEvents").arr) {
+    const int tix = static_cast<int>(e.at("args").at("tix").num);
+    if (e.at("name").str == "mt.outer") outers[tix] = &e;
+    if (e.at("name").str == "mt.inner") inners[tix] = &e;
+  }
+  ASSERT_EQ(outers.size(), static_cast<std::size_t>(numThreads));
+  ASSERT_EQ(inners.size(), static_cast<std::size_t>(numThreads));
+
+  std::vector<double> tids;
+  for (const auto& [tix, outer] : outers) {
+    const JVal* inner = inners.at(tix);
+    // Same thread recorded both; the inner scope is contained in the outer.
+    EXPECT_EQ(outer->at("tid").num, inner->at("tid").num);
+    EXPECT_LE(outer->at("ts").num, inner->at("ts").num);
+    EXPECT_LE(inner->at("ts").num + inner->at("dur").num,
+              outer->at("ts").num + outer->at("dur").num);
+    tids.push_back(outer->at("tid").num);
+  }
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end())
+      << "each thread must own its own buffer (distinct tid)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, TraceSpansMt, ::testing::Values(1, 2, 8));
+
+// ----------------------------------------------------------- ring buffer ----
+
+TEST(TraceRing, OverflowDropsOldestAndCountsDrops) {
+  TraceSandbox sandbox(16);
+
+  for (int i = 0; i < 40; ++i) trace::instant("ring", "tick", "i", i);
+
+  EXPECT_EQ(trace::event_count(), 16u);
+  EXPECT_EQ(trace::dropped_count(), 24u);
+
+  const JVal doc = export_and_parse();
+  EXPECT_EQ(doc.at("otherData").at("droppedEvents").num, 24.0);
+  const auto& events = doc.at("traceEvents").arr;
+  ASSERT_EQ(events.size(), 16u);
+  // The survivors are exactly the newest 16, still in emission order.
+  for (std::size_t k = 0; k < events.size(); ++k)
+    EXPECT_EQ(events[k].at("args").at("i").num, static_cast<double>(24 + k));
+}
+
+// -------------------------------------------------------- disabled mode ----
+
+TEST(TraceDisabled, RecordsNothingAndAllocatesNothing) {
+  trace::disable();
+  trace::reset();
+
+  trace::now_ns();  // warm the clock epoch outside the measured window
+
+  const long before = g_allocCount.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    trace::TraceScope span("off", "site", "arg", i);
+    trace::instant("off", "instant", "arg", i);
+    trace::counter("off", "counter", 1.0, "arg", i);
+  }
+  const long delta = g_allocCount.load(std::memory_order_relaxed) - before;
+
+  EXPECT_EQ(delta, 0) << "a disabled site must not touch the heap";
+  EXPECT_EQ(trace::event_count(), 0u);
+  EXPECT_EQ(trace::dropped_count(), 0u);
+}
+
+// ------------------------------------------------- phase-timer adapter ----
+
+TEST(PhaseTimers, ScopedPhaseFeedsTimersAndTrace) {
+  TraceSandbox sandbox;
+  const part::PhaseSnapshot before = part::phase_timers().snapshot();
+  {
+    part::ScopedPhase phase(part::Phase::kCoarsen, "level", 3);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const part::PhaseSnapshot delta = part::phase_timers().snapshot() - before;
+  EXPECT_GT(delta[part::Phase::kCoarsen], 0.0);
+  EXPECT_EQ(delta[part::Phase::kInitial], 0.0);
+
+  const JVal doc = export_and_parse();
+  const JVal* span = find_event(doc, "coarsen");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->at("cat").str, "rb.phase");
+  EXPECT_EQ(span->at("args").at("level").num, 3.0);
+  // Both views read the same clock pair: the span duration (us) matches the
+  // accumulated phase seconds.
+  EXPECT_NEAR(span->at("dur").num * 1e-6, delta[part::Phase::kCoarsen],
+              delta[part::Phase::kCoarsen] * 0.01 + 1e-9);
+}
+
+// --------------------------------------------- capture & instrumentation ----
+
+TEST(ScopedCapture, WritesPipelineTraceAndRestoresState) {
+  // Restore the full-size ring (a previous test may have shrunk it), then
+  // start from the disabled state the capture is expected to return to.
+  trace::enable(1u << 15);
+  trace::disable();
+  trace::reset();
+  ASSERT_FALSE(trace::enabled());
+  const std::string path = ::testing::TempDir() + "fghp_capture_trace.json";
+
+  const sparse::Csr a = sparse::stencil2d(12, 12);
+  const model::FineGrainModel m = model::build_finegrain(a);
+  part::PartitionConfig cfg;
+  cfg.numThreads = 1;
+  cfg.traceOut = path;
+  part::partition_hypergraph(m.h, 4, cfg);
+
+  EXPECT_FALSE(trace::enabled()) << "capture must restore the prior state";
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const JVal doc = JsonParser(buf.str()).parse();
+
+  std::map<std::string, int> byName;
+  for (const JVal& e : doc.at("traceEvents").arr) ++byName[e.at("name").str];
+  EXPECT_GT(byName["hg.partition"], 0);
+  EXPECT_GT(byName["rb.node"], 0);
+  EXPECT_GT(byName["coarsen"], 0) << "phase spans missing";
+  trace::reset();
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ metrics registry ----
+
+TEST(Metrics, RegistryJsonRoundTrip) {
+  metrics::Registry reg;
+  reg.counter("a.count").add(3);
+  reg.counter("a.count").add(4);
+  reg.gauge("b.gauge").set(-17);
+  metrics::Histogram& h = reg.histogram("c.hist", {10, 100});
+  h.observe(5);
+  h.observe(50);
+  h.observe(5000);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const JVal doc = JsonParser(os.str()).parse();
+
+  EXPECT_EQ(doc.at("counters").at("a.count").num, 7.0);
+  EXPECT_EQ(doc.at("gauges").at("b.gauge").num, -17.0);
+  const JVal& hist = doc.at("histograms").at("c.hist");
+  ASSERT_EQ(hist.at("bounds").arr.size(), 2u);
+  ASSERT_EQ(hist.at("counts").arr.size(), 3u);
+  EXPECT_EQ(hist.at("counts").arr[0].num, 1.0);
+  EXPECT_EQ(hist.at("counts").arr[1].num, 1.0);
+  EXPECT_EQ(hist.at("counts").arr[2].num, 1.0);
+  EXPECT_EQ(hist.at("count").num, 3.0);
+  EXPECT_EQ(hist.at("sum").num, 5055.0);
+
+  reg.reset();
+  EXPECT_EQ(reg.counter("a.count").value(), 0);
+  EXPECT_EQ(reg.gauge("b.gauge").value(), 0);
+}
+
+TEST(Metrics, HistogramBucketsByUpperBound) {
+  metrics::Histogram h({0, 8, 64});
+  h.observe(0);   // bucket 0 (<= 0)
+  h.observe(1);   // bucket 1
+  h.observe(8);   // bucket 1 (inclusive upper bound)
+  h.observe(9);   // bucket 2
+  h.observe(65);  // overflow bucket
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(1), 2);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 83);
+}
+
+// ------------------------------------------------------- non-perturbation ----
+
+TEST(TraceDeterminism, PartitionBitIdenticalWithTracingOnOffAcrossThreads) {
+  const sparse::Csr a = sparse::stencil2d(16, 16);
+  const model::FineGrainModel m = model::build_finegrain(a);
+
+  for (idx_t threads : {1, 2, 8}) {
+    part::PartitionConfig cfg;
+    cfg.seed = 7;
+    cfg.numThreads = threads;
+
+    ASSERT_FALSE(trace::enabled());
+    const part::HgResult off = part::partition_hypergraph(m.h, 8, cfg);
+
+    std::vector<idx_t> onAssign;
+    {
+      TraceSandbox sandbox;
+      const part::HgResult on = part::partition_hypergraph(m.h, 8, cfg);
+      onAssign = on.partition.assignment();
+      EXPECT_GT(trace::event_count(), 0u);
+    }
+    EXPECT_EQ(off.partition.assignment(), onAssign)
+        << "tracing must not perturb the partition at " << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace fghp
