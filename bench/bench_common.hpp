@@ -24,6 +24,8 @@
 #include "models/hypergraph1d.hpp"
 #include "partition/config.hpp"
 #include "sparse/testsuite.hpp"
+#include "spmv/kernels.hpp"
+#include "util/assert.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -55,12 +57,41 @@ inline BenchEnv load_env() {
 }
 
 /// Median of a sample vector (throughput benches report median-of-N so one
-/// descheduled iteration cannot skew the result). Copies: samples are tiny.
+/// descheduled iteration cannot skew the result): middle element for odd
+/// sizes, the average of the two middle elements for even sizes. Copies:
+/// samples are tiny. Throws std::invalid_argument on an empty sample — a
+/// silent 0.0 here once let a bench that measured nothing report a plausible
+/// "0 ms" row instead of failing.
 inline double median(std::vector<double> v) {
-  if (v.empty()) return 0.0;
+  FGHP_REQUIRE(!v.empty(), "median of an empty sample");
   std::sort(v.begin(), v.end());
   const std::size_t mid = v.size() / 2;
   return v.size() % 2 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+/// Measured STREAM-triad bandwidth (a[i] = b[i] + s * c[i]) in GB/s: the
+/// machine's practical memory-bandwidth ceiling, reported by bench_spmv's
+/// roofline section as the denominator of "achieved / peak". Three arrays
+/// of nDoubles each (pick nDoubles well past the last-level cache), one
+/// warmup pass, median of `reps` timed passes, 24 bytes counted per element
+/// (two reads + one write — the classic STREAM accounting).
+inline double stream_triad_gbps(std::size_t nDoubles, int reps) {
+  std::vector<double> a(nDoubles, 0.0), b(nDoubles, 1.0), c(nDoubles, 2.0);
+  const double s = 3.0;
+  auto pass = [&] {
+    FGHP_SIMD_LOOP
+    for (std::size_t i = 0; i < nDoubles; ++i) a[i] = b[i] + s * c[i];
+  };
+  pass();
+  std::vector<double> ms;
+  ms.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    pass();
+    ms.push_back(t.millis());
+  }
+  const double bytes = 24.0 * static_cast<double>(nDoubles);
+  return bytes / (median(std::move(ms)) * 1e6);
 }
 
 // ------------------------------------------------------------- JSON ----

@@ -16,14 +16,19 @@ cmake --build build-tsan --target test_parallel_rb test_trace
 FGHP_THREADS=8 ./build-tsan/tests/test_parallel_rb
 ./build-tsan/tests/test_trace
 
-echo "--- Address/UB sanitizers: Matrix Market reader ---"
+echo "--- Address/UB sanitizers: Matrix Market reader + compiled image ---"
 cmake -B build-asan -G Ninja -DFGHP_SANITIZE=address,undefined \
       -DFGHP_BUILD_BENCH=OFF -DFGHP_BUILD_EXAMPLES=ON > /dev/null
-cmake --build build-asan --target test_mmio test_sparse test_fault test_errors fghp_tool
+cmake --build build-asan --target test_mmio test_sparse test_fault test_errors \
+      test_compiled fghp_tool
 ./build-asan/tests/test_mmio
 ./build-asan/tests/test_sparse
 ./build-asan/tests/test_fault
 ./build-asan/tests/test_errors
+# The compiled-session tests exercise the cache-reordered slot tables and the
+# SIMD kernels over the whole suite — exactly where an off-by-one in a
+# pre-translated slot would scribble out of bounds.
+./build-asan/tests/test_compiled
 
 echo "--- fault-injection sweep (ASan/UBSan) ---"
 # Inject every registered fault site once into a real partition->simulate
@@ -115,11 +120,11 @@ FGHP_SCALE=0.15 FGHP_SEEDS=1 FGHP_K=16 ./build/bench/bench_table2
 FGHP_SCALE=0.15 ./build/bench/bench_ablation_checkerboard
 
 echo "--- perf smoke: compiled SpMV session ---"
-# One small matrix through bench_spmv's throughput section. Catches gross
-# perf breakage (a dead or mis-lowered compiled image reports zero/NaN
-# throughput); the JSON stays in build/ for comparison against the
+# One small matrix through bench_spmv's throughput and roofline sections.
+# Catches gross perf breakage (a dead or mis-lowered compiled image reports
+# zero/NaN throughput); the JSON stays in build/ for comparison against the
 # committed BENCH_spmv.json trajectory.
-FGHP_MATRICES=sherman3 FGHP_SCALE=0.2 FGHP_K=16 FGHP_REPS=5 \
+FGHP_MATRICES=sherman3 FGHP_SCALE=0.05 FGHP_K=16 FGHP_REPS=5 FGHP_STREAM_MB=16 \
     ./build/bench/bench_spmv --json build/bench_spmv_smoke.json
 if grep -qiE 'nan|inf' build/bench_spmv_smoke.json; then
   echo "perf smoke FAILED: non-finite value in build/bench_spmv_smoke.json"
@@ -132,5 +137,32 @@ awk -v g="${gflops:-0}" 'BEGIN { exit (g > 0) ? 0 : 1 }' || {
   exit 1
 }
 echo "  compiled session: $gflops GFLOP/s (artifact: build/bench_spmv_smoke.json)"
+
+# Roofline regression gate: on every (matrix, K) the smoke run shares with
+# the committed BENCH_spmv.json, achieved bandwidth must stay above 50 % of
+# the committed datapoint. The smoke matrices are far smaller (and so
+# cache-resident and faster per byte) than the committed DRAM-scale run, so
+# this bound only trips on real execution-path regressions, not on scale.
+python3 - <<'PY'
+import json, sys
+smoke = json.load(open("build/bench_spmv_smoke.json"))
+committed = json.load(open("BENCH_spmv.json"))
+base = {(r["matrix"], r["k"]): r for r in committed.get("roofline", [])}
+checked = 0
+for r in smoke.get("roofline", []):
+    b = base.get((r["matrix"], r["k"]))
+    if b is None:
+        continue
+    checked += 1
+    floor = 0.5 * b["gbps"]
+    status = "ok" if r["gbps"] >= floor else "REGRESSED"
+    print(f'  roofline {r["matrix"]}/K{r["k"]}: {r["gbps"]:.2f} GB/s '
+          f'(committed {b["gbps"]:.2f}, floor {floor:.2f}) {status}')
+    if r["gbps"] < floor:
+        sys.exit(f'perf smoke FAILED: {r["matrix"]}/K{r["k"]} bandwidth '
+                 f'{r["gbps"]:.2f} GB/s below 50% of committed {b["gbps"]:.2f}')
+if checked == 0:
+    sys.exit("perf smoke FAILED: no roofline datapoints shared with BENCH_spmv.json")
+PY
 
 echo "ALL CHECKS PASSED"

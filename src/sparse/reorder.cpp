@@ -113,4 +113,98 @@ std::vector<idx_t> rcm_ordering(const Csr& a) {
   return newIndex;
 }
 
+BipartiteOrdering bipartite_rcm(idx_t nRows, idx_t nCols,
+                                const std::vector<idx_t>& rowPtr,
+                                const std::vector<idx_t>& colIdx) {
+  FGHP_REQUIRE(nRows >= 0 && nCols >= 0, "negative dimension");
+  FGHP_REQUIRE(rowPtr.size() == static_cast<std::size_t>(nRows) + 1,
+               "rowPtr size must be nRows + 1");
+  FGHP_REQUIRE(!colIdx.empty() || rowPtr.back() == 0, "rowPtr/colIdx mismatch");
+  FGHP_REQUIRE(static_cast<std::size_t>(rowPtr.back()) == colIdx.size(),
+               "rowPtr/colIdx mismatch");
+
+  const auto uz = [](idx_t v) { return static_cast<std::size_t>(v); };
+
+  // Transpose adjacency (column -> rows), counting-sort style.
+  std::vector<idx_t> colPtr(uz(nCols) + 1, 0);
+  for (idx_t c : colIdx) {
+    FGHP_REQUIRE(c >= 0 && c < nCols, "column index out of range");
+    ++colPtr[uz(c) + 1];
+  }
+  for (idx_t c = 0; c < nCols; ++c) colPtr[uz(c) + 1] += colPtr[uz(c)];
+  std::vector<idx_t> colRows(colIdx.size());
+  {
+    std::vector<idx_t> cursor(colPtr.begin(), colPtr.end() - 1);
+    for (idx_t r = 0; r < nRows; ++r)
+      for (idx_t e = rowPtr[uz(r)]; e < rowPtr[uz(r) + 1]; ++e)
+        colRows[uz(cursor[uz(colIdx[uz(e)])]++)] = r;
+  }
+
+  // Joint vertex space: rows are [0, nRows), column c is vertex nRows + c.
+  const idx_t n = nRows + nCols;
+  const auto degree = [&](idx_t v) {
+    return v < nRows ? rowPtr[uz(v) + 1] - rowPtr[uz(v)]
+                     : colPtr[uz(v - nRows) + 1] - colPtr[uz(v - nRows)];
+  };
+  const auto byDegreeLess = [&](idx_t x, idx_t y) {
+    const idx_t dx = degree(x), dy = degree(y);
+    return dx != dy ? dx < dy : x < y;
+  };
+
+  std::vector<idx_t> seeds(uz(n));
+  for (idx_t v = 0; v < n; ++v) seeds[uz(v)] = v;
+  std::sort(seeds.begin(), seeds.end(), byDegreeLess);
+
+  std::vector<idx_t> order;
+  order.reserve(uz(n));
+  std::vector<char> visited(uz(n), 0);
+  std::vector<idx_t> scratch;
+  std::queue<idx_t> frontier;
+  for (idx_t seed : seeds) {
+    if (visited[uz(seed)]) continue;
+    frontier.push(seed);
+    visited[uz(seed)] = 1;
+    while (!frontier.empty()) {
+      const idx_t v = frontier.front();
+      frontier.pop();
+      order.push_back(v);
+      scratch.clear();
+      if (v < nRows) {
+        for (idx_t e = rowPtr[uz(v)]; e < rowPtr[uz(v) + 1]; ++e) {
+          const idx_t u = nRows + colIdx[uz(e)];
+          if (!visited[uz(u)]) {
+            visited[uz(u)] = 1;
+            scratch.push_back(u);
+          }
+        }
+      } else {
+        for (idx_t e = colPtr[uz(v - nRows)]; e < colPtr[uz(v - nRows) + 1]; ++e) {
+          const idx_t u = colRows[uz(e)];
+          if (!visited[uz(u)]) {
+            visited[uz(u)] = 1;
+            scratch.push_back(u);
+          }
+        }
+      }
+      std::sort(scratch.begin(), scratch.end(), byDegreeLess);
+      for (idx_t u : scratch) frontier.push(u);
+    }
+  }
+  FGHP_ASSERT(order.size() == uz(n));
+
+  // Reverse, then rank rows and columns independently: each side's relative
+  // order within the joint reversed sweep becomes its permutation.
+  BipartiteOrdering out;
+  out.rowNew.resize(uz(nRows));
+  out.colNew.resize(uz(nCols));
+  idx_t rowRank = 0, colRank = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (*it < nRows)
+      out.rowNew[uz(*it)] = rowRank++;
+    else
+      out.colNew[uz(*it - nRows)] = colRank++;
+  }
+  return out;
+}
+
 }  // namespace fghp::sparse

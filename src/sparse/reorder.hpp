@@ -26,4 +26,24 @@ Csr permute(const Csr& a, const std::vector<idx_t>& rowNew, const std::vector<id
 /// with permute_symmetric typically shrinks the bandwidth substantially.
 std::vector<idx_t> rcm_ordering(const Csr& a);
 
+/// Independent row and column permutations (old -> new) of a rectangular
+/// pattern, produced by one joint ordering sweep of its bipartite
+/// row/column graph.
+struct BipartiteOrdering {
+  std::vector<idx_t> rowNew;  ///< size nRows
+  std::vector<idx_t> colNew;  ///< size nCols
+};
+
+/// Reverse Cuthill-McKee over the bipartite graph of an arbitrary (possibly
+/// rectangular) pattern given as row-grouped index arrays: row r's columns
+/// are colIdx[rowPtr[r] .. rowPtr[r+1]). One BFS orders rows and columns
+/// jointly (min-degree seed per component, neighbors by increasing degree,
+/// final order reversed), so rows that share columns land near each other
+/// and vice versa — the cache-locality reordering spmv::compile_plan applies
+/// inside each processor's local block (DESIGN.md §12). Columns referenced
+/// by no row are legal; they sort to the end of the column permutation.
+BipartiteOrdering bipartite_rcm(idx_t nRows, idx_t nCols,
+                                const std::vector<idx_t>& rowPtr,
+                                const std::vector<idx_t>& colIdx);
+
 }  // namespace fghp::sparse

@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <barrier>
+#include <bit>
 #include <string>
-#include <thread>
 
+#include "sparse/reorder.hpp"
+#include "spmv/kernels.hpp"
 #include "util/assert.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 namespace fghp::spmv {
@@ -24,6 +26,35 @@ constexpr std::size_t uz(idx_t v) { return static_cast<std::size_t>(v); }
   throw InvariantError(std::move(what), std::move(ctx));
 }
 
+/// Cache-locality proxy of one block's multiply loop under a candidate
+/// (row, column) renumbering: walk the x-slot access sequence in emission
+/// order and charge each jump the bit width of its slot distance —
+/// log-distance tracks which level of the cache hierarchy the jump lands
+/// in (a gap of 2^k doubles costs ~k), so a tight RCM band over a few
+/// thousand slots scores far below a random spread over millions even
+/// though both exceed a cache line. Lower is better.
+std::uint64_t locality_score(const std::vector<idx_t>& rowNew,
+                             const std::vector<idx_t>& colNew,
+                             const std::vector<idx_t>& localRowPtr,
+                             const std::vector<idx_t>& grpCol,
+                             std::vector<idx_t>& oldOfNewScratch) {
+  const idx_t nr = static_cast<idx_t>(rowNew.size());
+  oldOfNewScratch.resize(uz(nr));
+  for (idx_t r = 0; r < nr; ++r) oldOfNewScratch[uz(rowNew[uz(r)])] = r;
+  std::uint64_t score = 0;
+  idx_t prev = 0;
+  for (idx_t newR = 0; newR < nr; ++newR) {
+    const idx_t oldR = oldOfNewScratch[uz(newR)];
+    for (idx_t pos = localRowPtr[uz(oldR)]; pos < localRowPtr[uz(oldR) + 1]; ++pos) {
+      const idx_t slot = colNew[uz(grpCol[uz(pos)])];
+      const idx_t gap = slot > prev ? slot - prev : prev - slot;
+      score += std::bit_width(static_cast<std::uint64_t>(gap));
+      prev = slot;
+    }
+  }
+  return score;
+}
+
 }  // namespace
 
 weight_t CompiledPlan::total_words() const {
@@ -35,7 +66,7 @@ idx_t CompiledPlan::total_messages() const {
   return xSendMsgOff.back() + ySendMsgOff.back();
 }
 
-CompiledPlan compile_plan(const SpmvPlan& plan) {
+CompiledPlan compile_plan(const SpmvPlan& plan, const CompileOptions& opts) {
   const idx_t K = plan.numProcs;
   FGHP_REQUIRE(plan.procs.size() == uz(K), "plan.procs inconsistent with numProcs");
   trace::TraceScope span("spmv", "plan.compile", "procs", K, "words",
@@ -45,6 +76,7 @@ CompiledPlan compile_plan(const SpmvPlan& plan) {
   c.numProcs = K;
   c.numRows = plan.numRows;
   c.numCols = plan.numCols;
+  c.cacheReordered = opts.cacheReorder;
 
   const std::size_t k1 = uz(K) + 1;
   c.rowOff.assign(k1, 0);
@@ -83,10 +115,19 @@ CompiledPlan compile_plan(const SpmvPlan& plan) {
   }
 
   // Pass 2: per-processor local numbering. The slot maps are global-sized
-  // scratch, reset entry-by-entry after each processor.
+  // scratch, reset entry-by-entry after each processor. Slots are assigned
+  // in two steps: a provisional id in first-use order over the local
+  // nonzeros (plus expand-recv-only columns), then — when the cache reorder
+  // is on — a bipartite RCM renumbering of the block so consecutive rows of
+  // the multiply loop touch nearby x slots. Every downstream table reads
+  // the slot maps after the renumbering, which is how the permutation folds
+  // into the whole image without touching any schedule order.
   std::vector<idx_t> colSlotOf(uz(plan.numCols), kInvalidIdx);
   std::vector<idx_t> rowSlotOf(uz(plan.numRows), kInvalidIdx);
   std::vector<idx_t> touchedRows, touchedCols, rowCount, cursor;
+  std::vector<idx_t> localRowPtr, grpCol, oldOfNewRow, slotCols;
+  std::vector<double> grpVal;
+  sparse::BipartiteOrdering perm;
 
   std::size_t totalNnz = 0;
   for (const ProcPlan& pp : plan.procs) totalNnz += pp.rows.size();
@@ -103,7 +144,8 @@ CompiledPlan compile_plan(const SpmvPlan& plan) {
     touchedRows.clear();
     touchedCols.clear();
 
-    // Row and x slots in first-use order over the local nonzeros.
+    // Provisional (pre-permutation) row and x ids in first-use order over
+    // the local nonzeros.
     for (std::size_t e = 0; e < pp.rows.size(); ++e) {
       const idx_t i = pp.rows[e], j = pp.cols[e];
       if (i < 0 || i >= plan.numRows || j < 0 || j >= plan.numCols)
@@ -111,49 +153,104 @@ CompiledPlan compile_plan(const SpmvPlan& plan) {
                       std::to_string(i) + ", " + std::to_string(j) +
                       ") outside the matrix");
       if (rowSlotOf[uz(i)] == kInvalidIdx) {
-        rowSlotOf[uz(i)] = rowBase + static_cast<idx_t>(touchedRows.size());
+        rowSlotOf[uz(i)] = static_cast<idx_t>(touchedRows.size());
         touchedRows.push_back(i);
       }
       if (colSlotOf[uz(j)] == kInvalidIdx) {
-        colSlotOf[uz(j)] = xBase + static_cast<idx_t>(touchedCols.size());
+        colSlotOf[uz(j)] = static_cast<idx_t>(touchedCols.size());
         touchedCols.push_back(j);
       }
     }
 
-    // Grouped-by-row CSR preserving the plan's within-row entry order (the
-    // executors' per-row accumulation order, so sums stay bit-identical).
-    rowCount.assign(touchedRows.size(), 0);
-    for (idx_t i : pp.rows) ++rowCount[uz(rowSlotOf[uz(i)] - rowBase)];
-    cursor.assign(touchedRows.size(), 0);
-    idx_t run = nnzBase;
-    for (std::size_t r = 0; r < touchedRows.size(); ++r) {
-      c.rowPtr.push_back(run);
-      cursor[r] = run;
-      run += rowCount[r];
-    }
-    for (std::size_t e = 0; e < pp.rows.size(); ++e) {
-      const idx_t pos = cursor[uz(rowSlotOf[uz(pp.rows[e])] - rowBase)]++;
-      c.colSlot[uz(pos)] = colSlotOf[uz(pp.cols[e])];
-      c.vals[uz(pos)] = pp.vals[e];
-    }
-    nnzBase = run;
-
     // An expand recv may deliver a column no local nonzero reads (legal in a
     // hand-built plan); such ids still get a slot so delivery has a target.
+    // They take part in the renumbering as isolated vertices (RCM places
+    // them last — the multiply never reads them).
     for (const Msg& m : pp.xRecvs) {
       for (idx_t j : m.ids) {
         if (j < 0 || j >= plan.numCols)
           compile_error("processor " + std::to_string(p) +
                         ": expand recv id out of range");
         if (colSlotOf[uz(j)] == kInvalidIdx) {
-          colSlotOf[uz(j)] = xBase + static_cast<idx_t>(touchedCols.size());
+          colSlotOf[uz(j)] = static_cast<idx_t>(touchedCols.size());
           touchedCols.push_back(j);
         }
       }
     }
-    c.rowOff[uz(p) + 1] = rowBase + static_cast<idx_t>(touchedRows.size());
-    c.xOff[uz(p) + 1] = xBase + static_cast<idx_t>(touchedCols.size());
-    for (idx_t j : touchedCols) c.xColGlobal.push_back(j);
+    const idx_t nr = static_cast<idx_t>(touchedRows.size());
+    const idx_t nc = static_cast<idx_t>(touchedCols.size());
+
+    // Group the local nonzeros by provisional row, preserving the plan's
+    // within-row entry order (the executors' per-row accumulation order, so
+    // sums stay bit-identical under any row/column renumbering).
+    rowCount.assign(uz(nr), 0);
+    for (idx_t i : pp.rows) ++rowCount[uz(rowSlotOf[uz(i)])];
+    localRowPtr.assign(uz(nr) + 1, 0);
+    for (idx_t r = 0; r < nr; ++r)
+      localRowPtr[uz(r) + 1] = localRowPtr[uz(r)] + rowCount[uz(r)];
+    cursor.assign(localRowPtr.begin(), localRowPtr.end() - 1);
+    grpCol.resize(pp.rows.size());
+    grpVal.resize(pp.rows.size());
+    for (std::size_t e = 0; e < pp.rows.size(); ++e) {
+      const idx_t pos = cursor[uz(rowSlotOf[uz(pp.rows[e])])]++;
+      grpCol[uz(pos)] = colSlotOf[uz(pp.cols[e])];
+      grpVal[uz(pos)] = pp.vals[e];
+    }
+
+    // Second-level cache reordering of the block. The bipartite RCM
+    // candidate is adopted only when it beats the first-use numbering's
+    // locality score by a margin — blocks that already arrive well ordered
+    // (banded matrices in natural order, tiny fragments with no structure)
+    // keep their numbering, so the reorder can help but never regress.
+    perm.rowNew.resize(uz(nr));
+    perm.colNew.resize(uz(nc));
+    for (idx_t r = 0; r < nr; ++r) perm.rowNew[uz(r)] = r;
+    for (idx_t j = 0; j < nc; ++j) perm.colNew[uz(j)] = j;
+    if (opts.cacheReorder && nr > 1) {
+      sparse::BipartiteOrdering rcm =
+          sparse::bipartite_rcm(nr, nc, localRowPtr, grpCol);
+      const std::uint64_t idScore =
+          locality_score(perm.rowNew, perm.colNew, localRowPtr, grpCol, oldOfNewRow);
+      const std::uint64_t rcmScore =
+          locality_score(rcm.rowNew, rcm.colNew, localRowPtr, grpCol, oldOfNewRow);
+      // Adopt only on a decisive (>= 25%) score win: the proxy cannot see
+      // the multi-stream prefetch a banded natural order enjoys, so a
+      // marginal score edge is not worth disturbing it.
+      if (rcmScore * 4 < idScore * 3) {
+        perm = std::move(rcm);
+        ++c.reorderedProcs;
+      }
+    }
+
+    // Finalize the slot maps: provisional id -> permuted id + base. All
+    // remaining tables of this processor read these final slots.
+    for (idx_t i : touchedRows)
+      rowSlotOf[uz(i)] = rowBase + perm.rowNew[uz(rowSlotOf[uz(i)])];
+    for (idx_t j : touchedCols)
+      colSlotOf[uz(j)] = xBase + perm.colNew[uz(colSlotOf[uz(j)])];
+
+    // Emit the block's CSR in permuted row order (each row's entries keep
+    // their plan order; columns point at final slots).
+    oldOfNewRow.resize(uz(nr));
+    for (idx_t r = 0; r < nr; ++r) oldOfNewRow[uz(perm.rowNew[uz(r)])] = r;
+    idx_t run = nnzBase;
+    for (idx_t newR = 0; newR < nr; ++newR) {
+      const idx_t oldR = oldOfNewRow[uz(newR)];
+      c.rowPtr.push_back(run);
+      for (idx_t pos = localRowPtr[uz(oldR)]; pos < localRowPtr[uz(oldR) + 1];
+           ++pos, ++run) {
+        c.colSlot[uz(run)] = xBase + perm.colNew[uz(grpCol[uz(pos)])];
+        c.vals[uz(run)] = grpVal[uz(pos)];
+      }
+    }
+    nnzBase = run;
+
+    c.rowOff[uz(p) + 1] = rowBase + nr;
+    c.xOff[uz(p) + 1] = xBase + nc;
+    slotCols.resize(uz(nc));
+    for (idx_t j = 0; j < nc; ++j)
+      slotCols[uz(perm.colNew[uz(j)])] = touchedCols[uz(j)];
+    c.xColGlobal.insert(c.xColGlobal.end(), slotCols.begin(), slotCols.end());
 
     // Owned x values with a local consumer (the MT expand gather).
     for (idx_t j : pp.ownedX) {
@@ -257,13 +354,17 @@ CompiledPlan compile_plan(const SpmvPlan& plan) {
 }
 
 ExecSession::ExecSession(CompiledPlan compiled) : c_(std::move(compiled)) {
-  xLoc_.resize(uz(c_.xOff.back()));
-  partial_.resize(uz(c_.rowOff.back()));
-  xSendBuf_.resize(uz(c_.xSendOff.back()));
-  ySendBuf_.resize(uz(c_.ySendOff.back()));
+  // assign, not resize: explicit zero-fill even if these vectors ever carry
+  // capacity from a prior image (e.g. a moved-from session), so no run can
+  // observe stale tail data.
+  xLoc_.assign(uz(c_.xOff.back()), 0.0);
+  partial_.assign(uz(c_.rowOff.back()), 0.0);
+  xSendBuf_.assign(uz(c_.xSendOff.back()), 0.0);
+  ySendBuf_.assign(uz(c_.ySendOff.back()), 0.0);
 }
 
-ExecSession::ExecSession(const SpmvPlan& plan) : ExecSession(compile_plan(plan)) {}
+ExecSession::ExecSession(const SpmvPlan& plan, const CompileOptions& opts)
+    : ExecSession(compile_plan(plan, opts)) {}
 
 void ExecSession::run(std::span<const double> x, std::vector<double>& y,
                       ExecStats* stats) {
@@ -274,17 +375,12 @@ void ExecSession::run(std::span<const double> x, std::vector<double>& y,
 
   // Expand: one flat gather. Owned and delivered values are both x[j], so
   // the serial path needs no message buffers at all.
-  for (std::size_t s = 0; s < xLoc_.size(); ++s)
-    xLoc_[s] = x[uz(c_.xColGlobal[s])];
+  kern::gather(xLoc_.data(), x.data(), c_.xColGlobal.data(), xLoc_.size());
 
   // Local multiply in the plan's per-row entry order.
-  for (std::size_t r = 0; r < partial_.size(); ++r) {
-    double acc = 0.0;
-    const idx_t end = c_.rowPtr[r + 1];
-    for (idx_t e = c_.rowPtr[r]; e < end; ++e)
-      acc += c_.vals[uz(e)] * xLoc_[uz(c_.colSlot[uz(e)])];
-    partial_[r] = acc;
-  }
+  for (std::size_t r = 0; r < partial_.size(); ++r)
+    partial_[r] = kern::row_dot(c_.vals.data(), c_.colSlot.data(), xLoc_.data(),
+                                c_.rowPtr[r], c_.rowPtr[r + 1]);
 
   // Fold: every processor's own contributions first, then the sent partials
   // in plan (sender-major) order — the serial executor's summation order.
@@ -317,12 +413,17 @@ void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
   FGHP_REQUIRE(x.size() == uz(c_.numCols), "x size mismatch");
   const idx_t K = c_.numProcs;
 
-  idx_t workers = numThreads;
-  if (workers <= 0) workers = K;
-  const auto hw = static_cast<idx_t>(std::thread::hardware_concurrency());
-  if (hw > 0) workers = std::min(workers, hw);
-  workers = std::min(workers, K);
-  workers = std::max<idx_t>(workers, 1);
+  // Worker resolution routes through the shared pool, so FGHP_THREADS and
+  // PartitionConfig::numThreads behave exactly as thread_pool.hpp documents:
+  // an explicit positive request wins, otherwise the pool default applies,
+  // capped at K because tasks are per-processor. A request that resolves to
+  // one thread gets no pool at all — the supersteps run inline on the
+  // caller with every fault site and recovery rung still armed.
+  long requested = numThreads > 0
+                       ? static_cast<long>(numThreads)
+                       : static_cast<long>(ThreadPool::default_num_threads());
+  requested = std::min<long>(requested, static_cast<long>(K));
+  ThreadPool* pool = ThreadPool::for_request(requested);
 
   y.resize(uz(c_.numRows));
   std::fill(y.begin(), y.end(), 0.0);
@@ -333,8 +434,6 @@ void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
   // instead of parallel hand-rolled atomics.
   metrics::Counter expandWords, foldWords, messages, taskRetries;
   std::atomic<bool> failed{false};
-
-  std::barrier sync(static_cast<std::ptrdiff_t>(workers));
 
   // Per-processor task wrapper: one retry (fault site `exec.retry`, same
   // ordinal), then give up and flag the run for the serial fallback. Task
@@ -370,64 +469,65 @@ void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
     }
   };
 
-  auto worker = [&](idx_t wid) {
-    // Superstep 1: gather owned x into local slots and the expand buffer.
-    for (idx_t p = wid; p < K; p += workers) {
-      run_task("exec.expand", p, [&, p] {
-        for (idx_t w = c_.ownXOff[uz(p)]; w < c_.ownXOff[uz(p) + 1]; ++w)
-          xLoc_[uz(c_.ownXSlot[uz(w)])] = x[uz(c_.ownXCol[uz(w)])];
-        for (idx_t w = c_.xSendOff[uz(p)]; w < c_.xSendOff[uz(p) + 1]; ++w)
-          xSendBuf_[uz(w)] = x[uz(c_.xSendCol[uz(w)])];
-        const idx_t sent = c_.xSendOff[uz(p) + 1] - c_.xSendOff[uz(p)];
-        expandWords.add(sent);
-        messages.add(c_.xSendMsgOff[uz(p) + 1] - c_.xSendMsgOff[uz(p)]);
-        trace::counter("spmv", "expand.words", static_cast<double>(sent), "proc", p);
-      });
-    }
-    sync.arrive_and_wait();
-
-    // Superstep 2: drain the expand buffer, multiply locally, fill the fold
-    // buffer.
-    if (!failed.load(std::memory_order_acquire)) {
-      for (idx_t p = wid; p < K; p += workers) {
-        run_task("exec.fold", p, [&, p] {
-          for (idx_t w = c_.xRecvOff[uz(p)]; w < c_.xRecvOff[uz(p) + 1]; ++w)
-            xLoc_[uz(c_.xRecvSlot[uz(w)])] = xSendBuf_[uz(c_.xRecvSrc[uz(w)])];
-          for (idx_t r = c_.rowOff[uz(p)]; r < c_.rowOff[uz(p) + 1]; ++r) {
-            double acc = 0.0;
-            const idx_t end = c_.rowPtr[uz(r) + 1];
-            for (idx_t e = c_.rowPtr[uz(r)]; e < end; ++e)
-              acc += c_.vals[uz(e)] * xLoc_[uz(c_.colSlot[uz(e)])];
-            partial_[uz(r)] = acc;
-          }
-          for (idx_t w = c_.ySendOff[uz(p)]; w < c_.ySendOff[uz(p) + 1]; ++w)
-            ySendBuf_[uz(w)] = partial_[uz(c_.ySendSlot[uz(w)])];
-          const idx_t sent = c_.ySendOff[uz(p) + 1] - c_.ySendOff[uz(p)];
-          foldWords.add(sent);
-          messages.add(c_.ySendMsgOff[uz(p) + 1] - c_.ySendMsgOff[uz(p)]);
-          trace::counter("spmv", "fold.words", static_cast<double>(sent), "proc", p);
-        });
-      }
-    }
-    sync.arrive_and_wait();
-
-    // Superstep 3: owners accumulate their own partial plus received
-    // partials in plan order (same order as the serial path). Each y_i has a
-    // unique owner, so writes to y are disjoint across processors.
-    if (!failed.load(std::memory_order_acquire)) {
-      for (idx_t p = wid; p < K; p += workers) {
-        for (idx_t w = c_.ownYOff[uz(p)]; w < c_.ownYOff[uz(p) + 1]; ++w)
-          y[uz(c_.ownYRow[uz(w)])] += partial_[uz(c_.ownYSlot[uz(w)])];
-        for (idx_t w = c_.yRecvOff[uz(p)]; w < c_.yRecvOff[uz(p) + 1]; ++w)
-          y[uz(c_.yRecvRow[uz(w)])] += ySendBuf_[uz(c_.yRecvSrc[uz(w)])];
-      }
-    }
+  // One BSP superstep: fn(p) for every processor, fully joined before
+  // returning (parallel_for blocks until all tasks completed — that join is
+  // the barrier between supersteps). Serial resolution runs inline.
+  auto superstep = [&](auto&& fn) {
+    if (pool != nullptr)
+      parallel_for(*pool, static_cast<long>(K),
+                   [&](long p) { fn(static_cast<idx_t>(p)); });
+    else
+      for (idx_t p = 0; p < K; ++p) fn(p);
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(uz(workers));
-  for (idx_t w = 0; w < workers; ++w) pool.emplace_back(worker, w);
-  for (auto& t : pool) t.join();
+  // Superstep 1: gather owned x into local slots and the expand buffer.
+  superstep([&](idx_t p) {
+    run_task("exec.expand", p, [&, p] {
+      for (idx_t w = c_.ownXOff[uz(p)]; w < c_.ownXOff[uz(p) + 1]; ++w)
+        xLoc_[uz(c_.ownXSlot[uz(w)])] = x[uz(c_.ownXCol[uz(w)])];
+      const idx_t base = c_.xSendOff[uz(p)];
+      const idx_t sent = c_.xSendOff[uz(p) + 1] - base;
+      kern::gather(xSendBuf_.data() + base, x.data(), c_.xSendCol.data() + base,
+                   uz(sent));
+      expandWords.add(sent);
+      messages.add(c_.xSendMsgOff[uz(p) + 1] - c_.xSendMsgOff[uz(p)]);
+      trace::counter("spmv", "expand.words", static_cast<double>(sent), "proc", p);
+    });
+  });
+
+  // Superstep 2: drain the expand buffer, multiply locally, fill the fold
+  // buffer.
+  if (!failed.load(std::memory_order_acquire)) {
+    superstep([&](idx_t p) {
+      run_task("exec.fold", p, [&, p] {
+        for (idx_t w = c_.xRecvOff[uz(p)]; w < c_.xRecvOff[uz(p) + 1]; ++w)
+          xLoc_[uz(c_.xRecvSlot[uz(w)])] = xSendBuf_[uz(c_.xRecvSrc[uz(w)])];
+        for (idx_t r = c_.rowOff[uz(p)]; r < c_.rowOff[uz(p) + 1]; ++r)
+          partial_[uz(r)] = kern::row_dot(c_.vals.data(), c_.colSlot.data(),
+                                          xLoc_.data(), c_.rowPtr[uz(r)],
+                                          c_.rowPtr[uz(r) + 1]);
+        const idx_t base = c_.ySendOff[uz(p)];
+        const idx_t sent = c_.ySendOff[uz(p) + 1] - base;
+        kern::gather(ySendBuf_.data() + base, partial_.data(),
+                     c_.ySendSlot.data() + base, uz(sent));
+        foldWords.add(sent);
+        messages.add(c_.ySendMsgOff[uz(p) + 1] - c_.ySendMsgOff[uz(p)]);
+        trace::counter("spmv", "fold.words", static_cast<double>(sent), "proc", p);
+      });
+    });
+  }
+
+  // Superstep 3: owners accumulate their own partial plus received partials
+  // in plan order (same order as the serial path). Each y_i has a unique
+  // owner, so writes to y are disjoint across processors.
+  if (!failed.load(std::memory_order_acquire)) {
+    superstep([&](idx_t p) {
+      for (idx_t w = c_.ownYOff[uz(p)]; w < c_.ownYOff[uz(p) + 1]; ++w)
+        y[uz(c_.ownYRow[uz(w)])] += partial_[uz(c_.ownYSlot[uz(w)])];
+      for (idx_t w = c_.yRecvOff[uz(p)]; w < c_.yRecvOff[uz(p) + 1]; ++w)
+        y[uz(c_.yRecvRow[uz(w)])] += ySendBuf_[uz(c_.yRecvSrc[uz(w)])];
+    });
+  }
 
   static metrics::Counter& gRetries = metrics::counter("spmv.task_retries");
   static metrics::Counter& gFallbacks = metrics::counter("spmv.serial_fallbacks");

@@ -19,6 +19,22 @@
 // per-row multiply accumulates in the plan's nonzero order and the fold
 // accumulates own-partial first, then remote partials in plan (sender-major)
 // order — the exact summation orders execute()/execute_mt() used.
+//
+// On top of the PR 4 lowering, compilation applies a second-level
+// *cache-aware reordering* inside every processor's local block
+// (CompileOptions::cacheReorder, on by default): local row and x slots are
+// renumbered by a reverse Cuthill-McKee sweep of the block's bipartite
+// row/column graph (sparse::bipartite_rcm), so consecutive rows of the
+// multiply loop touch nearby x slots. Each block's RCM candidate is scored
+// against the first-use numbering with a saturated-gap locality proxy and
+// adopted only when it wins — already-well-ordered blocks keep their
+// numbering. The adopted permutation is folded into every
+// pre-translated slot table (colSlot, ownXSlot, xRecvSlot, ownYSlot,
+// ySendSlot, xColGlobal) at compile time — each row keeps its exact
+// within-row entry order and the fold keeps its plan order, so results stay
+// bit-identical to the unreordered image. The hot loops themselves run
+// through the compile-time-selected kernels in spmv/kernels.hpp
+// (4-wide unrolled / omp-simd with a scalar fallback). DESIGN.md §12.
 #pragma once
 
 #include <span>
@@ -69,16 +85,34 @@ struct CompiledPlan {
   std::vector<idx_t> yRecvRow;    ///< recv word -> global row accumulated into
   std::vector<idx_t> yRecvSrc;    ///< recv word -> source word in y send space
 
+  /// Whether the second-level cache reordering pass ran (execution is
+  /// identical either way; recorded for observability and tests).
+  bool cacheReordered = false;
+  /// Blocks where the RCM candidate actually beat the first-use numbering's
+  /// locality score and was adopted (the pass keeps whichever ordering
+  /// scores better per block, so well-ordered blocks never regress).
+  idx_t reorderedProcs = 0;
+
   idx_t nnz() const { return rowPtr.empty() ? 0 : rowPtr.back(); }
   weight_t total_words() const;   ///< expand + fold send-buffer words
   idx_t total_messages() const;   ///< directed messages, both phases
+};
+
+/// Compile-time choices for the lowering. The defaults are what every
+/// production path uses; tests and the roofline bench disable the reorder to
+/// pin bit-identity against the plain first-use-order image.
+struct CompileOptions {
+  /// Renumber each processor's local row/x slots with a bandwidth-reducing
+  /// bipartite RCM sweep for cache locality (results are bit-identical
+  /// with or without).
+  bool cacheReorder = true;
 };
 
 /// Lowers a plan. Throws fghp::InvariantError if the plan's fold schedule
 /// references a row its processor never computes, or if the compiled
 /// send-buffer offsets fail to cover exactly plan.total_words() /
 /// plan.total_messages() (both indicate a corrupt plan).
-CompiledPlan compile_plan(const SpmvPlan& plan);
+CompiledPlan compile_plan(const SpmvPlan& plan, const CompileOptions& opts = {});
 
 /// Owns a compiled image plus the scratch to execute it repeatedly.
 /// After the first run() the serial path performs zero heap allocations per
@@ -86,7 +120,7 @@ CompiledPlan compile_plan(const SpmvPlan& plan);
 /// concurrent caller; run_mt parallelizes internally.
 class ExecSession {
  public:
-  explicit ExecSession(const SpmvPlan& plan);
+  explicit ExecSession(const SpmvPlan& plan, const CompileOptions& opts = {});
   explicit ExecSession(CompiledPlan compiled);
 
   const CompiledPlan& compiled() const { return c_; }
@@ -96,18 +130,25 @@ class ExecSession {
   void run(std::span<const double> x, std::vector<double>& y,
            ExecStats* stats = nullptr);
 
-  /// Threaded BSP y = A x (expand / multiply / fold supersteps, barriers in
-  /// between). Same worker-count resolution, `exec.expand` / `exec.fold` /
-  /// `exec.retry` fault sites, one-retry-then-serial-fallback recovery and
-  /// bit-identical output as execute_mt().
+  /// Threaded BSP y = A x (expand / multiply / fold supersteps with a full
+  /// join between them). Workers come from the shared ThreadPool via the
+  /// standard resolution (`numThreads` if positive, else FGHP_THREADS /
+  /// hardware concurrency, capped at numProcs); when the request resolves to
+  /// one thread the supersteps run inline on the caller — no threads are
+  /// spawned, but the `exec.expand` / `exec.fold` / `exec.retry` fault sites
+  /// and the one-retry-then-serial-fallback ladder stay armed exactly as in
+  /// the threaded case. Output is bit-identical to run() at any thread count.
   void run_mt(std::span<const double> x, std::vector<double>& y,
               idx_t numThreads = 0, ExecStats* stats = nullptr);
 
  private:
   CompiledPlan c_;
-  // Scratch, sized once at construction. xSendBuf_/ySendBuf_ are the flat
-  // mailbox spaces the MT path communicates through; the serial path
-  // gathers/scatters directly and never touches them.
+  // Scratch, sized and explicitly zero-filled once at construction
+  // (assign, not resize: a moved-from or reused vector never carries stale
+  // tail data into a differently-sized image). Every run_mt superstep
+  // assigns each word it later reads, so no per-iteration re-zero is
+  // needed; xSendBuf_/ySendBuf_ are the flat mailbox spaces of the MT path,
+  // the serial path gathers/scatters directly and never touches them.
   std::vector<double> xLoc_, partial_, xSendBuf_, ySendBuf_;
 };
 

@@ -1,0 +1,44 @@
+// Benchmark plumbing tests: the median estimator every throughput bench
+// reports, and the STREAM-triad baseline the roofline section divides by.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bench_common.hpp"
+
+namespace fghp::bench {
+namespace {
+
+TEST(Median, OddLengthTakesMiddleElement) {
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({9.0, 1.0, 5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median({2.0, 2.0, 2.0, 7.0, 1.0}), 2.0);
+}
+
+TEST(Median, EvenLengthAveragesTheTwoMiddleElements) {
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 10.0}), 2.5);
+  // One outlier in an even sample moves the median by at most half the
+  // neighbor gap — the property the benches rely on.
+  EXPECT_DOUBLE_EQ(median({1.0, 1.0, 1.0, 1000.0}), 1.0);
+}
+
+TEST(Median, UnsortedInputIsSortedFirst) {
+  EXPECT_DOUBLE_EQ(median({10.0, -1.0, 4.0, 3.0, 2.0}), 3.0);
+}
+
+TEST(Median, EmptySampleThrows) {
+  EXPECT_THROW(median({}), std::invalid_argument);
+}
+
+TEST(StreamTriad, ReportsPositiveFiniteBandwidth) {
+  // Tiny arrays: this checks plumbing (timing, byte accounting), not the
+  // machine's actual bandwidth.
+  const double gbps = stream_triad_gbps(1 << 16, 3);
+  EXPECT_GT(gbps, 0.0);
+  EXPECT_TRUE(std::isfinite(gbps));
+}
+
+}  // namespace
+}  // namespace fghp::bench

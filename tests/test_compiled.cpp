@@ -18,6 +18,7 @@
 #include "spmv/plan.hpp"
 #include "spmv/reference.hpp"
 #include "sparse/generators.hpp"
+#include "sparse/reorder.hpp"
 #include "sparse/testsuite.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -81,9 +82,14 @@ void expect_bit_identical(const std::vector<double>& a, const std::vector<double
 TEST(CompilePlan, ImageCoversPlanExactly) {
   const sparse::Csr a = sparse::random_square(120, 6, 5);
   for (idx_t K : {1, 3, 8}) {
+  for (bool reorder : {true, false}) {
     const auto d = random_decomposition(a, K, 17 + static_cast<std::uint64_t>(K));
     const SpmvPlan plan = build_plan(a, d);
-    const CompiledPlan c = compile_plan(plan);
+    const CompiledPlan c = compile_plan(plan, CompileOptions{.cacheReorder = reorder});
+    EXPECT_EQ(c.cacheReordered, reorder);
+    if (!reorder) {
+      EXPECT_EQ(c.reorderedProcs, 0);
+    }
 
     // Send-buffer offsets cover exactly the plan's traffic.
     EXPECT_EQ(c.total_words(), plan.total_words());
@@ -106,6 +112,7 @@ TEST(CompilePlan, ImageCoversPlanExactly) {
                   c.xOff[static_cast<std::size_t>(p) + 1]);
       }
     }
+  }
   }
 }
 
@@ -232,6 +239,157 @@ TEST(ExecSessionReuse, SerialIterationsAllocateNothingAfterTheFirst) {
   }
   for (int iter = 0; iter < 4; ++iter)
     EXPECT_EQ(deltas[iter], 0) << "iteration " << iter + 2 << " allocated";
+}
+
+// ------------------------------------------- cache reorder bit-identity ----
+
+TEST(CacheReorder, BitIdenticalToUnreorderedImageAcrossSuite) {
+  // The second-level reorder must never change a single output bit: on every
+  // suite matrix (strictly validated plan), the reordered and unreordered
+  // images agree exactly on the serial path and on run_mt at 1/2/8 threads.
+  for (const std::string& name : sparse::suite_names()) {
+    const sparse::Csr a = sparse::make_matrix(name, 1, 0.1);
+    const model::Decomposition d = model::checkerboard_decompose_k(a, 8);
+    const SpmvPlan plan = build_plan(a, d);
+    validate_plan_or_throw(plan);
+    const auto x = random_x(a.num_cols(), 60);
+
+    ExecSession reordered(plan);
+    ExecSession baseline(plan, CompileOptions{.cacheReorder = false});
+    std::vector<double> y, yBase;
+    baseline.run(x, yBase);
+    expect_bit_identical(yBase, execute(plan, x));
+
+    reordered.run(x, y);
+    expect_bit_identical(y, yBase);
+    for (idx_t threads : {1, 2, 8}) {
+      reordered.run_mt(x, y, threads);
+      expect_bit_identical(y, yBase);
+    }
+  }
+}
+
+TEST(CacheReorder, BitIdenticalUnderFaultRecovery) {
+  // Fault recovery must not interact with the permuted slot numbering: a
+  // retried expand task and a fold-triggered serial fallback both reproduce
+  // the clean answer on the reordered image.
+  const sparse::Csr a = sparse::make_matrix("sherman3", 1, 0.1);
+  const auto d = model::checkerboard_decompose_k(a, 8);
+  const SpmvPlan plan = build_plan(a, d);
+  validate_plan_or_throw(plan);
+  const auto x = random_x(a.num_cols(), 61);
+  const auto clean = execute(plan, x);
+
+  ExecSession session(plan);
+  ASSERT_TRUE(session.compiled().cacheReordered);
+  std::vector<double> y;
+  {
+    fault::ScopedSpec spec("exec.expand:2");  // proc 1 fails once, retried
+    for (idx_t threads : {1, 2, 8}) {
+      ExecStats stats;
+      session.run_mt(x, y, threads, &stats);
+      expect_bit_identical(y, clean);
+      EXPECT_EQ(stats.taskRetries, 1);
+      EXPECT_FALSE(stats.serialFallback);
+    }
+  }
+  {
+    fault::ScopedSpec spec("exec.fold:1,exec.retry:1");  // proc 0: fallback
+    for (idx_t threads : {1, 2, 8}) {
+      ExecStats stats;
+      session.run_mt(x, y, threads, &stats);
+      expect_bit_identical(y, clean);
+      EXPECT_TRUE(stats.serialFallback);
+    }
+  }
+  drain_warnings();
+}
+
+TEST(CacheReorder, AdoptionIsScoreGuarded) {
+  // A scrambled mesh has everything to gain: the sweep must adopt RCM. A
+  // banded matrix in its natural order has nothing to gain: the first-use
+  // numbering already walks the band, so the guard must keep it.
+  Rng rng(62);
+  const sparse::Csr mesh = sparse::permute_symmetric(
+      sparse::stencil2d(30, 30), rng.permutation(900));
+  const SpmvPlan shuffledPlan =
+      build_plan(mesh, model::checkerboard_decompose_k(mesh, 1));
+  EXPECT_GE(compile_plan(shuffledPlan).reorderedProcs, 1);
+
+  const sparse::Csr band = sparse::banded(400, 3);
+  const SpmvPlan bandPlan =
+      build_plan(band, model::checkerboard_decompose_k(band, 1));
+  EXPECT_EQ(compile_plan(bandPlan).reorderedProcs, 0);
+}
+
+// ------------------------------------------------------- scratch policy ----
+
+TEST(ExecSessionScratch, MoveAssignAcrossDifferentlySizedImages) {
+  // A session reused for a different (smaller or larger) image must behave
+  // exactly like a fresh one: construction assigns (not resizes) the scratch,
+  // so no stale tail survives the swap in either direction.
+  const sparse::Csr big = sparse::random_square(300, 7, 70);
+  const sparse::Csr small = sparse::random_square(40, 3, 71);
+  const SpmvPlan bigPlan =
+      build_plan(big, model::checkerboard_decompose_k(big, 8));
+  const SpmvPlan smallPlan =
+      build_plan(small, model::checkerboard_decompose_k(small, 4));
+  const auto xBig = random_x(big.num_cols(), 72);
+  const auto xSmall = random_x(small.num_cols(), 73);
+
+  ExecSession session(bigPlan);
+  std::vector<double> y;
+  session.run(xBig, y);
+  session.run_mt(xBig, y, 2);  // dirty the MT mailboxes too
+
+  session = ExecSession(smallPlan);
+  session.run(xSmall, y);
+  expect_bit_identical(y, execute(smallPlan, xSmall));
+  session.run_mt(xSmall, y, 2);
+  expect_bit_identical(y, execute(smallPlan, xSmall));
+
+  session = ExecSession(bigPlan);  // and back up in size
+  session.run_mt(xBig, y, 2);
+  expect_bit_identical(y, execute(bigPlan, xBig));
+}
+
+TEST(ExecSessionScratch, InterleavedSerialAndMtRunsStayIdentical) {
+  // run() and run_mt() share xLoc_/partial_ but only run_mt touches the
+  // mailboxes; interleaving them in any order must never leak state.
+  const sparse::Csr a = sparse::random_square(150, 6, 74);
+  const auto d = random_decomposition(a, 6, 75);
+  const SpmvPlan plan = build_plan(a, d);
+  ExecSession session(plan);
+  std::vector<double> y;
+  for (int iter = 0; iter < 3; ++iter) {
+    const auto x = random_x(a.num_cols(), 80 + static_cast<std::uint64_t>(iter));
+    const auto clean = execute(plan, x);
+    session.run_mt(x, y, 4);
+    expect_bit_identical(y, clean);
+    session.run(x, y);
+    expect_bit_identical(y, clean);
+    session.run_mt(x, y, 1);
+    expect_bit_identical(y, clean);
+  }
+}
+
+TEST(ExecSessionScratch, MtRequestOfOneThreadRunsInlineWithoutAllocation) {
+  // numThreads = 1 must resolve through the pool to the inline-serial path:
+  // no TaskGroup, no task closures — zero allocations once y is sized.
+  const sparse::Csr a = sparse::random_square(200, 6, 76);
+  part::PartitionConfig cfg;
+  const model::ModelRun run = model::run_finegrain(a, 8, cfg);
+  ExecSession session(build_plan(a, run.decomp));
+  const auto x = random_x(a.num_cols(), 77);
+
+  std::vector<double> y;
+  session.run_mt(x, y, 1);  // first call sizes y
+  for (int iter = 0; iter < 4; ++iter) {
+    const long before = g_allocCount.load(std::memory_order_relaxed);
+    session.run_mt(x, y, 1);
+    const long delta = g_allocCount.load(std::memory_order_relaxed) - before;
+    EXPECT_EQ(delta, 0) << "iteration " << iter + 2 << " allocated";
+  }
 }
 
 // ----------------------------------------------- traffic accounting ----

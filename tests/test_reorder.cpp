@@ -93,6 +93,85 @@ TEST(Reorder, RcmHandlesDisconnectedComponents) {
   for (idx_t i = 0; i < 6; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
 }
 
+// ------------------------------------------------------- bipartite RCM ----
+
+void expect_valid_permutation(const std::vector<idx_t>& p) {
+  std::vector<idx_t> sorted(p);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    ASSERT_EQ(sorted[i], static_cast<idx_t>(i));
+}
+
+/// Max |rowNew[r] - colNew[c]| over the pattern — the bipartite analogue of
+/// matrix bandwidth the RCM sweep is meant to shrink.
+idx_t bipartite_bandwidth(const std::vector<idx_t>& rowPtr,
+                          const std::vector<idx_t>& colIdx,
+                          const BipartiteOrdering& ord) {
+  idx_t bw = 0;
+  for (std::size_t r = 0; r + 1 < rowPtr.size(); ++r) {
+    for (idx_t e = rowPtr[r]; e < rowPtr[r + 1]; ++e) {
+      const idx_t rn = ord.rowNew[r];
+      const idx_t cn = ord.colNew[static_cast<std::size_t>(colIdx[static_cast<std::size_t>(e)])];
+      bw = std::max(bw, rn > cn ? rn - cn : cn - rn);
+    }
+  }
+  return bw;
+}
+
+TEST(BipartiteRcm, ProducesValidPermutationsOnRectangularPattern) {
+  // 40 rows over 25 columns, random rectangular pattern.
+  Rng rng(21);
+  std::vector<idx_t> rowPtr = {0};
+  std::vector<idx_t> colIdx;
+  for (idx_t r = 0; r < 40; ++r) {
+    for (int e = 0; e < 3; ++e) colIdx.push_back(rng.uniform(0, 24));
+    rowPtr.push_back(static_cast<idx_t>(colIdx.size()));
+  }
+  const BipartiteOrdering ord = bipartite_rcm(40, 25, rowPtr, colIdx);
+  ASSERT_EQ(ord.rowNew.size(), 40u);
+  ASSERT_EQ(ord.colNew.size(), 25u);
+  expect_valid_permutation(ord.rowNew);
+  expect_valid_permutation(ord.colNew);
+}
+
+TEST(BipartiteRcm, RecoversLocalityOfShuffledMesh) {
+  const Csr mesh = stencil2d(20, 20);
+  Rng rng(31);
+  const Csr shuffled = permute_symmetric(mesh, rng.permutation(mesh.num_rows()));
+  BipartiteOrdering id;
+  id.rowNew.resize(static_cast<std::size_t>(shuffled.num_rows()));
+  id.colNew.resize(static_cast<std::size_t>(shuffled.num_cols()));
+  std::iota(id.rowNew.begin(), id.rowNew.end(), idx_t{0});
+  std::iota(id.colNew.begin(), id.colNew.end(), idx_t{0});
+  const idx_t before = bipartite_bandwidth(shuffled.row_ptr(), shuffled.col_ind(), id);
+  const BipartiteOrdering ord = bipartite_rcm(
+      shuffled.num_rows(), shuffled.num_cols(), shuffled.row_ptr(), shuffled.col_ind());
+  const idx_t after = bipartite_bandwidth(shuffled.row_ptr(), shuffled.col_ind(), ord);
+  ASSERT_GT(before, 100);  // scrambling destroyed the band
+  EXPECT_LT(after, 60);    // mesh optimum is ~20 per side
+}
+
+TEST(BipartiteRcm, IsolatedColumnsRankLast) {
+  // Columns 3 and 7 of 9 appear in no row (the compile pass hands such
+  // expand-recv-only slots to the sweep as isolated vertices).
+  std::vector<idx_t> rowPtr = {0, 2, 4, 6};
+  std::vector<idx_t> colIdx = {0, 1, 2, 4, 5, 6};
+  const BipartiteOrdering ord = bipartite_rcm(3, 9, rowPtr, colIdx);
+  expect_valid_permutation(ord.colNew);
+  // 8 is also isolated: the three unused columns take the last three ranks.
+  EXPECT_GE(ord.colNew[3], 6);
+  EXPECT_GE(ord.colNew[7], 6);
+  EXPECT_GE(ord.colNew[8], 6);
+}
+
+TEST(BipartiteRcm, RejectsMalformedInput) {
+  const std::vector<idx_t> rowPtr = {0, 1, 2};
+  const std::vector<idx_t> colIdx = {0, 1};
+  EXPECT_THROW(bipartite_rcm(3, 2, rowPtr, colIdx), std::invalid_argument);
+  EXPECT_THROW(bipartite_rcm(2, 2, {0, 1, 3}, colIdx), std::invalid_argument);
+  EXPECT_THROW(bipartite_rcm(2, 1, rowPtr, colIdx), std::invalid_argument);
+}
+
 TEST(Reorder, ModelVolumeInvariantUnderSymmetricPermutation) {
   // Decomposition quality must not depend on the labeling: partition the
   // permuted matrix with the same seed pipeline and compare volumes within
