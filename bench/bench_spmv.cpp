@@ -257,8 +257,10 @@ int main(int argc, char** argv) {
     spmv::validate_plan_or_throw(plan);
     const std::vector<double> x = random_x(a.num_cols(), 23);
 
+    spmv::CompileOptions noReorder;
+    noReorder.cacheReorder = false;
     spmv::ExecSession reordered(plan);
-    spmv::ExecSession baseline(plan, spmv::CompileOptions{.cacheReorder = false});
+    spmv::ExecSession baseline(plan, noReorder);
     std::vector<double> y, yBase;
     reordered.run(x, y);
     baseline.run(x, yBase);

@@ -5,9 +5,17 @@
 // local: only the SpMV communicates.
 //
 //   ./cg_solver [--n 64] [--k 8] [--tol 1e-8] [--max-iters 500]
+//               [--timeout-ms MS]
 //               [--trace-out trace.json] [--metrics-out metrics.json|-]
+//
+// --timeout-ms (or FGHP_TIMEOUT_MS; the flag wins) covers the whole solve:
+// the partitioner degrades gracefully if the budget runs short during setup,
+// and a CG iteration that starts past the deadline exits 9 — with the trace
+// and metrics still written, so an expired run can be diagnosed.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "comm/volume.hpp"
 #include "models/finegrain.hpp"
@@ -15,21 +23,29 @@
 #include "spmv/compiled.hpp"
 #include "spmv/plan.hpp"
 #include "sparse/generators.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/options.hpp"
 #include "util/trace.hpp"
 
-int main(int argc, char** argv) try {
-  using namespace fghp;
-  const ArgParser args(argc, argv);
+namespace {
+
+using namespace fghp;
+
+long resolve_timeout_ms(const ArgParser& args) {
+  if (const auto flag = args.flag("timeout-ms")) return std::stol(*flag);
+  if (const char* env = std::getenv("FGHP_TIMEOUT_MS")) return std::stol(env);
+  return -1;
+}
+
+int run(const ArgParser& args) {
   const auto n = static_cast<idx_t>(args.flag_long("n", 64));
   const auto k = static_cast<idx_t>(args.flag_long("k", 8));
   const double tol = std::stod(args.flag("tol").value_or("1e-8"));
   const long maxIters = args.flag_long("max-iters", 500);
-  const std::string traceOut = args.flag("trace-out").value_or("");
-  const std::string metricsOut = args.flag("metrics-out").value_or("");
-  if (!traceOut.empty()) trace::enable();
+  const cancel::CancelToken token =
+      cancel::CancelToken::with_deadline_ms(resolve_timeout_ms(args));
 
   // SPD system: 5-point Laplacian on an n x n grid.
   const sparse::Csr a = sparse::stencil2d(n, n);
@@ -38,18 +54,27 @@ int main(int argc, char** argv) try {
               static_cast<int>(n), static_cast<int>(n), dim, static_cast<int>(a.nnz()),
               static_cast<int>(k));
 
-  // Decompose once; every CG iteration reuses the plan.
+  // Decompose once; every CG iteration reuses the plan. The partitioner
+  // shares the solver's deadline and degrades rather than fails when it
+  // expires during setup.
   const model::FineGrainModel m = model::build_finegrain(a);
   part::PartitionConfig cfg;
+  cfg.cancel = token;
   const part::HgResult r = part::partition_hypergraph(m.h, k, cfg);
   const model::Decomposition d = model::decode_finegrain(a, m, r.partition);
   const comm::CommStats cs = comm::analyze(a, d);
   std::printf("decomposition: %lld words per SpMV (%.2f scaled), imbalance %.2f%%\n",
               static_cast<long long>(cs.totalWords), cs.scaledTotal(a.num_rows()),
               100.0 * r.imbalance);
+  if (r.numDegraded > 0)
+    std::printf("  (deadline pressure: %d subproblem(s) demoted during setup)\n",
+                static_cast<int>(r.numDegraded));
   // Compile the plan once into a reusable session: every CG iteration's
   // SpMV then runs local-indexed and allocation-free.
-  spmv::ExecSession spmvSession(spmv::build_plan(a, d));
+  spmv::CompileOptions copts;
+  copts.cancel = token;
+  spmv::ExecSession spmvSession(spmv::build_plan(a, d, token), copts);
+  spmvSession.set_cancel(token);
 
   // b = A * ones, so the exact solution is ones.
   std::vector<double> ones(dim, 1.0);
@@ -90,12 +115,55 @@ int main(int argc, char** argv) try {
               iters, std::sqrt(rr) / bnorm, maxErr);
   std::printf("total SpMV communication: %lld words over %ld iterations\n",
               static_cast<long long>(cs.totalWords) * (iters + 1), iters + 1);
-  if (!traceOut.empty()) trace::write_chrome_trace_file(traceOut);
-  if (!metricsOut.empty()) metrics::write_global_json(metricsOut);
   return maxErr < 1e-6 ? 0 : 1;
-} catch (const std::exception& e) {
+}
+
+void print_warnings() {
   for (const auto& w : fghp::drain_warnings())
     std::fprintf(stderr, "warning: %s\n", w.c_str());
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return fghp::exit_code(e);
+}
+
+/// Best-effort exports; returns the io exit code on failure so a successful
+/// run can still report it (a failing run's typed code wins instead).
+int write_observability(const std::string& traceOut, const std::string& metricsOut) {
+  int rc = 0;
+  if (!traceOut.empty()) {
+    try {
+      trace::write_chrome_trace_file(traceOut);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      rc = static_cast<int>(ErrorCode::kIo);
+    }
+  }
+  if (!metricsOut.empty()) {
+    try {
+      metrics::write_global_json(metricsOut);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      rc = static_cast<int>(ErrorCode::kIo);
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const std::string traceOut = args.flag("trace-out").value_or("");
+  const std::string metricsOut = args.flag("metrics-out").value_or("");
+  if (!traceOut.empty()) trace::enable();
+
+  int rc;
+  try {
+    rc = run(args);
+  } catch (const std::exception& e) {
+    print_warnings();
+    std::fprintf(stderr, "error: %s\n", e.what());
+    write_observability(traceOut, metricsOut);  // typed error code wins
+    return fghp::exit_code(e);
+  }
+  print_warnings();
+  const int obsRc = write_observability(traceOut, metricsOut);
+  return rc == 0 && obsRc != 0 ? obsRc : rc;
 }

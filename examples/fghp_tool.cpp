@@ -28,6 +28,7 @@
 // code 3 (io).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -50,6 +51,7 @@
 #include "sparse/reorder.hpp"
 #include "sparse/stats.hpp"
 #include "sparse/testsuite.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
@@ -69,17 +71,33 @@ int usage() {
                "  stats <m.mtx>\n"
                "  partition <m.mtx> --model M --k K [--eps E] [--seed N]\n"
                "            [--threads T] [--balance-vectors] [--strict]\n"
-               "            [--fault-spec SPEC] [--out d.decomp]\n"
+               "            [--fault-spec SPEC] [--timeout-ms MS] [--no-degrade]\n"
+               "            [--out d.decomp]\n"
                "  simulate <m.mtx> <d.decomp> [--reps R] [--threads T]\n"
+               "            [--timeout-ms MS]\n"
                "  faults\n"
                "every command also accepts:\n"
                "  --trace-out FILE    Chrome trace-event JSON (or FGHP_TRACE=FILE)\n"
                "  --metrics-out FILE  flat metrics JSON; '-' writes to stdout\n"
+               "  --timeout-ms MS     deadline on the whole command's work\n"
+               "                      (or FGHP_TIMEOUT_MS=MS; flag wins)\n"
+               "partition degrades gracefully on an expiring deadline (still a\n"
+               "valid, balanced decomposition; --no-degrade turns the deadline\n"
+               "into a hard exit-9 error); simulate always errors on expiry.\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 io, 4 format,\n"
-               "            5 invariant, 6 infeasible, 7 injected fault\n"
+               "            5 invariant, 6 infeasible, 7 injected fault,\n"
+               "            8 cancelled, 9 deadline exceeded\n"
                "(observability files are written even on failure; the typed\n"
                " error code wins over any export failure)\n");
   return static_cast<int>(ErrorCode::kUsage);
+}
+
+/// Resolves the command's deadline: --timeout-ms beats FGHP_TIMEOUT_MS beats
+/// none (-1, which with_deadline_ms maps to an inactive token).
+long resolve_timeout_ms(const ArgParser& args) {
+  if (const auto flag = args.flag("timeout-ms")) return std::stol(*flag);
+  if (const char* env = std::getenv("FGHP_TIMEOUT_MS")) return std::stol(env);
+  return -1;
 }
 
 int cmd_faults() {
@@ -138,6 +156,8 @@ int cmd_partition(const ArgParser& args) {
   cfg.numThreads = static_cast<idx_t>(args.flag_long("threads", 0));
   if (args.has_switch("strict")) cfg.validateLevel = part::ValidateLevel::kStrict;
   cfg.faultSpec = args.flag("fault-spec").value_or("");
+  cfg.cancel = cancel::CancelToken::with_deadline_ms(resolve_timeout_ms(args));
+  if (args.has_switch("no-degrade")) cfg.degradeOnDeadline = false;
 
   model::ModelRun run;
   if (modelName == "finegrain") {
@@ -169,9 +189,9 @@ int cmd_partition(const ArgParser& args) {
 
   const comm::CommStats s = comm::analyze(a, run.decomp);
   const model::LoadStats loads = model::compute_loads(a, run.decomp);
-  std::printf("model=%s K=%d time=%.3fs recoveries=%d\n", modelName.c_str(),
-              static_cast<int>(k), run.partitionSeconds,
-              static_cast<int>(run.numRecoveries));
+  std::printf("model=%s K=%d time=%.3fs recoveries=%d degraded=%d\n",
+              modelName.c_str(), static_cast<int>(k), run.partitionSeconds,
+              static_cast<int>(run.numRecoveries), static_cast<int>(run.numDegraded));
   std::printf("  total volume %lld words (%.3f scaled); max/proc %lld (%.3f)\n",
               static_cast<long long>(s.totalWords), s.scaledTotal(a.num_rows()),
               static_cast<long long>(s.maxProcWords), s.scaledMax(a.num_rows()));
@@ -194,7 +214,12 @@ int cmd_simulate(const ArgParser& args) {
   const auto reps = static_cast<int>(args.flag_long("reps", 10));
   const auto threads = static_cast<idx_t>(args.flag_long("threads", 0));
 
-  const spmv::SpmvPlan plan = spmv::build_plan(a, d);
+  // One deadline covers plan build, compile, and every iteration; expiry
+  // surfaces as a typed exit-9 error (no degradation ladder on this path).
+  const cancel::CancelToken token =
+      cancel::CancelToken::with_deadline_ms(resolve_timeout_ms(args));
+
+  const spmv::SpmvPlan plan = spmv::build_plan(a, d, token);
   spmv::validate_plan_or_throw(plan);  // d came from a file: distrust it
   Rng rng(123);
   std::vector<double> x(static_cast<std::size_t>(a.num_cols()));
@@ -202,7 +227,10 @@ int cmd_simulate(const ArgParser& args) {
 
   // Compile once, iterate allocation-free: the repeated-multiply loop an
   // iterative solver would run.
-  spmv::ExecSession session(plan);
+  spmv::CompileOptions copts;
+  copts.cancel = token;
+  spmv::ExecSession session(plan, copts);
+  session.set_cancel(token);
   spmv::ExecStats stats;
   WallTimer timer;
   std::vector<double> y;

@@ -6,8 +6,18 @@
 //
 //   ./partition_mtx matrix.mtx [--model finegrain|hyper1d|graph|checkerboard]
 //                   [--k 16] [--eps 0.03] [--seed 1] [--out owners.txt]
+//                   [--timeout-ms MS] [--no-degrade]
 //                   [--trace-out trace.json] [--metrics-out metrics.json|-]
+//
+// --timeout-ms (or FGHP_TIMEOUT_MS; the flag wins) puts a deadline on the
+// partitioning work. By default an expiring deadline degrades gracefully —
+// the tool still returns a valid, balanced decomposition and reports how
+// many subproblems were demoted; with --no-degrade it exits 9 instead.
+// Observability files are written even when the run fails, and the typed
+// error exit code always wins over any export failure.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "comm/volume.hpp"
 #include "models/checkerboard.hpp"
@@ -17,28 +27,27 @@
 #include "models/hypergraph1d.hpp"
 #include "sparse/mmio.hpp"
 #include "sparse/stats.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/options.hpp"
 #include "util/trace.hpp"
 
-int main(int argc, char** argv) try {
-  using namespace fghp;
-  const ArgParser args(argc, argv);
-  if (args.positional().empty()) {
-    std::fprintf(stderr,
-                 "usage: partition_mtx <matrix.mtx> [--model finegrain|hyper1d|graph|"
-                 "checkerboard] [--k 16] [--eps 0.03] [--seed 1] [--out owners.txt]\n"
-                 "       [--trace-out trace.json] [--metrics-out metrics.json|-]\n");
-    return 2;
-  }
+namespace {
+
+using namespace fghp;
+
+long resolve_timeout_ms(const ArgParser& args) {
+  if (const auto flag = args.flag("timeout-ms")) return std::stol(*flag);
+  if (const char* env = std::getenv("FGHP_TIMEOUT_MS")) return std::stol(env);
+  return -1;
+}
+
+int run(const ArgParser& args) {
   const std::string path = args.positional().front();
   const std::string modelName = args.flag("model").value_or("finegrain");
   const auto k = static_cast<idx_t>(args.flag_long("k", 16));
   const auto seed = static_cast<std::uint64_t>(args.flag_long("seed", 1));
-  const std::string traceOut = args.flag("trace-out").value_or("");
-  const std::string metricsOut = args.flag("metrics-out").value_or("");
-  if (!traceOut.empty()) trace::enable();
 
   const sparse::Csr a = sparse::read_matrix_market_file(path);
   if (!a.is_square()) {
@@ -51,25 +60,27 @@ int main(int argc, char** argv) try {
   part::PartitionConfig cfg;
   cfg.seed = seed;
   if (const auto eps = args.flag("eps")) cfg.epsilon = std::stod(*eps);
+  cfg.cancel = cancel::CancelToken::with_deadline_ms(resolve_timeout_ms(args));
+  if (args.has_switch("no-degrade")) cfg.degradeOnDeadline = false;
 
-  model::ModelRun run;
+  model::ModelRun mrun;
   if (modelName == "finegrain") {
-    run = model::run_finegrain(a, k, cfg);
+    mrun = model::run_finegrain(a, k, cfg);
   } else if (modelName == "hyper1d") {
-    run = model::run_hypergraph1d(a, k, cfg);
+    mrun = model::run_hypergraph1d(a, k, cfg);
   } else if (modelName == "graph") {
-    run = model::run_graph_model(a, k, cfg);
+    mrun = model::run_graph_model(a, k, cfg);
   } else if (modelName == "checkerboard") {
-    run.decomp = model::checkerboard_decompose_k(a, k);
+    mrun.decomp = model::checkerboard_decompose_k(a, k);
   } else {
     std::fprintf(stderr, "error: unknown model '%s'\n", modelName.c_str());
     return 2;
   }
 
-  const comm::CommStats s = comm::analyze(a, run.decomp);
-  const model::LoadStats loads = model::compute_loads(a, run.decomp);
+  const comm::CommStats s = comm::analyze(a, mrun.decomp);
+  const model::LoadStats loads = model::compute_loads(a, mrun.decomp);
   std::printf("model=%s K=%d\n", modelName.c_str(), static_cast<int>(k));
-  std::printf("  partition time      : %.3f s\n", run.partitionSeconds);
+  std::printf("  partition time      : %.3f s\n", mrun.partitionSeconds);
   std::printf("  total volume        : %lld words (%.3f scaled by M)\n",
               static_cast<long long>(s.totalWords), s.scaledTotal(a.num_rows()));
   std::printf("    expand / fold     : %lld / %lld words\n",
@@ -79,18 +90,72 @@ int main(int argc, char** argv) try {
   std::printf("  avg msgs / proc     : %.2f (max %d)\n", s.avgMessagesPerProc,
               static_cast<int>(s.maxMessagesPerProc));
   std::printf("  load imbalance      : %.2f%%\n", loads.percentImbalance);
+  if (mrun.numDegraded > 0)
+    std::printf("  deadline degradation: %d subproblem(s) demoted\n",
+                static_cast<int>(mrun.numDegraded));
 
   if (const auto out = args.flag("out")) {
-    model::write_decomposition_file(*out, run.decomp);
+    model::write_decomposition_file(*out, mrun.decomp);
     std::printf("owner maps written to %s (readable by fghp_tool simulate)\n",
                 out->c_str());
   }
-  if (!traceOut.empty()) trace::write_chrome_trace_file(traceOut);
-  if (!metricsOut.empty()) metrics::write_global_json(metricsOut);
   return 0;
-} catch (const std::exception& e) {
+}
+
+void print_warnings() {
   for (const auto& w : fghp::drain_warnings())
     std::fprintf(stderr, "warning: %s\n", w.c_str());
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return fghp::exit_code(e);
+}
+
+/// Best-effort exports; returns the io exit code on failure so a successful
+/// run can still report it (a failing run's typed code wins instead).
+int write_observability(const std::string& traceOut, const std::string& metricsOut) {
+  int rc = 0;
+  if (!traceOut.empty()) {
+    try {
+      trace::write_chrome_trace_file(traceOut);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      rc = static_cast<int>(ErrorCode::kIo);
+    }
+  }
+  if (!metricsOut.empty()) {
+    try {
+      metrics::write_global_json(metricsOut);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      rc = static_cast<int>(ErrorCode::kIo);
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: partition_mtx <matrix.mtx> [--model finegrain|hyper1d|graph|"
+                 "checkerboard] [--k 16] [--eps 0.03] [--seed 1] [--out owners.txt]\n"
+                 "       [--timeout-ms MS] [--no-degrade]\n"
+                 "       [--trace-out trace.json] [--metrics-out metrics.json|-]\n");
+    return 2;
+  }
+  const std::string traceOut = args.flag("trace-out").value_or("");
+  const std::string metricsOut = args.flag("metrics-out").value_or("");
+  if (!traceOut.empty()) trace::enable();
+
+  int rc;
+  try {
+    rc = run(args);
+  } catch (const std::exception& e) {
+    print_warnings();
+    std::fprintf(stderr, "error: %s\n", e.what());
+    write_observability(traceOut, metricsOut);  // typed error code wins
+    return fghp::exit_code(e);
+  }
+  print_warnings();
+  const int obsRc = write_observability(traceOut, metricsOut);
+  return rc == 0 && obsRc != 0 ? obsRc : rc;
 }

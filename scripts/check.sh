@@ -9,12 +9,15 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure
 
-echo "--- ThreadSanitizer: task-parallel recursive bisection + tracing ---"
+echo "--- ThreadSanitizer: task-parallel recursive bisection + tracing + cancel ---"
 cmake -B build-tsan -G Ninja -DFGHP_SANITIZE=thread \
       -DFGHP_BUILD_BENCH=OFF -DFGHP_BUILD_EXAMPLES=OFF > /dev/null
-cmake --build build-tsan --target test_parallel_rb test_trace
+cmake --build build-tsan --target test_parallel_rb test_trace test_cancel
 FGHP_THREADS=8 ./build-tsan/tests/test_parallel_rb
 ./build-tsan/tests/test_trace
+# Cancellation, watchdog heartbeats, and pool shutdown race real worker
+# threads by construction — exactly what TSan is for.
+./build-tsan/tests/test_cancel
 
 echo "--- Address/UB sanitizers: Matrix Market reader + compiled image ---"
 cmake -B build-asan -G Ninja -DFGHP_SANITIZE=address,undefined \
@@ -33,15 +36,15 @@ cmake --build build-asan --target test_mmio test_sparse test_fault test_errors \
 echo "--- fault-injection sweep (ASan/UBSan) ---"
 # Inject every registered fault site once into a real partition->simulate
 # pipeline. Each run must either recover (exit 0) or fail with its typed
-# error category (exit 3..7) — never a crash (>= 128), a generic failure (1)
-# or a usage error (2).
+# error category (exit 3..9) — never a crash (>= 128), a generic failure (1)
+# or a usage error (2). The cancel.* sites surface as exit 8 (cancelled).
 ftmp=$(mktemp -d)
 tool=./build-asan/examples/fghp_tool
 "$tool" gen sherman3 --out "$ftmp/m.mtx" --scale 0.15 > /dev/null
 "$tool" partition "$ftmp/m.mtx" --model finegrain --k 4 --out "$ftmp/d.decomp" > /dev/null
 check_rc() {  # $1 = site, $2 = command name, $3 = exit code
   case "$3" in
-    0|[3-7]) echo "  site $1 ($2) -> exit $3 (ok)" ;;
+    0|[3-9]) echo "  site $1 ($2) -> exit $3 (ok)" ;;
     *) echo "  site $1 ($2) -> exit $3 (NOT a typed error)"
        cat "$ftmp/err.txt"; exit 1 ;;
   esac
@@ -62,6 +65,44 @@ for site in $("$tool" faults); do
       > /dev/null 2> "$ftmp/err.txt" || rc=$?
   check_rc "$site" simulate "$rc"
 done
+
+echo "--- deadline sweep (ASan/UBSan) ---"
+# Shrinking time budgets against the same instrumented binary. With the
+# degradation ladder on (the default), every budget — including an already
+# expired one — must still produce a strict-validated partition and exit 0;
+# with --no-degrade an expired budget must surface as the typed deadline
+# exit (9). Either way: no crashes, no generic failures.
+for ms in 10000 100 10 1 0; do
+  rc=0
+  "$tool" partition "$ftmp/m.mtx" --model finegrain --k 8 --strict \
+      --timeout-ms "$ms" --out "$ftmp/ddl.decomp" > /dev/null 2> "$ftmp/err.txt" || rc=$?
+  case "$rc" in
+    0|8|9) echo "  timeout ${ms}ms (partition) -> exit $rc (ok)" ;;
+    *) echo "  timeout ${ms}ms (partition) -> exit $rc (NOT a typed outcome)"
+       cat "$ftmp/err.txt"; exit 1 ;;
+  esac
+done
+# An already-expired budget with degradation disabled must be the typed
+# deadline error — not a crash, not a silent success.
+rc=0
+"$tool" partition "$ftmp/m.mtx" --model finegrain --k 8 --strict \
+    --timeout-ms 0 --no-degrade --out "$ftmp/ddl.decomp" \
+    > /dev/null 2> "$ftmp/err.txt" || rc=$?
+if [ "$rc" -ne 9 ]; then
+  echo "  timeout 0ms --no-degrade -> exit $rc (expected 9)"
+  cat "$ftmp/err.txt"; exit 1
+fi
+echo "  timeout 0ms --no-degrade -> exit 9 (ok)"
+# The simulate path checks the token per iteration; the env-var route must
+# behave like the flag.
+rc=0
+FGHP_TIMEOUT_MS=0 "$tool" simulate "$ftmp/m.mtx" "$ftmp/d.decomp" --reps 2 \
+    > /dev/null 2> "$ftmp/err.txt" || rc=$?
+if [ "$rc" -ne 9 ]; then
+  echo "  FGHP_TIMEOUT_MS=0 simulate -> exit $rc (expected 9)"
+  cat "$ftmp/err.txt"; exit 1
+fi
+echo "  FGHP_TIMEOUT_MS=0 simulate -> exit 9 (ok)"
 rm -rf "$ftmp"
 
 echo "--- clang-tidy (non-fatal) ---"

@@ -114,6 +114,7 @@ ModelRun run_finegrain(const sparse::Csr& a, idx_t K, const part::PartitionConfi
   run.objective = r.cutsize;
   run.imbalance = r.imbalance;
   run.numRecoveries = r.numRecoveries;
+  run.numDegraded = r.numDegraded;
   run.decomp = decode_finegrain(a, m, r.partition);
   return run;
 }

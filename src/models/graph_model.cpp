@@ -56,6 +56,7 @@ ModelRun run_graph_model(const sparse::Csr& a, idx_t K, const part::PartitionCon
   run.objective = r.edgeCut;
   run.imbalance = r.imbalance;
   run.numRecoveries = r.numRecoveries;
+  run.numDegraded = r.numDegraded;
   run.decomp = decode_rowwise(a, r.partition.assignment(), K);
   return run;
 }

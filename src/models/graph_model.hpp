@@ -33,6 +33,7 @@ struct ModelRun {
   weight_t objective = 0;         ///< what the partitioner minimized
   double imbalance = 0.0;         ///< partitioner-side imbalance
   idx_t numRecoveries = 0;        ///< bisection retries / fallbacks taken
+  idx_t numDegraded = 0;          ///< RB nodes demoted by the deadline ladder
 };
 
 /// Standard graph model end to end.

@@ -43,6 +43,7 @@ ModelRun run_hypergraph1d(const sparse::Csr& a, idx_t K, const part::PartitionCo
   run.objective = r.cutsize;
   run.imbalance = r.imbalance;
   run.numRecoveries = r.numRecoveries;
+  run.numDegraded = r.numDegraded;
   run.decomp = decode_rowwise(a, r.partition.assignment(), K);
   return run;
 }

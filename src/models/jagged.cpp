@@ -26,6 +26,7 @@ ModelRun run_jagged(const sparse::Csr& a, idx_t pr, idx_t pc,
     part::HgResult r = part::partition_hypergraph(rowsH, pr, cfg);
     run.partitionSeconds += r.seconds;
     run.numRecoveries += r.numRecoveries;
+    run.numDegraded += r.numDegraded;
     stripeOf = r.partition.assignment();
   }
 
@@ -59,6 +60,7 @@ ModelRun run_jagged(const sparse::Csr& a, idx_t pr, idx_t pc,
       part::HgResult r = part::partition_hypergraph(stripeH, pc, cfg);
       run.partitionSeconds += r.seconds;
       run.numRecoveries += r.numRecoveries;
+    run.numDegraded += r.numDegraded;
       for (idx_t j = 0; j < n; ++j) {
         perStripeCol[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
                      static_cast<std::size_t>(j)] = r.partition.part_of(j);

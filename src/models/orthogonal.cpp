@@ -25,6 +25,7 @@ ModelRun run_orthogonal(const sparse::Csr& a, idx_t pr, idx_t pc,
     part::HgResult r = part::partition_hypergraph(rowsH, pr, cfg);
     run.partitionSeconds += r.seconds;
     run.numRecoveries += r.numRecoveries;
+    run.numDegraded += r.numDegraded;
     rowPart = r.partition.assignment();
   }
   std::vector<idx_t> colPart(static_cast<std::size_t>(n), 0);
@@ -33,6 +34,7 @@ ModelRun run_orthogonal(const sparse::Csr& a, idx_t pr, idx_t pc,
     part::HgResult r = part::partition_hypergraph(colsH, pc, cfg);
     run.partitionSeconds += r.seconds;
     run.numRecoveries += r.numRecoveries;
+    run.numDegraded += r.numDegraded;
     colPart = r.partition.assignment();
   }
 

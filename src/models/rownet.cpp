@@ -63,6 +63,7 @@ ModelRun run_rownet(const sparse::Csr& a, idx_t K, const part::PartitionConfig& 
   run.objective = r.cutsize;
   run.imbalance = r.imbalance;
   run.numRecoveries = r.numRecoveries;
+  run.numDegraded = r.numDegraded;
   run.decomp = decode_colwise(a, r.partition.assignment(), K);
   return run;
 }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "hypergraph/metrics.hpp"
+#include "util/cancel.hpp"
 #include "util/types.hpp"
 
 namespace fghp::part {
@@ -97,6 +98,19 @@ struct PartitionConfig {
   /// stream and relaxes the per-side caps. Every retry and fallback is
   /// recorded in the warning log and counted in HgResult::numRecoveries.
   idx_t maxBisectAttempts = 3;
+
+  /// Cooperative cancellation / deadline for this run (util/cancel.hpp).
+  /// Default-constructed = inactive: no deadline, near-zero check-point cost,
+  /// and the partition stays bit-identical to a build without this layer.
+  cancel::CancelToken cancel;
+
+  /// When the deadline budget runs low (or out), degrade remaining
+  /// recursive-bisection subtrees — full multilevel -> coarsen-light ->
+  /// deterministic greedy split — instead of throwing DeadlineExceededError,
+  /// so an expiring request still returns a valid, balance-feasible
+  /// partition. Degraded nodes are counted in HgResult/GpResult::numDegraded.
+  /// A manual cancel() always throws regardless of this flag.
+  bool degradeOnDeadline = true;
 
   /// How much consistency checking runs between pipeline phases.
   ValidateLevel validateLevel = ValidateLevel::kBasic;

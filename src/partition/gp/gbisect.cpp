@@ -4,6 +4,7 @@
 #include "partition/gp/grefine.hpp"
 #include "partition/gp/match.hpp"
 #include "partition/phase_timers.hpp"
+#include "util/cancel.hpp"
 #include "util/fault.hpp"
 #include "util/trace.hpp"
 
@@ -22,6 +23,9 @@ gp::GPartition multilevel_gbisect(const gp::Graph& g, const std::array<weight_t,
     ScopedPhase phase(Phase::kCoarsen);
     for (idx_t lvl = 0; lvl < cfg.maxCoarsenLevels; ++lvl) {
       if (cur->num_vertices() <= cfg.coarsenTo) break;
+      // Per-coarsen-level check-point; a deadline thrown here is converted
+      // into a greedy degradation by the RB driver's recovery ladder.
+      cancel::check_point(cfg.cancel, "coarsen.level", nullptr, lvl + 1);
       trace::TraceScope lvlSpan("rb", "coarsen.level", "level", lvl, "verts",
                                 cur->num_vertices());
       gpm::GCoarseLevel next = gpm::coarsen_one_level(*cur, cfg, rng);
@@ -46,6 +50,7 @@ gp::GPartition multilevel_gbisect(const gp::Graph& g, const std::array<weight_t,
   fm.refine(*cur, p, maxWeight, rng);
   for (std::size_t i = levels.size(); i > 0; --i) {
     const gp::Graph& fine = (i >= 2) ? levels[i - 2].coarse : g;
+    cancel::check_point(cfg.cancel, "refine.level", nullptr, static_cast<long>(i));
     trace::TraceScope lvlSpan("rb", "refine.level", "level",
                               static_cast<std::int64_t>(i - 1), "verts",
                               fine.num_vertices());

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/cancel.hpp"
 #include "util/sparse_acc.hpp"
 
 namespace fghp::part::gpk {
@@ -19,6 +20,12 @@ weight_t gkway_refine(const gp::Graph& g, gp::GPartition& p, const PartitionConf
   SparseAccumulator<weight_t> toPart(K);
 
   for (idx_t passNo = 0; passNo < cfg.kwayRefinePasses; ++passNo) {
+    // Quality-only polish: a deadline here just stops refining (the
+    // partition between passes is always valid); a cancel still throws.
+    if (cancel::check_point(cfg.cancel, "gkway.pass", nullptr, passNo + 1,
+                            /*deadlineThrows=*/!cfg.degradeOnDeadline) !=
+        cancel::Status::kRun)
+      break;
     weight_t passGain = 0;
     for (idx_t v : rng.permutation(g.num_vertices())) {
       const idx_t from = p.part_of(v);

@@ -6,6 +6,7 @@
 #include "graph/gvalidate.hpp"
 #include "partition/gp/gkway.hpp"
 #include "partition/gp/grecursive.hpp"
+#include "util/cancel.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -74,15 +75,25 @@ GpResult partition_graph(const gp::Graph& g, idx_t K, const PartitionConfig& cfg
   const bool strict = cfg.validateLevel == ValidateLevel::kStrict;
   if (strict) gp::validate_or_throw(g);
 
+  // Phase-boundary check-point before any work (mirror of
+  // partition_hypergraph's contract).
+  cancel::check_point(cfg.cancel, "gp.partition", nullptr, 1,
+                      /*deadlineThrows=*/!cfg.degradeOnDeadline);
+
   Rng rng(cfg.seed);
 
   gprb::GRecursiveResult rb = gprb::partition_graph_recursive(g, K, cfg, rng);
   if (strict) gp::validate_partition_or_throw(g, rb.partition, "recursive-bisection");
   if (K > 1 && !gp::is_balanced(g, rb.partition, cfg.epsilon)) {
+    // Balance repair runs even on an expired deadline — feasibility is part
+    // of the degradation contract, only quality polish is negotiable.
     kway_grebalance(g, rb.partition, cfg.epsilon, rng);
     if (strict) gp::validate_partition_or_throw(g, rb.partition, "rebalance");
   }
-  if (cfg.kwayRefine && K > 2) {
+  const bool skipPolish =
+      cfg.degradeOnDeadline &&
+      cancel::poll(cfg.cancel) == cancel::Status::kDeadlineExpired;
+  if (cfg.kwayRefine && K > 2 && !skipPolish) {
     gpk::gkway_refine(g, rb.partition, cfg, rng);
     if (strict) gp::validate_partition_or_throw(g, rb.partition, "kway-refine");
   }
@@ -97,6 +108,7 @@ GpResult partition_graph(const gp::Graph& g, idx_t K, const PartitionConfig& cfg
   out.edgeCut = gp::edge_cut(g, rb.partition);
   out.imbalance = gp::imbalance(g, rb.partition);
   out.numRecoveries = rb.numRecoveries;
+  out.numDegraded = rb.numDegraded;
   out.partition = std::move(rb.partition);
   return out;
 }

@@ -14,6 +14,7 @@ struct GpResult {
   double imbalance = 0.0;
   double seconds = 0.0;
   idx_t numRecoveries = 0;  ///< bisection retries / fallbacks taken (see DESIGN.md §9)
+  idx_t numDegraded = 0;    ///< RB nodes demoted by the deadline ladder (§13)
 };
 
 /// Partitions g into K parts minimizing the weighted edge cut.

@@ -41,7 +41,7 @@ GraphSide extract_graph_side(const gp::Graph& g, const gp::GPartition& bisection
 GRecursiveResult partition_graph_recursive(const gp::Graph& g, idx_t K,
                                            const PartitionConfig& cfg, Rng& rng) {
   RbResult<GpRbTraits> r = rb::partition_recursive_rb<GpRbTraits>(g, K, cfg, rng);
-  return {std::move(r.partition), r.sumOfBisectionCuts, r.numRecoveries};
+  return {std::move(r.partition), r.sumOfBisectionCuts, r.numRecoveries, r.numDegraded};
 }
 
 }  // namespace fghp::part::gprb

@@ -29,6 +29,7 @@ struct GRecursiveResult {
   gp::GPartition partition;
   weight_t sumOfBisectionCuts = 0;
   idx_t numRecoveries = 0;  ///< bisection retries + greedy fallbacks taken
+  idx_t numDegraded = 0;    ///< nodes demoted by the deadline ladder
 };
 
 /// Partitions g into K parts by recursive multilevel bisection. Deterministic

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/cancel.hpp"
+
 namespace fghp::part::gpr {
 
 weight_t GraphFM::compute_cut(const gp::Graph& g, const gp::GPartition& p) {
@@ -170,6 +172,8 @@ weight_t GraphFM::refine(const gp::Graph& g, gp::GPartition& p,
 
   weight_t cut = compute_cut(g, p);
   for (idx_t passNo = 0; passNo < cfg_.maxFmPasses; ++passNo) {
+    // Per-pass check-point (see BisectionFM::refine for the rationale).
+    cancel::check_point(cfg_.cancel, "gfm.pass", nullptr, passNo + 1);
     const weight_t next = pass(g, p, maxWeight, cut, rng);
     FGHP_ASSERT(next <= cut);
     if (next == cut) break;

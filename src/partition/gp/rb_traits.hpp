@@ -51,6 +51,10 @@ struct GpRbTraits {
   static void validate_bisection(const Problem& g, const Partition& p) {
     gp::validate_partition_or_throw(g, p, "grb-bisection");
   }
+
+  static double problem_size(const Problem& g) {
+    return static_cast<double>(g.num_vertices()) + static_cast<double>(g.num_edges());
+  }
 };
 
 }  // namespace fghp::part::gprb

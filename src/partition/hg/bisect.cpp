@@ -6,6 +6,7 @@
 #include "partition/hg/initial.hpp"
 #include "partition/hg/refine.hpp"
 #include "partition/phase_timers.hpp"
+#include "util/cancel.hpp"
 #include "util/fault.hpp"
 #include "util/trace.hpp"
 
@@ -30,6 +31,9 @@ hg::Partition multilevel_bisect(const hg::Hypergraph& h, const std::array<weight
     ScopedPhase phase(Phase::kCoarsen);
     for (idx_t lvl = 0; lvl < cfg.maxCoarsenLevels; ++lvl) {
       if (cur->num_vertices() <= cfg.coarsenTo) break;
+      // Per-coarsen-level check-point; a deadline thrown here is converted
+      // into a greedy degradation by the RB driver's recovery ladder.
+      cancel::check_point(cfg.cancel, "coarsen.level", nullptr, lvl + 1);
       trace::TraceScope lvlSpan("rb", "coarsen.level", "level", lvl, "verts",
                                 cur->num_vertices());
       hgc::CoarseLevel next = hgc::coarsen_one_level(*cur, cfg, rng, *curFixed);
@@ -57,6 +61,7 @@ hg::Partition multilevel_bisect(const hg::Hypergraph& h, const std::array<weight
   for (std::size_t i = levels.size(); i > 0; --i) {
     const hg::Hypergraph& fine = (i >= 2) ? levels[i - 2].coarse : h;
     const hgc::FixedSides& fineFixed = (i >= 2) ? levels[i - 2].coarseFixed : fixed;
+    cancel::check_point(cfg.cancel, "refine.level", nullptr, static_cast<long>(i));
     trace::TraceScope lvlSpan("rb", "refine.level", "level",
                               static_cast<std::int64_t>(i - 1), "verts",
                               fine.num_vertices());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/cancel.hpp"
 #include "util/sparse_acc.hpp"
 
 namespace fghp::part::hgk {
@@ -75,6 +76,12 @@ weight_t kway_refine(const hg::Hypergraph& h, hg::Partition& p, const PartitionC
   SparseAccumulator<weight_t> gainTo(K);
 
   for (idx_t passNo = 0; passNo < cfg.kwayRefinePasses; ++passNo) {
+    // Quality-only polish: a deadline here just stops refining (the
+    // partition between passes is always valid); a cancel still throws.
+    if (cancel::check_point(cfg.cancel, "kway.pass", nullptr, passNo + 1,
+                            /*deadlineThrows=*/!cfg.degradeOnDeadline) !=
+        cancel::Status::kRun)
+      break;
     weight_t passGain = 0;
     for (idx_t v : rng.permutation(h.num_vertices())) {
       if (is_fixed(v)) continue;

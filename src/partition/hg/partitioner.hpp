@@ -17,6 +17,8 @@ struct HgResult {
   double seconds = 0.0;       ///< wall-clock partitioning time
   idx_t numRecoveries = 0;    ///< bisection retries/fallbacks taken, summed
                               ///< over every restart (0 = clean run)
+  idx_t numDegraded = 0;      ///< RB nodes demoted by the deadline ladder
+                              ///< (coarsen-light or greedy; 0 = full quality)
 };
 
 /// Partitions h into K equally-weighted parts minimizing cfg.metric.
@@ -34,6 +36,16 @@ struct HgResult {
 /// and counted in HgResult::numRecoveries; cfg.validateLevel == kStrict
 /// additionally runs deep hypergraph and partition invariant checks between
 /// pipeline phases, throwing fghp::InvariantError on violation.
+///
+/// Deadlines: with cfg.cancel carrying a deadline, an expiring run degrades
+/// (cfg.degradeOnDeadline, the default) instead of failing — remaining RB
+/// subtrees drop to cheaper rungs (counted in numDegraded), the quality
+/// polish phases (K-way refine, V-cycles) and remaining restarts are
+/// skipped, but the balance repair still runs, so the returned partition is
+/// always valid and balance-feasible. A manual cancel() throws
+/// CancelledError at the next check-point; with degradation off an expired
+/// deadline throws DeadlineExceededError. Metrics and trace capture are
+/// still flushed on either throw by the CLI layer.
 HgResult partition_hypergraph(const hg::Hypergraph& h, idx_t K, const PartitionConfig& cfg,
                               const std::vector<idx_t>& fixedPart = {});
 

@@ -45,6 +45,10 @@ struct HgRbTraits {
   static void validate_bisection(const Problem& h, const Partition& p) {
     hg::validate_partition_or_throw(h, p, "rb-bisection");
   }
+
+  static double problem_size(const Problem& h) {
+    return static_cast<double>(h.num_vertices()) + static_cast<double>(h.num_pins());
+  }
 };
 
 }  // namespace fghp::part::hgrb

@@ -59,7 +59,7 @@ RecursiveResult partition_recursive(const hg::Hypergraph& h, idx_t K,
                                     const std::vector<idx_t>& fixedPart) {
   RbResult<HgRbTraits> r =
       rb::partition_recursive_rb<HgRbTraits>(h, K, cfg, rng, fixedPart);
-  return {std::move(r.partition), r.sumOfBisectionCuts, r.numRecoveries};
+  return {std::move(r.partition), r.sumOfBisectionCuts, r.numRecoveries, r.numDegraded};
 }
 
 }  // namespace fghp::part::hgrb

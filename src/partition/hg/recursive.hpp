@@ -40,6 +40,7 @@ struct RecursiveResult {
   hg::Partition partition;       ///< final K-way partition on the input H
   weight_t sumOfBisectionCuts;   ///< telescoped per-level cut costs
   idx_t numRecoveries = 0;       ///< bisection retries + greedy fallbacks taken
+  idx_t numDegraded = 0;         ///< nodes demoted by the deadline ladder
 };
 
 /// Partitions h into K parts by recursive multilevel bisection. Deterministic

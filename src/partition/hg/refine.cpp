@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/cancel.hpp"
+
 namespace fghp::part::hgr {
 
 namespace {
@@ -248,6 +250,10 @@ weight_t BisectionFM::refine(const hg::Hypergraph& h, hg::Partition& p,
 
   weight_t cut = compute_cut(h, p);
   for (idx_t passNo = 0; passNo < cfg_.maxFmPasses; ++passNo) {
+    // Per-pass check-point: the finest-grain cancellation granularity in
+    // the partitioner. A deadline here aborts the bisection; the RB
+    // driver's ladder answers with the greedy split.
+    cancel::check_point(cfg_.cancel, "fm.pass", nullptr, passNo + 1);
     const weight_t next = pass(h, p, maxWeight, cut, rng);
     FGHP_ASSERT(next <= cut);
     if (next == cut) break;

@@ -33,6 +33,9 @@
 //                                        idx_t side, const PartitionConfig&);
 //     // Deep consistency check (throws InvariantError); strict mode only.
 //     static void validate_bisection(const Problem&, const Partition&);
+//     // Work-size estimate for the degradation ladder's cost model
+//     // (vertices + pins/edges — proportional to one bisection's cost).
+//     static double problem_size(const Problem&);
 //   };
 //
 // The Problem type must expose num_vertices() / total_vertex_weight() /
@@ -69,6 +72,7 @@ struct RbResult {
   typename Traits::Partition partition;  ///< final K-way partition on the input
   weight_t sumOfBisectionCuts = 0;       ///< telescoped per-level cut costs
   idx_t numRecoveries = 0;               ///< bisection retries + greedy fallbacks taken
+  idx_t numDegraded = 0;                 ///< nodes demoted by the deadline ladder
 };
 
 /// Per-bisection imbalance tolerance such that the product over

@@ -14,8 +14,10 @@
 #include "partition/gp/rb_traits.hpp"
 #include "partition/hg/rb_traits.hpp"
 #include "partition/phase_timers.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
@@ -30,6 +32,17 @@ double per_level_epsilon(double epsilon, idx_t K) {
 namespace rb {
 
 namespace {
+
+/// Degradation rungs for a bisection node under a deadline (cheapest last).
+enum class NodeMode { kFull, kLight, kGreedy };
+
+/// Cost-model constants for the degradation ladder, in microseconds per
+/// problem-size unit (vertex + pin/edge) per recursion level. Deliberately
+/// pessimistic: over-estimating cost degrades a little early and still
+/// returns in time; under-estimating blows the deadline. Calibrated against
+/// the bench_table1 suite on a ~3 GHz core.
+constexpr double kFullUsPerUnit = 1.0;
+constexpr double kLightUsPerUnit = 0.2;
 
 template <class Traits>
 struct Recurser {
@@ -46,6 +59,38 @@ struct Recurser {
   // integer adds commute, keeping both exact and thread-count independent.
   std::atomic<weight_t> cutAccum{0};
   std::atomic<idx_t> recoveries{0};
+  std::atomic<idx_t> degraded{0};
+
+  /// Picks this node's rung on the degradation ladder. Without a deadline
+  /// (or with degradation disabled) the answer is always kFull and nothing
+  /// below this line runs, preserving bit-identical no-deadline partitions.
+  /// With one, the remaining budget is compared against a cost-model
+  /// estimate for the whole subtree rooted here (size x levels x per-unit
+  /// cost): too little even for the light rung means the deterministic
+  /// greedy split, enough for light but not full means coarsen-light.
+  NodeMode pick_mode(const Problem& h, idx_t K, bool deadlineExpired) const {
+    if (!cfg.degradeOnDeadline || !cfg.cancel.has_deadline()) return NodeMode::kFull;
+    if (deadlineExpired) return NodeMode::kGreedy;
+    const double levels = std::ceil(std::log2(static_cast<double>(std::max<idx_t>(K, 2))));
+    const double units = Traits::problem_size(h) * levels;
+    const double leftUs = static_cast<double>(cfg.cancel.remaining_ms()) * 1000.0;
+    if (leftUs < units * kLightUsPerUnit) return NodeMode::kGreedy;
+    if (leftUs < units * kFullUsPerUnit) return NodeMode::kLight;
+    return NodeMode::kFull;
+  }
+
+  /// Records one ladder demotion (trace instant + metric + warning).
+  void note_degraded(NodeMode mode, idx_t partOffset, idx_t K) {
+    degraded.fetch_add(1, std::memory_order_relaxed);
+    static metrics::Counter& counter = metrics::counter("cancel.degraded");
+    counter.add();
+    trace::instant("cancel", "rb.degraded", "part0", partOffset, "mode",
+                   mode == NodeMode::kLight ? 1 : 2);
+    std::ostringstream os;
+    os << "deadline budget low: bisection subtree at part offset " << partOffset << " (k="
+       << K << ") degraded to " << (mode == NodeMode::kLight ? "coarsen-light" : "greedy split");
+    push_warning(os.str());
+  }
 
   /// One bisection with bounded recovery. Attempt 0 replays the normal
   /// stream (byte-identical to the non-recovering code when it succeeds);
@@ -59,11 +104,13 @@ struct Recurser {
   /// the outcome is identical at any thread count.
   Part bisect_with_recovery(const Problem& h, const std::array<weight_t, 2>& target,
                             const std::array<weight_t, 2>& maxWeight,
-                            const FixedSides& fixed, const Rng& base, idx_t partOffset) {
-    const idx_t attempts = std::max<idx_t>(1, cfg.maxBisectAttempts);
+                            const FixedSides& fixed, const Rng& base, idx_t partOffset,
+                            const PartitionConfig& nodeCfg) {
+    const idx_t attempts = std::max<idx_t>(1, nodeCfg.maxBisectAttempts);
     Part best;
     bool haveBest = false;
-    for (idx_t a = 0; a < attempts; ++a) {
+    bool deadlineHit = false;
+    for (idx_t a = 0; a < attempts && !deadlineHit; ++a) {
       Rng attemptRng = base;
       for (idx_t i = 0; i < a; ++i) attemptRng = attemptRng.spawn();
       std::array<weight_t, 2> cap = maxWeight;
@@ -76,7 +123,7 @@ struct Recurser {
       }
       try {
         fault::check(a == 0 ? Traits::kBisectSite : Traits::kRetrySite, partOffset + 1);
-        Part p = Traits::bisect(h, target, cap, cfg, attemptRng, fixed);
+        Part p = Traits::bisect(h, target, cap, nodeCfg, attemptRng, fixed);
         const bool feasible =
             p.part_weight(0) <= cap[0] && p.part_weight(1) <= cap[1];
         if (feasible) {
@@ -100,6 +147,16 @@ struct Recurser {
           haveBest = true;
         }
         throw InfeasibleError(os.str());
+      } catch (const CancelledError&) {
+        // A manual cancel is a request to stop, not a failure to recover
+        // from: retrying would defeat the whole cancellation layer.
+        throw;
+      } catch (const DeadlineExceededError&) {
+        if (!nodeCfg.degradeOnDeadline) throw;
+        // The clock ran out mid-bisection (an inner FM/coarsen check-point
+        // fired): skip the remaining attempts and drop straight to the
+        // ladder's floor, the deterministic greedy split.
+        deadlineHit = true;
       } catch (const std::exception& e) {
         trace::instant("recovery", "rb.attempt_failed", "part0", partOffset, "attempt",
                        a + 1);
@@ -108,6 +165,10 @@ struct Recurser {
            << partOffset << " failed: " << e.what();
         push_warning(os.str());
       }
+    }
+    if (deadlineHit) {
+      note_degraded(NodeMode::kGreedy, partOffset, 2);
+      return Traits::greedy_fallback(h, target, fixed);
     }
     recoveries.fetch_add(1, std::memory_order_relaxed);
     if (haveBest) {
@@ -135,6 +196,16 @@ struct Recurser {
     // One span per bisection node, recorded on whichever worker ran it (the
     // exported tid shows the fork-join schedule); parts [part0, part0 + k).
     trace::TraceScope span("rb", "rb.node", "part0", partOffset, "k", K);
+
+    // Cooperative check-point at every node, before any work for the
+    // subtree. The ordinal is the node's part offset + 1 — scheduling
+    // independent, so an injected cancellation (cancel.rb.node:N) hits the
+    // same logical node at any thread count. An expired deadline throws
+    // only when degradation is off; otherwise pick_mode demotes the node.
+    const cancel::Status st =
+        cancel::check_point(cfg.cancel, "rb.node", "cancel.rb.node", partOffset + 1,
+                            /*deadlineThrows=*/!cfg.degradeOnDeadline);
+    const NodeMode mode = pick_mode(h, K, st == cancel::Status::kDeadlineExpired);
 
     const idx_t k0 = K / 2;
     const idx_t k1 = K - k0;
@@ -171,7 +242,29 @@ struct Recurser {
     // count (DESIGN.md invariant 7).
     Rng childRng0 = rng.spawn();
     Rng childRng1 = rng.spawn();
-    Part bisection = bisect_with_recovery(h, target, maxWeight, fixed, rng, partOffset);
+    Part bisection = [&] {
+      switch (mode) {
+        case NodeMode::kGreedy:
+          // Ladder floor: no budget left for this subtree. The greedy split
+          // is deterministic, allocation-light and always feasible enough
+          // for the K-way rebalance to finish the job.
+          note_degraded(mode, partOffset, K);
+          return Traits::greedy_fallback(h, target, fixed);
+        case NodeMode::kLight: {
+          // Middle rung: a shallow multilevel pass — few coarsening levels,
+          // one initial run, one FM pass, no retries.
+          note_degraded(mode, partOffset, K);
+          PartitionConfig light = cfg;
+          light.maxCoarsenLevels = std::min<idx_t>(light.maxCoarsenLevels, 4);
+          light.numInitialRuns = 1;
+          light.maxFmPasses = 1;
+          light.maxBisectAttempts = 1;
+          return bisect_with_recovery(h, target, maxWeight, fixed, rng, partOffset, light);
+        }
+        case NodeMode::kFull: break;
+      }
+      return bisect_with_recovery(h, target, maxWeight, fixed, rng, partOffset, cfg);
+    }();
     if (cfg.validateLevel == ValidateLevel::kStrict)
       Traits::validate_bisection(h, bisection);
     cutAccum.fetch_add(Traits::bisection_cut(h, bisection), std::memory_order_relaxed);
@@ -230,7 +323,8 @@ RbResult<Traits> partition_recursive_rb(const typename Traits::Problem& problem,
 
   RbResult<Traits> out{typename Traits::Partition(problem, K, std::move(finalPart)),
                        rec.cutAccum.load(std::memory_order_relaxed),
-                       rec.recoveries.load(std::memory_order_relaxed)};
+                       rec.recoveries.load(std::memory_order_relaxed),
+                       rec.degraded.load(std::memory_order_relaxed)};
   return out;
 }
 

@@ -33,6 +33,13 @@ namespace fghp::part::rb {
 /// (util/error.hpp) and counts in RbResult::numRecoveries. When
 /// cfg.validateLevel is kStrict, every accepted bisection is deep-validated
 /// via Traits::validate_bisection before recursion continues.
+///
+/// Deadlines (cfg.cancel): every node runs a cooperative check-point before
+/// any subtree work. A manual cancel throws CancelledError; an expiring
+/// deadline (with cfg.degradeOnDeadline) demotes remaining subtrees down
+/// the ladder full multilevel -> coarsen-light -> deterministic greedy
+/// split, counted in RbResult::numDegraded, so the run still returns a
+/// valid partition. With degradation off it throws DeadlineExceededError.
 template <class Traits>
 RbResult<Traits> partition_recursive_rb(const typename Traits::Problem& problem, idx_t K,
                                         const PartitionConfig& cfg, Rng& rng,

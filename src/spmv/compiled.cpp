@@ -71,6 +71,7 @@ CompiledPlan compile_plan(const SpmvPlan& plan, const CompileOptions& opts) {
   FGHP_REQUIRE(plan.procs.size() == uz(K), "plan.procs inconsistent with numProcs");
   trace::TraceScope span("spmv", "plan.compile", "procs", K, "words",
                          plan.total_words());
+  cancel::check_point(opts.cancel, "plan.compile");
 
   CompiledPlan c;
   c.numProcs = K;
@@ -368,6 +369,12 @@ ExecSession::ExecSession(const SpmvPlan& plan, const CompileOptions& opts)
 
 void ExecSession::run(std::span<const double> x, std::vector<double>& y,
                       ExecStats* stats) {
+  cancel::check_point(cancel_, "exec.iter", "cancel.exec.iter", ++iter_);
+  run_serial_impl(x, y, stats);
+}
+
+void ExecSession::run_serial_impl(std::span<const double> x, std::vector<double>& y,
+                                  ExecStats* stats) {
   trace::TraceScope span("spmv", "spmv.iteration", "procs", c_.numProcs, "mt", 0);
   FGHP_REQUIRE(x.size() == uz(c_.numCols), "x size mismatch");
   y.resize(uz(c_.numRows));
@@ -410,6 +417,7 @@ void ExecSession::run(std::span<const double> x, std::vector<double>& y,
 void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
                          idx_t numThreads, ExecStats* stats) {
   trace::TraceScope span("spmv", "spmv.iteration", "procs", c_.numProcs, "mt", 1);
+  cancel::check_point(cancel_, "exec.iter", "cancel.exec.iter", ++iter_);
   FGHP_REQUIRE(x.size() == uz(c_.numCols), "x size mismatch");
   const idx_t K = c_.numProcs;
 
@@ -495,6 +503,12 @@ void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
     });
   });
 
+  // Between supersteps the caller thread is at a barrier — the only place a
+  // cancellation can be observed without racing the retry ladder inside the
+  // worker tasks. The scratch is fully re-assigned by every run, so an
+  // iteration abandoned here leaves the session reusable.
+  cancel::check_point(cancel_, "exec.superstep", nullptr, iter_);
+
   // Superstep 2: drain the expand buffer, multiply locally, fill the fold
   // buffer.
   if (!failed.load(std::memory_order_acquire)) {
@@ -517,6 +531,8 @@ void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
     });
   }
 
+  cancel::check_point(cancel_, "exec.superstep", nullptr, iter_);
+
   // Superstep 3: owners accumulate their own partial plus received partials
   // in plan order (same order as the serial path). Each y_i has a unique
   // owner, so writes to y are disjoint across processors.
@@ -537,8 +553,10 @@ void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
     // Some task failed even its retry: discard the partial parallel run and
     // recompute from scratch on the (uninstrumented) serial path, which
     // re-zeroes y. Output and traffic counts match a clean run exactly.
+    // run_serial_impl, not run(): this is still the same logical iteration,
+    // so it must not consume a second check-point ordinal.
     gFallbacks.add();
-    run(x, y, stats);
+    run_serial_impl(x, y, stats);
     if (stats != nullptr) {
       stats->taskRetries = static_cast<idx_t>(taskRetries.value());
       stats->serialFallback = true;

@@ -42,6 +42,7 @@
 
 #include "spmv/executor.hpp"
 #include "spmv/plan.hpp"
+#include "util/cancel.hpp"
 
 namespace fghp::spmv {
 
@@ -106,6 +107,9 @@ struct CompileOptions {
   /// bipartite RCM sweep for cache locality (results are bit-identical
   /// with or without).
   bool cacheReorder = true;
+  /// Checked once at the "plan.compile" phase boundary before any lowering
+  /// work (an inactive default token is free).
+  cancel::CancelToken cancel;
 };
 
 /// Lowers a plan. Throws fghp::InvariantError if the plan's fold schedule
@@ -125,6 +129,20 @@ class ExecSession {
 
   const CompiledPlan& compiled() const { return c_; }
 
+  /// Installs a cancellation token for subsequent iterations. Each run()/
+  /// run_mt() call starts with a check-point at the "exec.iter" boundary
+  /// (fault site `cancel.exec.iter`, ordinal = 1-based iteration number) and
+  /// run_mt additionally checks between BSP supersteps — always on the
+  /// calling thread, never inside a worker task, so the retry ladder cannot
+  /// misread a cancellation as a task fault. A cancelled or expired token
+  /// surfaces as CancelledError / DeadlineExceededError; the session stays
+  /// reusable afterwards (every scratch word is re-assigned each run).
+  void set_cancel(cancel::CancelToken token) { cancel_ = std::move(token); }
+
+  /// 1-based count of iterations started (run + run_mt); the check-point
+  /// ordinal, exposed for tests.
+  long iterations_started() const { return iter_; }
+
   /// Serial y = A x into `y` (resized to numRows, zero-filled, then
   /// accumulated in the serial executor's exact summation order).
   void run(std::span<const double> x, std::vector<double>& y,
@@ -142,7 +160,15 @@ class ExecSession {
               idx_t numThreads = 0, ExecStats* stats = nullptr);
 
  private:
+  /// The serial path without the per-iteration check-point: run() wraps it,
+  /// and the run_mt serial fallback calls it directly so one logical
+  /// iteration never consumes two check-point ordinals.
+  void run_serial_impl(std::span<const double> x, std::vector<double>& y,
+                       ExecStats* stats);
+
   CompiledPlan c_;
+  cancel::CancelToken cancel_;
+  long iter_ = 0;
   // Scratch, sized and explicitly zero-filled once at construction
   // (assign, not resize: a moved-from or reused vector never carries stale
   // tail data into a differently-sized image). Every run_mt superstep

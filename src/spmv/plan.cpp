@@ -26,8 +26,10 @@ idx_t SpmvPlan::total_messages() const {
   return msgs;
 }
 
-SpmvPlan build_plan(const sparse::Csr& a, const model::Decomposition& d) {
+SpmvPlan build_plan(const sparse::Csr& a, const model::Decomposition& d,
+                    const cancel::CancelToken& cancel) {
   trace::TraceScope span("spmv", "plan.build", "procs", d.numProcs, "nnz", a.nnz());
+  cancel::check_point(cancel, "plan.build");
   model::validate(a, d);
   const idx_t K = d.numProcs;
   const idx_t n = a.num_rows();

@@ -8,6 +8,7 @@
 
 #include "models/decomposition.hpp"
 #include "sparse/csr.hpp"
+#include "util/cancel.hpp"
 
 namespace fghp::spmv {
 
@@ -46,8 +47,10 @@ struct SpmvPlan {
 };
 
 /// Builds the schedules. Deterministic: ids inside every message and the
-/// messages themselves are sorted.
-SpmvPlan build_plan(const sparse::Csr& a, const model::Decomposition& d);
+/// messages themselves are sorted. The optional token is checked once at the
+/// phase boundary before any work (an inactive default token is free).
+SpmvPlan build_plan(const sparse::Csr& a, const model::Decomposition& d,
+                    const cancel::CancelToken& cancel = {});
 
 /// Returns a list of human-readable problems with a plan (empty = valid):
 ///  * proc count / index ranges inconsistent with numProcs/numRows/numCols,

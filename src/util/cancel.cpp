@@ -1,0 +1,98 @@
+#include "util/cancel.hpp"
+
+#include <limits>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace fghp::cancel {
+
+namespace {
+
+constexpr long kNoDeadlineMs = std::numeric_limits<long>::max() / 2;
+
+}  // namespace
+
+Deadline Deadline::after_ms(long ms) {
+  Deadline d;
+  if (ms < 0) return d;
+  d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+  d.has_ = true;
+  return d;
+}
+
+long Deadline::remaining_ms() const {
+  if (!has_) return kNoDeadlineMs;
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(at_ - Clock::now()).count();
+  return left > 0 ? static_cast<long>(left) : 0;
+}
+
+CancelToken CancelToken::manual() {
+  return CancelToken(std::make_shared<State>());
+}
+
+CancelToken CancelToken::with_deadline_ms(long ms) {
+  if (ms < 0) return {};
+  auto state = std::make_shared<State>();
+  state->deadline = Deadline::after_ms(ms);
+  return CancelToken(std::move(state));
+}
+
+void CancelToken::cancel() const {
+  if (state_ != nullptr) state_->cancelled.store(true, std::memory_order_release);
+}
+
+long CancelToken::remaining_ms() const {
+  if (state_ == nullptr) return kNoDeadlineMs;
+  return state_->deadline.remaining_ms();
+}
+
+Status poll(const CancelToken& token) {
+  if (!token.active()) return Status::kRun;
+  if (token.cancelled()) return Status::kCancelled;
+  if (token.expired()) return Status::kDeadlineExpired;
+  return Status::kRun;
+}
+
+Status check_point(const CancelToken& token, const char* phase, const char* faultSite,
+                   long ordinal, bool deadlineThrows) {
+  // Simulated cancellation via the fault harness first: it must work even
+  // when no token is installed, so the check.sh sweep (which only sets
+  // FGHP_FAULT_SPEC) exercises the cancellation propagation paths.
+  if (faultSite != nullptr && fault::fired(faultSite, ordinal)) {
+    static metrics::Counter& cancelled = metrics::counter("cancel.cancelled");
+    cancelled.add();
+    ErrorContext ctx;
+    ctx.phase = phase;
+    ctx.part = ordinal;
+    throw CancelledError("run cancelled (injected)", std::move(ctx));
+  }
+  const Status st = poll(token);
+  if (st == Status::kRun) return st;
+  if (st == Status::kCancelled) {
+    static metrics::Counter& cancelled = metrics::counter("cancel.cancelled");
+    cancelled.add();
+    trace::instant("cancel", "cancel.cancelled", "ordinal", ordinal);
+    ErrorContext ctx;
+    ctx.phase = phase;
+    ctx.part = ordinal;
+    throw CancelledError("run cancelled", std::move(ctx));
+  }
+  // Deadline expired.
+  static metrics::Counter& expired = metrics::counter("cancel.deadline_expired");
+  expired.add();
+  trace::instant("cancel", "cancel.deadline", "ordinal", ordinal);
+  if (deadlineThrows) {
+    ErrorContext ctx;
+    ctx.phase = phase;
+    ctx.part = ordinal;
+    throw DeadlineExceededError("deadline exceeded", std::move(ctx));
+  }
+  return st;
+}
+
+}  // namespace fghp::cancel

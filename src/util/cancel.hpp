@@ -1,0 +1,128 @@
+// Cooperative cancellation and deadlines for the partition -> SpMV pipeline.
+//
+// A CancelToken is a cheap copyable handle to shared cancellation state: a
+// manual cancel flag plus an optional absolute deadline on the steady clock.
+// The token travels by value through PartitionConfig, the recursive-bisection
+// Recurser, the FM/coarsen inner loops, plan build/compile, and ExecSession;
+// the code it flows through calls check_point() at well-defined boundaries
+// (see DESIGN.md §13 for the placement rules):
+//
+//   - once per pipeline phase (model build, RB, rebalance, k-way refine,
+//     v-cycle, plan build, plan compile),
+//   - once per recursive-bisection node, before any work for that subtree,
+//   - once per FM pass and once per coarsening level inside a bisection,
+//   - once per SpMV iteration, at superstep boundaries only (never inside a
+//     worker task, where the retry ladder would misread it as a task fault).
+//
+// A default-constructed token is *inactive*: every query is answered from a
+// null shared_ptr without touching the clock, so un-deadlined runs pay one
+// pointer test per check-point and remain bit-identical to builds that
+// predate this layer.
+//
+// check_point() throws CancelledError on a manual cancel and (by default)
+// DeadlineExceededError on an expired deadline. Callers that can degrade
+// instead of failing — the RB driver's full -> coarsen-light -> greedy
+// ladder — use poll() and handle kDeadlineExpired themselves.
+//
+// Determinism: cancellation is observed only at check-points, and each
+// check-point is identified by a phase name and a scheduling-independent
+// ordinal. Simulated cancellations are injected through util/fault sites
+// ("cancel.rb.node", "cancel.exec.iter"), so a spec like
+// FGHP_FAULT_SPEC=cancel.rb.node:3 cancels the same logical node at any
+// thread count.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace fghp::cancel {
+
+/// A point on the steady clock before which work must finish. Default
+/// constructed = no deadline.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  /// Deadline `ms` milliseconds from now (ms < 0 = no deadline; ms == 0 is
+  /// already expired — useful for forcing the fully-degraded path in tests).
+  static Deadline after_ms(long ms);
+
+  bool has_deadline() const { return has_; }
+
+  /// Milliseconds until expiry, clamped at 0. A huge positive value when no
+  /// deadline is set, so `remaining_ms() < budget` comparisons read naturally.
+  long remaining_ms() const;
+
+  bool expired() const { return has_ && Clock::now() >= at_; }
+
+ private:
+  Clock::time_point at_{};
+  bool has_ = false;
+};
+
+/// What a check-point observed.
+enum class Status {
+  kRun,              ///< keep going
+  kCancelled,        ///< manual cancel requested
+  kDeadlineExpired,  ///< the deadline has passed
+};
+
+/// Copyable handle to shared cancellation state. Default constructed =
+/// inactive (never cancels, never expires, near-zero query cost).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A token that only cancels manually (via cancel()).
+  static CancelToken manual();
+
+  /// A token whose deadline is `ms` milliseconds from now. ms < 0 yields an
+  /// inactive token, so CLI plumbing can pass the flag value through
+  /// unconditionally.
+  static CancelToken with_deadline_ms(long ms);
+
+  /// Requests cancellation. Safe from any thread and through any copy
+  /// (const: it mutates the shared state, not this handle); a no-op on an
+  /// inactive token.
+  void cancel() const;
+
+  bool active() const { return state_ != nullptr; }
+  bool cancelled() const {
+    return state_ != nullptr && state_->cancelled.load(std::memory_order_acquire);
+  }
+  bool has_deadline() const { return state_ != nullptr && state_->deadline.has_deadline(); }
+  bool expired() const { return state_ != nullptr && state_->deadline.expired(); }
+
+  /// Milliseconds of budget left (clamped at 0); a huge positive value when
+  /// inactive or un-deadlined.
+  long remaining_ms() const;
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    Deadline deadline;
+  };
+
+  explicit CancelToken(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Non-throwing query, in precedence order: cancelled beats expired.
+Status poll(const CancelToken& token);
+
+/// Cooperative check-point. `phase` names the boundary (static string,
+/// recorded as the ErrorContext phase and in the trace); `faultSite`, when
+/// non-null, names a fault-injection site checked first with `ordinal` so
+/// tests can simulate a cancellation here deterministically even without a
+/// token. On a manual cancel throws CancelledError; on an expired deadline
+/// throws DeadlineExceededError when `deadlineThrows`, else returns
+/// kDeadlineExpired so the caller can degrade. Emits a cancel.* metric and a
+/// trace instant whenever it does not return kRun.
+Status check_point(const CancelToken& token, const char* phase, const char* faultSite = nullptr,
+                   long ordinal = 1, bool deadlineThrows = true);
+
+}  // namespace fghp::cancel

@@ -15,6 +15,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kInvariant: return "invariant";
     case ErrorCode::kInfeasible: return "infeasible";
     case ErrorCode::kFault: return "fault";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadline: return "deadline";
   }
   return "error";
 }
@@ -61,6 +63,22 @@ ErrorCode common_code(const std::vector<std::exception_ptr>& errors) {
   return common;
 }
 
+/// Context of the first contained Error that has any context set, so that
+/// e.g. the phase recorded by a cancellation check-point survives the
+/// fork-join rethrow as an AggregateError.
+ErrorContext first_context(const std::vector<std::exception_ptr>& errors) {
+  for (const auto& ep : errors) {
+    try {
+      std::rethrow_exception(ep);
+    } catch (const Error& e) {
+      const ErrorContext& ctx = e.context();
+      if (!ctx.path.empty() || ctx.line > 0 || !ctx.phase.empty() || ctx.part >= 0) return ctx;
+    } catch (...) {
+    }
+  }
+  return {};
+}
+
 std::string aggregate_message(const std::vector<std::exception_ptr>& errors) {
   std::ostringstream os;
   os << errors.size() << " concurrent tasks failed:";
@@ -80,7 +98,8 @@ std::string aggregate_message(const std::vector<std::exception_ptr>& errors) {
 }  // namespace
 
 AggregateError::AggregateError(std::vector<std::exception_ptr> errors)
-    : Error(common_code(errors), aggregate_message(errors)), errors_(std::move(errors)) {}
+    : Error(common_code(errors), aggregate_message(errors), first_context(errors)),
+      errors_(std::move(errors)) {}
 
 int exit_code(const std::exception& e) {
   if (const auto* err = dynamic_cast<const Error*>(&e)) {

@@ -6,12 +6,14 @@
 // phase, part index) so callers can react programmatically instead of
 // parsing message strings:
 //
-//   IoError         — a file could not be opened / read / written
-//   FormatError     — a file opened but its contents are malformed
-//   InvariantError  — an internal consistency check failed (strict mode)
-//   InfeasibleError — a balance constraint could not be satisfied
-//   FaultError      — an injected fault fired (util/fault.hpp)
-//   AggregateError  — several concurrent tasks failed (util/thread_pool.hpp)
+//   IoError               — a file could not be opened / read / written
+//   FormatError           — a file opened but its contents are malformed
+//   InvariantError        — an internal consistency check failed (strict mode)
+//   InfeasibleError       — a balance constraint could not be satisfied
+//   FaultError            — an injected fault fired (util/fault.hpp)
+//   CancelledError        — the run's CancelToken was cancelled (util/cancel.hpp)
+//   DeadlineExceededError — the run's deadline expired (util/cancel.hpp)
+//   AggregateError        — several concurrent tasks failed (util/thread_pool.hpp)
 //
 // All of them derive from std::runtime_error via fghp::Error, so existing
 // catch (const std::runtime_error&) handlers keep working.
@@ -40,6 +42,8 @@ enum class ErrorCode : int {
   kInvariant = 5,
   kInfeasible = 6,
   kFault = 7,
+  kCancelled = 8,
+  kDeadline = 9,
 };
 
 /// Name of a category ("io", "format", ...), for logs and tests.
@@ -108,9 +112,27 @@ class FaultError : public Error {
       : Error(ErrorCode::kFault, what, std::move(ctx)) {}
 };
 
+/// The run's CancelToken was cancelled (util/cancel.hpp). ctx.phase names
+/// the check-point that observed the cancellation.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what, ErrorContext ctx = {})
+      : Error(ErrorCode::kCancelled, what, std::move(ctx)) {}
+};
+
+/// The run's deadline expired at a check-point that could not (or was
+/// configured not to) degrade. ctx.phase names the check-point.
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& what, ErrorContext ctx = {})
+      : Error(ErrorCode::kDeadline, what, std::move(ctx)) {}
+};
+
 /// Several concurrent tasks failed (TaskGroup::wait). what() concatenates
 /// every task's message; errors() keeps the original exception_ptrs. The
-/// code is the contained errors' common category, or kGeneric if they mix.
+/// code is the contained errors' common category, or kGeneric if they mix;
+/// the context is adopted from the first contained Error that carries one,
+/// so phase names survive aggregation across fork-join boundaries.
 class AggregateError : public Error {
  public:
   explicit AggregateError(std::vector<std::exception_ptr> errors);

@@ -87,6 +87,8 @@ void init_from_env() {
 
 const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> sites = {
+      "cancel.exec.iter",  // exec-session iteration check-point (ordinal = iteration)
+      "cancel.rb.node",    // recursive-bisection node check-point (ordinal = part offset + 1)
       "decomp.open",  // opening a decomposition file for reading
       "decomp.read",  // parsing a decomposition stream
       "decomp.write", // serializing a decomposition
@@ -102,6 +104,7 @@ const std::vector<std::string>& known_sites() {
       "mmio.read",    // Matrix Market entry parse (ordinal = entry index)
       "rb.bisect",    // hypergraph recursive-bisection node (ordinal = part offset + 1)
       "rb.retry",     // hypergraph bisection retry attempt  (ordinal = part offset + 1)
+      "watchdog.stall",  // simulated worker stall seen by the pool watchdog (ordinal = scan)
   };
   return sites;
 }
@@ -139,16 +142,31 @@ bool should_fail(std::string_view site, long ordinal) {
   return false;
 }
 
-void check(std::string_view site, long ordinal) {
-  if (!should_fail(site, ordinal)) return;
-  // The fault is observable before it propagates: an instant event in the
-  // trace (named by the canonical entry from known_sites(), whose storage is
-  // static — trace events never copy strings) and a fired counter.
+namespace {
+
+/// Records a firing: one instant event in the trace (named by the canonical
+/// entry from known_sites(), whose storage is static — trace events never
+/// copy strings) and the fired counter.
+void record_fired(std::string_view site, long ordinal) {
   const auto& sites = known_sites();
   const auto it = std::find(sites.begin(), sites.end(), site);
   if (it != sites.end()) trace::instant("fault", it->c_str(), "ordinal", ordinal);
   static metrics::Counter& fired = metrics::counter("fault.fired");
   fired.add();
+}
+
+}  // namespace
+
+bool fired(std::string_view site, long ordinal) {
+  if (!should_fail(site, ordinal)) return false;
+  record_fired(site, ordinal);
+  return true;
+}
+
+void check(std::string_view site, long ordinal) {
+  if (!should_fail(site, ordinal)) return;
+  // The fault is observable before it propagates.
+  record_fired(site, ordinal);
   ErrorContext ctx;
   ctx.phase = std::string(site);
   ctx.part = ordinal;

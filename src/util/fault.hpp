@@ -54,6 +54,13 @@ bool should_fail(std::string_view site, long ordinal = 1);
 /// Throws FaultError when should_fail(site, ordinal).
 void check(std::string_view site, long ordinal = 1);
 
+/// Non-throwing variant for sites whose injected behavior is not an
+/// exception (a simulated cancellation or a simulated stall): when the spec
+/// names the site it records the firing exactly like check() — one trace
+/// instant + the fired counter — and returns true so the caller can enact
+/// the simulated condition itself. Returns false when the site is disarmed.
+bool fired(std::string_view site, long ordinal = 1);
+
 /// Installs a spec for a scope and restores the previous one on exit.
 class ScopedSpec {
  public:

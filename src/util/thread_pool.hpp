@@ -15,6 +15,18 @@
 //
 // FGHP_THREADS caps the default pool size (default: hardware concurrency;
 // FGHP_THREADS=1 keeps every caller on the serial code path).
+//
+// Watchdog: set_watchdog_ms (or FGHP_WATCHDOG_MS) arms a monitor thread
+// with a stall threshold. Workers publish per-task heartbeats (task start
+// time + a task sequence number); the monitor scans them every half
+// threshold and, when a worker has been inside one task for longer than the
+// threshold, emits a trace instant + watchdog.stalls metric and dumps the
+// in-flight task state to stderr — once per (worker, task), so a genuinely
+// stuck task does not flood the log. The watchdog never kills anything: the
+// pipeline's cancellation layer (util/cancel.hpp) is the cooperative path
+// out, the watchdog is the flight recorder for tasks that stopped
+// cooperating. The site "watchdog.stall" (ordinal = scan number) simulates
+// a stall for tests without needing a real hung task.
 #pragma once
 
 #include <atomic>
@@ -45,7 +57,27 @@ class ThreadPool {
   int num_threads() const;
 
   /// Adds workers until num_threads() >= totalThreads. Never shrinks.
+  /// Throws InvariantError after shutdown().
   void grow_to(int totalThreads);
+
+  /// Stops accepting work, drains the queue, and joins every worker and the
+  /// watchdog thread. Idempotent; also run by the destructor. Forking
+  /// through the pool afterwards is a typed InvariantError, never undefined
+  /// behavior.
+  void shutdown();
+
+  /// Arms (ms > 0) or disarms (ms <= 0) the stall watchdog. The monitor
+  /// thread is started on first arming and joined by shutdown().
+  void set_watchdog_ms(long ms);
+
+  /// One synchronous watchdog scan over the worker heartbeats; returns the
+  /// number of stalls reported. Called periodically by the monitor thread,
+  /// and directly by tests (deterministic, no sleeping required). The scan
+  /// ordinal feeds the "watchdog.stall" fault site, which simulates a stall.
+  long watchdog_scan();
+
+  /// FGHP_WATCHDOG_MS if set and positive, else 0 (watchdog off).
+  static long default_watchdog_ms();
 
   /// FGHP_THREADS if set and positive, else hardware_concurrency (min 1).
   static int default_num_threads();
@@ -66,17 +98,35 @@ class ThreadPool {
     TaskGroup* group = nullptr;
   };
 
+  /// Per-worker heartbeat, written by the worker without locks and read by
+  /// the watchdog. busySinceNs == 0 means idle; seq increments at each task
+  /// start so the watchdog can tell "same stuck task" from "new task".
+  struct Beat {
+    std::atomic<std::int64_t> busySinceNs{0};
+    std::atomic<std::uint64_t> seq{0};
+  };
+
   void enqueue(Task t);
   /// Steals from the LIFO end (help-while-waiting). False when empty.
   bool try_steal(Task& out);
   static void run_task(Task& t);
-  void worker_loop();
+  void worker_loop(std::size_t index);
+  void watchdog_loop();
 
   mutable std::mutex mu_;
   std::condition_variable workReady_;
   std::deque<Task> queue_;
   std::vector<std::thread> workers_;
+  std::deque<Beat> beats_;                    // parallel to workers_; stable addresses
+  std::vector<std::uint64_t> lastReported_;   // last stall-reported seq per worker (mu_)
   bool stop_ = false;
+
+  std::atomic<long> watchdogMs_{0};
+  std::atomic<long> watchdogScans_{0};
+  std::mutex wdMu_;
+  std::condition_variable wdCv_;
+  std::thread watchdog_;
+  bool wdStop_ = false;
 };
 
 /// Fork-join scope over a pool: run() forks a task, wait() joins all tasks

@@ -85,7 +85,9 @@ TEST(CompilePlan, ImageCoversPlanExactly) {
   for (bool reorder : {true, false}) {
     const auto d = random_decomposition(a, K, 17 + static_cast<std::uint64_t>(K));
     const SpmvPlan plan = build_plan(a, d);
-    const CompiledPlan c = compile_plan(plan, CompileOptions{.cacheReorder = reorder});
+    CompileOptions copts;
+    copts.cacheReorder = reorder;
+    const CompiledPlan c = compile_plan(plan, copts);
     EXPECT_EQ(c.cacheReordered, reorder);
     if (!reorder) {
       EXPECT_EQ(c.reorderedProcs, 0);
@@ -254,8 +256,10 @@ TEST(CacheReorder, BitIdenticalToUnreorderedImageAcrossSuite) {
     validate_plan_or_throw(plan);
     const auto x = random_x(a.num_cols(), 60);
 
+    CompileOptions noReorder;
+    noReorder.cacheReorder = false;
     ExecSession reordered(plan);
-    ExecSession baseline(plan, CompileOptions{.cacheReorder = false});
+    ExecSession baseline(plan, noReorder);
     std::vector<double> y, yBase;
     baseline.run(x, yBase);
     expect_bit_identical(yBase, execute(plan, x));

@@ -18,6 +18,8 @@ TEST(Error, EveryCategoryKeepsItsCode) {
   EXPECT_EQ(InvariantError("x").code(), ErrorCode::kInvariant);
   EXPECT_EQ(InfeasibleError("x").code(), ErrorCode::kInfeasible);
   EXPECT_EQ(FaultError("x").code(), ErrorCode::kFault);
+  EXPECT_EQ(CancelledError("x").code(), ErrorCode::kCancelled);
+  EXPECT_EQ(DeadlineExceededError("x").code(), ErrorCode::kDeadline);
 }
 
 TEST(Error, DerivesFromRuntimeError) {
@@ -61,6 +63,8 @@ TEST(Error, ExitCodeMapping) {
   EXPECT_EQ(exit_code(InvariantError("x")), 5);
   EXPECT_EQ(exit_code(InfeasibleError("x")), 6);
   EXPECT_EQ(exit_code(FaultError("x")), 7);
+  EXPECT_EQ(exit_code(CancelledError("x")), 8);
+  EXPECT_EQ(exit_code(DeadlineExceededError("x")), 9);
   EXPECT_EQ(exit_code(std::invalid_argument("bad arg")), 2);  // FGHP_REQUIRE
   EXPECT_EQ(exit_code(std::runtime_error("anything")), 1);
 }
@@ -71,6 +75,8 @@ TEST(Error, CodeNames) {
   EXPECT_STREQ(error_code_name(ErrorCode::kInvariant), "invariant");
   EXPECT_STREQ(error_code_name(ErrorCode::kInfeasible), "infeasible");
   EXPECT_STREQ(error_code_name(ErrorCode::kFault), "fault");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCancelled), "cancelled");
+  EXPECT_STREQ(error_code_name(ErrorCode::kDeadline), "deadline");
 }
 
 template <typename E>
@@ -92,6 +98,27 @@ TEST(AggregateError, CommonCategoryIsPreserved) {
   EXPECT_EQ(same.code(), ErrorCode::kFault);
   const AggregateError mixed({wrap(FaultError("a")), wrap(IoError("b"))});
   EXPECT_EQ(mixed.code(), ErrorCode::kGeneric);
+}
+
+TEST(AggregateError, AdoptsFirstContainedContext) {
+  // A typed error crossing the fork-join boundary must keep its phase/part
+  // context: the rb_driver rethrows worker errors through TaskGroup::wait,
+  // and "which phase cancelled" is the whole point of the typed errors.
+  ErrorContext ctx;
+  ctx.phase = "rb.node";
+  ctx.part = 7;
+  const AggregateError agg(
+      {wrap(CancelledError("run cancelled", ctx)), wrap(CancelledError("later"))});
+  EXPECT_EQ(agg.code(), ErrorCode::kCancelled);
+  EXPECT_EQ(agg.context().phase, "rb.node");
+  EXPECT_EQ(agg.context().part, 7);
+  const std::string what = agg.what();
+  EXPECT_NE(what.find("rb.node"), std::string::npos);
+}
+
+TEST(AggregateError, NonErrorMembersLeaveContextEmpty) {
+  const AggregateError agg({std::make_exception_ptr(std::runtime_error("plain"))});
+  EXPECT_TRUE(agg.context().phase.empty());
 }
 
 TEST(Warnings, PushDrainCount) {

@@ -21,12 +21,14 @@
 #include "partition/hg/partitioner.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/mmio.hpp"
+#include "spmv/compiled.hpp"
 #include "spmv/executor_mt.hpp"
 #include "spmv/plan.hpp"
 #include "spmv/reference.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 namespace fghp {
@@ -354,14 +356,15 @@ TEST(ExecRecovery, RecoveredRunMatchesCleanRunExactly) {
 // this coverage in sync with the registry.
 
 /// Runs `op` (which arms its own fault spec) with tracing on and returns the
-/// exported Chrome JSON. FaultErrors escaping `op` are expected for sites
-/// with no recovery path above them.
+/// exported Chrome JSON. Typed errors escaping `op` are expected for sites
+/// with no recovery path above them (FaultError for plain sites,
+/// CancelledError for the simulated-cancellation sites).
 std::string trigger_and_export(const std::function<void()>& op) {
   trace::enable(1u << 15);
   trace::reset();
   try {
     op();
-  } catch (const FaultError&) {
+  } catch (const Error&) {
   }
   std::ostringstream os;
   trace::write_chrome_trace(os);
@@ -468,6 +471,22 @@ TEST(FaultTracing, EveryKnownSiteEmitsExactlyOneInstantWhenArmed) {
   triggers["rb.retry"] = [&] { hgPartition("rb.bisect:1,rb.retry:1", 2); };
   triggers["grb.bisect"] = [&] { gpPartition("grb.bisect:1", 3); };
   triggers["grb.retry"] = [&] { gpPartition("grb.bisect:1,grb.retry:1", 2); };
+  // Simulated cancellation at the root RB node: the check-point throws
+  // CancelledError before any work, so the site fires exactly once.
+  triggers["cancel.rb.node"] = [&] { hgPartition("cancel.rb.node:1", 3); };
+  triggers["cancel.exec.iter"] = [&f] {
+    fault::ScopedSpec s("cancel.exec.iter:1");
+    spmv::ExecSession session(f.plan);
+    std::vector<double> y;
+    session.run(f.x, y);
+  };
+  triggers["watchdog.stall"] = [] {
+    // A synchronous scan on a private pool: the armed site appends one
+    // simulated stall (and its instant) deterministically, no sleeping.
+    fault::ScopedSpec s("watchdog.stall:1");
+    ThreadPool pool(2);
+    pool.watchdog_scan();
+  };
 
   for (const std::string& site : fault::known_sites()) {
     const auto it = triggers.find(site);

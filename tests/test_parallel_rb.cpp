@@ -19,6 +19,9 @@
 #include "partition/hg/partitioner.hpp"
 #include "partition/hg/recursive.hpp"
 #include "sparse/testsuite.hpp"
+#include "util/cancel.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fghp {
@@ -134,6 +137,42 @@ TEST_F(ParallelRbTest, OddKGraphPartitionBalanced) {
     const part::PartitionConfig cfg = config_with_threads(4);
     const part::GpResult r = part::partition_graph(g, K, cfg);
     EXPECT_LE(r.imbalance, cfg.epsilon + 1e-9) << "K=" << K;
+  }
+}
+
+TEST_F(ParallelRbTest, GenerousDeadlineBitIdenticalToNoDeadline) {
+  // An active-but-ample deadline must not perturb a single decision: the
+  // ladder only changes behavior once remaining budget actually runs short.
+  const hg::Hypergraph& h = finegrain_hypergraph();
+  const part::PartitionConfig plain = config_with_threads(1);
+  const part::HgResult ref = part::partition_hypergraph(h, 16, plain);
+  for (idx_t threads : {1, 2, 8}) {
+    part::PartitionConfig cfg = config_with_threads(threads);
+    cfg.cancel = cancel::CancelToken::with_deadline_ms(3'600'000);  // one hour
+    const part::HgResult r = part::partition_hypergraph(h, 16, cfg);
+    EXPECT_EQ(r.partition.assignment(), ref.partition.assignment())
+        << "threads=" << threads;
+    EXPECT_EQ(r.numDegraded, 0) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelRbTest, InjectedCancelSameTypedErrorAtEveryThreadCount) {
+  // A simulated cancellation at a fixed RB node must surface as the same
+  // typed error at any thread count — the ordinal identifies the logical
+  // node, not a scheduling accident, and the fork-join rethrow (possibly via
+  // AggregateError) must preserve the code and the phase context.
+  const hg::Hypergraph& h = finegrain_hypergraph();
+  for (idx_t threads : {1, 2, 8}) {
+    part::PartitionConfig cfg = config_with_threads(threads);
+    cfg.faultSpec = "cancel.rb.node:3";
+    try {
+      part::partition_hypergraph(h, 16, cfg);
+      FAIL() << "expected CancelledError at threads=" << threads;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kCancelled) << "threads=" << threads;
+      EXPECT_EQ(e.context().phase, "rb.node") << "threads=" << threads;
+    }
+    drain_warnings();
   }
 }
 
