@@ -24,7 +24,7 @@
 #include "models/hypergraph1d.hpp"
 #include "partition/config.hpp"
 #include "sparse/testsuite.hpp"
-#include "spmv/kernels.hpp"
+#include "exec/kernels.hpp"
 #include "util/assert.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"

@@ -192,7 +192,7 @@ int main(int argc, char** argv) {
       const double flops = 2.0 * static_cast<double>(a.nnz());
       const double bytes =
           12.0 * static_cast<double>(a.nnz()) +
-          8.0 * static_cast<double>(c.xOff.back() + c.rowOff.back() + c.numRows) +
+          8.0 * static_cast<double>(c.in[0].off.back() + c.out.off.back() + c.out.size) +
           16.0 * static_cast<double>(words);
       const double gflops = flops / (compiledMs * 1e6);
       const double gbps = bytes / (compiledMs * 1e6);
@@ -276,7 +276,7 @@ int main(int argc, char** argv) {
     const auto& c = reordered.compiled();
     const double bytes =
         12.0 * static_cast<double>(a.nnz()) +
-        8.0 * static_cast<double>(c.xOff.back() + c.rowOff.back() + c.numRows) +
+        8.0 * static_cast<double>(c.in[0].off.back() + c.out.off.back() + c.out.size) +
         16.0 * static_cast<double>(plan.total_words());
     const double gbpsBase = bytes / (baseMs * 1e6);
     const double gbps = bytes / (reordMs * 1e6);

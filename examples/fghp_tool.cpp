@@ -11,6 +11,12 @@
 //   fghp_tool simulate <m.mtx> <d.decomp> [--reps 10] [--threads 0]
 //       load a saved decomposition, verify it, execute repeated distributed
 //       SpMVs (threaded) and report traffic + timing
+//   fghp_tool spgemm <a.mtx> [b.mtx] --k 16 [--eps 0.03] [--seed 1]
+//       [--threads 0] [--reps 10]
+//       fine-grain partition of C = A*B (A*A when b.mtx is omitted),
+//       report cutsize == communication volume, then execute repeated
+//       distributed multiplies through the generic core and verify the
+//       result against the reference multiply
 //   fghp_tool faults
 //       list every fault-injection site (see FGHP_FAULT_SPEC)
 //
@@ -43,8 +49,12 @@
 #include "models/rownet.hpp"
 #include "models/vector_assign.hpp"
 #include "partition/hg/partitioner.hpp"
+#include "spgemm/finegrain.hpp"
+#include "spgemm/plan.hpp"
+#include "spgemm/tasks.hpp"
+#include "spgemm/volume.hpp"
 #include "spmv/compiled.hpp"
-#include "spmv/executor_mt.hpp"
+#include "spmv/executor.hpp"
 #include "spmv/plan.hpp"
 #include "spmv/reference.hpp"
 #include "sparse/mmio.hpp"
@@ -66,7 +76,7 @@ using namespace fghp;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fghp_tool <gen|stats|partition|simulate|faults> ...\n"
+               "usage: fghp_tool <gen|stats|partition|simulate|spgemm|faults> ...\n"
                "  gen <suite-name> --out m.mtx [--scale S] [--seed N]\n"
                "  stats <m.mtx>\n"
                "  partition <m.mtx> --model M --k K [--eps E] [--seed N]\n"
@@ -75,6 +85,8 @@ int usage() {
                "            [--out d.decomp]\n"
                "  simulate <m.mtx> <d.decomp> [--reps R] [--threads T]\n"
                "            [--timeout-ms MS]\n"
+               "  spgemm <a.mtx> [b.mtx] --k K [--eps E] [--seed N]\n"
+               "            [--threads T] [--reps R] [--timeout-ms MS]\n"
                "  faults\n"
                "every command also accepts:\n"
                "  --trace-out FILE    Chrome trace-event JSON (or FGHP_TRACE=FILE)\n"
@@ -254,6 +266,71 @@ int cmd_simulate(const ArgParser& args) {
   return maxErr < 1e-8 ? 0 : 1;
 }
 
+int cmd_spgemm(const ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  const sparse::Csr a = sparse::read_matrix_market_file(args.positional()[1]);
+  const sparse::Csr b = args.positional().size() >= 3
+                            ? sparse::read_matrix_market_file(args.positional()[2])
+                            : a;
+  const auto k = static_cast<idx_t>(args.flag_long("k", 16));
+  const auto reps = static_cast<int>(args.flag_long("reps", 10));
+  const auto threads = static_cast<idx_t>(args.flag_long("threads", 0));
+  part::PartitionConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.flag_long("seed", 1));
+  if (const auto eps = args.flag("eps")) cfg.epsilon = std::stod(*eps);
+  cfg.numThreads = static_cast<idx_t>(args.flag_long("threads", 0));
+  const cancel::CancelToken token =
+      cancel::CancelToken::with_deadline_ms(resolve_timeout_ms(args));
+  cfg.cancel = token;
+
+  const spgemm::TaskGraph t = spgemm::build_tasks(a, b);
+  std::printf("spgemm: %dx%d * %dx%d -> %d result entries, %d scalar tasks\n",
+              a.num_rows(), a.num_cols(), b.num_rows(), b.num_cols(), t.num_c(),
+              t.num_tasks());
+
+  const spgemm::SpgemmRun run = spgemm::run_spgemm_finegrain(t, k, cfg);
+  const spgemm::SpgemmCommStats s = spgemm::analyze(t, run.decomp);
+  std::printf("model=finegrain-spgemm K=%d time=%.3fs recoveries=%d degraded=%d\n",
+              static_cast<int>(k), run.partitionSeconds,
+              static_cast<int>(run.numRecoveries), static_cast<int>(run.numDegraded));
+  std::printf("  cutsize %lld == volume %lld words (expand-A %lld, expand-B %lld, "
+              "fold-C %lld); max/proc %lld\n",
+              static_cast<long long>(run.cutsize), static_cast<long long>(s.totalWords),
+              static_cast<long long>(s.expandAWords),
+              static_cast<long long>(s.expandBWords),
+              static_cast<long long>(s.foldCWords),
+              static_cast<long long>(s.maxProcWords));
+  if (run.cutsize != s.totalWords) {
+    std::fprintf(stderr, "spgemm: cutsize does not price the volume exactly\n");
+    return static_cast<int>(ErrorCode::kInvariant);
+  }
+
+  spgemm::CompileOptions copts;
+  copts.cancel = token;
+  spgemm::SpgemmSession session(t, run.decomp, copts);
+  session.set_cancel(token);
+  spgemm::ExecStats stats;
+  WallTimer timer;
+  std::vector<double> c;
+  for (int r = 0; r < reps; ++r) session.run_mt(a.values(), b.values(), c, threads, &stats);
+  const double wall = timer.millis() / reps;
+
+  const std::vector<double> cRef = spgemm::reference_multiply(a, b, t);
+  double maxErr = 0.0;
+  for (std::size_t g = 0; g < c.size(); ++g)
+    maxErr = std::max(maxErr, std::abs(c[g] - cRef[g]));
+
+  std::printf("  %d reps, %.2f ms per multiply (threaded)\n", reps, wall);
+  std::printf("  traffic per multiply: %lld words, %d messages\n",
+              static_cast<long long>(stats.wordsSent), stats.messagesSent);
+  if (stats.taskRetries > 0 || stats.serialFallback) {
+    std::printf("  recovery: %d task retries%s\n", stats.taskRetries,
+                stats.serialFallback ? ", fell back to the serial executor" : "");
+  }
+  std::printf("  max |C - C_ref| = %.3e\n", maxErr);
+  return maxErr < 1e-8 ? 0 : 1;
+}
+
 void print_warnings() {
   for (const auto& w : fghp::drain_warnings())
     std::fprintf(stderr, "warning: %s\n", w.c_str());
@@ -298,6 +375,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats") rc = cmd_stats(args);
     if (cmd == "partition") rc = cmd_partition(args);
     if (cmd == "simulate") rc = cmd_simulate(args);
+    if (cmd == "spgemm") rc = cmd_spgemm(args);
     if (cmd == "faults") rc = cmd_faults();
   } catch (const std::exception& e) {
     print_warnings();

@@ -12,12 +12,15 @@ ctest --test-dir build --output-on-failure
 echo "--- ThreadSanitizer: task-parallel recursive bisection + tracing + cancel ---"
 cmake -B build-tsan -G Ninja -DFGHP_SANITIZE=thread \
       -DFGHP_BUILD_BENCH=OFF -DFGHP_BUILD_EXAMPLES=OFF > /dev/null
-cmake --build build-tsan --target test_parallel_rb test_trace test_cancel
+cmake --build build-tsan --target test_parallel_rb test_trace test_cancel test_spgemm
 FGHP_THREADS=8 ./build-tsan/tests/test_parallel_rb
 ./build-tsan/tests/test_trace
 # Cancellation, watchdog heartbeats, and pool shutdown race real worker
 # threads by construction — exactly what TSan is for.
 ./build-tsan/tests/test_cancel
+# The SpGEMM tests drive the generic executor's threaded BSP supersteps
+# (two gathered input spaces, retry/fallback ladder) under TSan.
+./build-tsan/tests/test_spgemm
 
 echo "--- Address/UB sanitizers: Matrix Market reader + compiled image ---"
 cmake -B build-asan -G Ninja -DFGHP_SANITIZE=address,undefined \
@@ -129,6 +132,8 @@ tmp=$(mktemp -d)
 ./build/examples/fghp_tool stats "$tmp/m.mtx"
 ./build/examples/fghp_tool partition "$tmp/m.mtx" --model finegrain --k 8 --out "$tmp/d.decomp"
 ./build/examples/fghp_tool simulate "$tmp/m.mtx" "$tmp/d.decomp" --reps 3
+./build/examples/fghp_tool spgemm "$tmp/m.mtx" --k 8 --reps 3
+./build/examples/triangle_count
 rm -rf "$tmp"
 
 echo "--- trace smoke: Chrome-trace & metrics export ---"
@@ -205,5 +210,23 @@ for r in smoke.get("roofline", []):
 if checked == 0:
     sys.exit("perf smoke FAILED: no roofline datapoints shared with BENCH_spmv.json")
 PY
+
+echo "--- perf smoke: SpGEMM through the generic core ---"
+# The second workload's gate: cutsize == volume is asserted inside the bench
+# (nonzero exit on mismatch), and throughput must be finite and positive. The
+# JSON stays in build/ for comparison against the committed BENCH_spgemm.json.
+FGHP_MATRICES=sherman3 FGHP_SCALE=0.15 FGHP_K=8 FGHP_REPS=5 \
+    ./build/bench/bench_spgemm --json build/bench_spgemm_smoke.json
+if grep -qiE 'nan|inf' build/bench_spgemm_smoke.json; then
+  echo "perf smoke FAILED: non-finite value in build/bench_spgemm_smoke.json"
+  exit 1
+fi
+sgflops=$(grep -o '"gflops": *[0-9.eE+-]*' build/bench_spgemm_smoke.json \
+          | head -1 | awk '{print $2}')
+awk -v g="${sgflops:-0}" 'BEGIN { exit (g > 0) ? 0 : 1 }' || {
+  echo "perf smoke FAILED: SpGEMM throughput is ${sgflops:-missing} GFLOP/s"
+  exit 1
+}
+echo "  spgemm session: $sgflops GFLOP/s (artifact: build/bench_spgemm_smoke.json)"
 
 echo "ALL CHECKS PASSED"

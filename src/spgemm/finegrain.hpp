@@ -1,0 +1,63 @@
+// The fine-grain hypergraph model for 2D decomposition of SpGEMM — the
+// paper's model (one vertex per atomic task, one net per communicated datum)
+// transplanted to the second workload.
+//
+// One vertex per scalar task c_ij += a_ik * b_kj (unit weight). One net per
+// *active* stored entry of A (pins: the tasks multiplying it; models the
+// expand of a_ik), one net per active stored entry of B (expand of b_kj),
+// and one net per stored entry of C (pins: its contributing tasks; models
+// the fold of c_ij). Entries of A or B no task reads get no net — they are
+// never communicated. All nets have unit cost, so with owners decoded INTO
+// each net's connectivity set the lambda-1 cutsize of a partition equals the
+// exact total communication volume (spgemm::analyze cross-checks it).
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/partition.hpp"
+#include "partition/config.hpp"
+#include "spgemm/plan.hpp"
+#include "spgemm/tasks.hpp"
+
+namespace fghp::spgemm {
+
+struct SpgemmModel {
+  hg::Hypergraph h;
+
+  /// aNetOf[e] / bNetOf[f] = net of that stored entry, kInvalidIdx when the
+  /// entry is inactive (no task reads it). C entry g always has a net,
+  /// cNetBase + g.
+  std::vector<idx_t> aNetOf, bNetOf;
+  idx_t cNetBase = 0;
+};
+
+/// Builds the fine-grain SpGEMM hypergraph of a task graph
+/// (|V| = num_tasks, |N| = #active A entries + #active B entries + num_c).
+SpgemmModel build_spgemm_finegrain(const TaskGraph& t);
+
+/// Decodes a complete K-way partition: proc(task) = part[vertex]; owner of
+/// an A/B/C entry = the part of the first task (canonical order) reading or
+/// contributing to it, so the owner always lies in the entry's connectivity
+/// set and the cutsize prices its traffic exactly. Inactive entries go to
+/// processor 0 (they cost nothing wherever they live).
+SpgemmDecomposition decode_spgemm_finegrain(const TaskGraph& t, const SpgemmModel& m,
+                                            const hg::Partition& p);
+
+/// One end-to-end fine-grain SpGEMM partitioning run.
+struct SpgemmRun {
+  SpgemmDecomposition decomp;
+  double partitionSeconds = 0.0;
+  weight_t cutsize = 0;  ///< lambda-1 cutsize == total communication volume
+  double imbalance = 0.0;
+  int numRecoveries = 0;
+  int numDegraded = 0;
+};
+
+/// Model build + K-way partition + decode. An empty task graph (no matching
+/// pairs) yields the trivial all-processor-0 decomposition without invoking
+/// the partitioner.
+SpgemmRun run_spgemm_finegrain(const TaskGraph& t, idx_t K,
+                               const part::PartitionConfig& cfg);
+
+}  // namespace fghp::spgemm

@@ -1,0 +1,150 @@
+#include "spgemm/plan.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "util/assert.hpp"
+#include "util/trace.hpp"
+
+namespace fghp::spgemm {
+
+namespace {
+
+constexpr std::size_t uz(idx_t v) { return static_cast<std::size_t>(v); }
+
+void check_owners(const std::vector<idx_t>& owners, std::size_t want, idx_t K,
+                  const char* what) {
+  FGHP_REQUIRE(owners.size() == want, "decomposition owner array has the wrong size");
+  for (idx_t p : owners)
+    FGHP_REQUIRE(p >= 0 && p < K, what);
+}
+
+}  // namespace
+
+void validate(const TaskGraph& t, const SpgemmDecomposition& d) {
+  FGHP_REQUIRE(d.numProcs > 0, "decomposition needs at least one processor");
+  check_owners(d.taskOwner, uz(t.num_tasks()), d.numProcs, "task owner out of range");
+  check_owners(d.aOwner, uz(t.numA), d.numProcs, "A entry owner out of range");
+  check_owners(d.bOwner, uz(t.numB), d.numProcs, "B entry owner out of range");
+  check_owners(d.cOwner, uz(t.num_c()), d.numProcs, "C entry owner out of range");
+}
+
+exec::Schedule build_schedule(const TaskGraph& t, const SpgemmDecomposition& d) {
+  trace::TraceScope span("spgemm", "plan.build", "procs", d.numProcs, "tasks",
+                         t.num_tasks());
+  validate(t, d);
+  const idx_t K = d.numProcs;
+
+  exec::Schedule s;
+  s.traceCat = "spgemm";
+  s.traceIteration = "spgemm.iteration";
+  s.metricPrefix = "spgemm";
+  s.numProcs = K;
+  s.inputs = {{"A", t.numA}, {"B", t.numB}};
+  s.output = {"C", t.num_c()};
+  s.lhsConst = false;
+  s.lhsSpace = 0;
+  s.rhsSpace = 1;
+  s.inComm.assign(2, std::vector<exec::SpaceComm>(uz(K)));
+  s.outComm.resize(uz(K));
+  s.tasks.resize(uz(K));
+
+  // Per-processor task lists in the canonical task order.
+  for (idx_t w = 0; w < t.num_tasks(); ++w) {
+    exec::ProcTasks& pt = s.tasks[uz(d.taskOwner[uz(w)])];
+    pt.outId.push_back(t.taskC[uz(w)]);
+    pt.lhsId.push_back(t.taskA[uz(w)]);
+    pt.rhsId.push_back(t.taskB[uz(w)]);
+  }
+
+  // Ownership lists in ascending id order.
+  for (idx_t e = 0; e < t.numA; ++e)
+    s.inComm[0][uz(d.aOwner[uz(e)])].owned.push_back(e);
+  for (idx_t f = 0; f < t.numB; ++f)
+    s.inComm[1][uz(d.bOwner[uz(f)])].owned.push_back(f);
+  for (idx_t g = 0; g < t.num_c(); ++g)
+    s.outComm[uz(d.cOwner[uz(g)])].owned.push_back(g);
+
+  // Expand needs: which processors run a task reading entry e but do not own
+  // its value (src = owner, dst = needer). Fold contributions: processors
+  // computing a partial of C entry g that they do not own (src = contributor,
+  // dst = owner). Mirrors spmv::build_plan.
+  std::vector<std::vector<idx_t>> need(uz(t.numA) + uz(t.numB) + uz(t.num_c()));
+  auto needA = [&](idx_t e) -> std::vector<idx_t>& { return need[uz(e)]; };
+  auto needB = [&](idx_t f) -> std::vector<idx_t>& { return need[uz(t.numA) + uz(f)]; };
+  auto contribC = [&](idx_t g) -> std::vector<idx_t>& {
+    return need[uz(t.numA) + uz(t.numB) + uz(g)];
+  };
+  for (idx_t w = 0; w < t.num_tasks(); ++w) {
+    const idx_t p = d.taskOwner[uz(w)];
+    needA(t.taskA[uz(w)]).push_back(p);
+    needB(t.taskB[uz(w)]).push_back(p);
+    contribC(t.taskC[uz(w)]).push_back(p);
+  }
+  auto dedupe = [](std::vector<idx_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+
+  // Materialize messages; std::map iteration gives deterministic order and
+  // the ascending id emission keeps every id list strictly increasing.
+  std::map<std::pair<idx_t, idx_t>, std::vector<idx_t>> expandA, expandB, foldC;
+  for (idx_t e = 0; e < t.numA; ++e) {
+    auto& n = needA(e);
+    dedupe(n);
+    const idx_t owner = d.aOwner[uz(e)];
+    for (idx_t p : n)
+      if (p != owner) expandA[{owner, p}].push_back(e);
+  }
+  for (idx_t f = 0; f < t.numB; ++f) {
+    auto& n = needB(f);
+    dedupe(n);
+    const idx_t owner = d.bOwner[uz(f)];
+    for (idx_t p : n)
+      if (p != owner) expandB[{owner, p}].push_back(f);
+  }
+  for (idx_t g = 0; g < t.num_c(); ++g) {
+    auto& n = contribC(g);
+    dedupe(n);
+    const idx_t owner = d.cOwner[uz(g)];
+    for (idx_t p : n)
+      if (p != owner) foldC[{p, owner}].push_back(g);
+  }
+
+  auto emit = [](const std::map<std::pair<idx_t, idx_t>, std::vector<idx_t>>& msgs,
+                 std::vector<exec::SpaceComm>& comm) {
+    for (const auto& [key, ids] : msgs) {
+      const auto [src, dst] = key;
+      auto& sender = comm[uz(src)];
+      auto& receiver = comm[uz(dst)];
+      const auto sendIndex = static_cast<idx_t>(sender.sends.size());
+      sender.sends.push_back({dst, ids, kInvalidIdx});
+      receiver.recvs.push_back({src, ids, sendIndex});
+    }
+  };
+  emit(expandA, s.inComm[0]);
+  emit(expandB, s.inComm[1]);
+  emit(foldC, s.outComm);
+
+  return s;
+}
+
+SpgemmSession::SpgemmSession(const TaskGraph& t, const SpgemmDecomposition& d,
+                             const CompileOptions& opts)
+    : s_(build_schedule(t, d), opts) {}
+
+void SpgemmSession::run(std::span<const double> aVals, std::span<const double> bVals,
+                        std::vector<double>& c, ExecStats* stats) {
+  const std::array<std::span<const double>, 2> ins{aVals, bVals};
+  s_.run(ins, c, stats);
+}
+
+void SpgemmSession::run_mt(std::span<const double> aVals,
+                           std::span<const double> bVals, std::vector<double>& c,
+                           idx_t numThreads, ExecStats* stats) {
+  const std::array<std::span<const double>, 2> ins{aVals, bVals};
+  s_.run_mt(ins, c, numThreads, stats);
+}
+
+}  // namespace fghp::spgemm

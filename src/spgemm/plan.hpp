@@ -1,0 +1,77 @@
+// Distributed SpGEMM schedule: the second workload of the workload-agnostic
+// execution core, and the proof that the core really is workload-agnostic.
+//
+// A fine-grain SpGEMM decomposition assigns every scalar task c_ij += a_ik *
+// b_kj to a processor and every stored entry of A, B and C to an owner. Its
+// lowering is an exec::Schedule with TWO input spaces — "A" (lhs, gathered)
+// and "B" (rhs, gathered) — and output space "C": superstep 1 expands both
+// operands' entry values, superstep 2 runs the scalar tasks (kern::pair_dot
+// groups), superstep 3 folds the C partials to their owners. Exactly the
+// SpMV shape with one more input space and no baked constants; the same
+// compiled engine executes both (DESIGN.md §14).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "exec/compiled.hpp"
+#include "spgemm/tasks.hpp"
+#include "util/cancel.hpp"
+
+namespace fghp::spgemm {
+
+/// A fine-grain 2D decomposition of one SpGEMM: processor per scalar task,
+/// owner per stored entry of each operand and of the result.
+struct SpgemmDecomposition {
+  idx_t numProcs = 0;
+  std::vector<idx_t> taskOwner;  ///< [num_tasks] processor of each task
+  std::vector<idx_t> aOwner;     ///< [numA] owner of each A entry value
+  std::vector<idx_t> bOwner;     ///< [numB] owner of each B entry value
+  std::vector<idx_t> cOwner;     ///< [num_c] owner of each C entry value
+};
+
+/// Cheap validity check of the decomposition against its task graph (sizes
+/// and owner ranges); throws fghp::InvariantError on mismatch.
+void validate(const TaskGraph& t, const SpgemmDecomposition& d);
+
+/// Lowers (task graph, decomposition) to the generic execution schedule.
+/// Deterministic: ids inside every message and the messages themselves are
+/// sorted (the strictly-increasing contract exec::validate_schedule
+/// enforces); per-processor tasks keep the canonical task order. Trace and
+/// metric labels are the "spgemm" family. The word/message totals of the
+/// schedule equal spgemm::analyze's by construction — tests assert it.
+exec::Schedule build_schedule(const TaskGraph& t, const SpgemmDecomposition& d);
+
+using ExecStats = exec::ExecStats;
+using CompileOptions = exec::CompileOptions;
+
+/// Owns a compiled SpGEMM image plus the scratch to execute it repeatedly —
+/// exec::Session with the two-input calling convention run(aVals, bVals, c).
+/// Zero heap allocation per serial iteration after the first; bit-identical
+/// serial/MT results at any thread count; the `exec.*` fault and cancel
+/// sites and the retry/serial-fallback ladder all armed exactly as for SpMV.
+class SpgemmSession {
+ public:
+  SpgemmSession(const TaskGraph& t, const SpgemmDecomposition& d,
+                const CompileOptions& opts = {});
+
+  const exec::Image& image() const { return s_.image(); }
+  void set_cancel(cancel::CancelToken token) { s_.set_cancel(std::move(token)); }
+  long iterations_started() const { return s_.iterations_started(); }
+
+  /// Serial distributed multiply: aVals/bVals are the operand entry values
+  /// in CSR order; c is resized to the C pattern and accumulated in the
+  /// canonical task order.
+  void run(std::span<const double> aVals, std::span<const double> bVals,
+           std::vector<double>& c, ExecStats* stats = nullptr);
+
+  /// Threaded BSP multiply (expand-A/expand-B, pair-multiply, fold-C).
+  void run_mt(std::span<const double> aVals, std::span<const double> bVals,
+              std::vector<double>& c, idx_t numThreads = 0,
+              ExecStats* stats = nullptr);
+
+ private:
+  exec::Session s_;
+};
+
+}  // namespace fghp::spgemm

@@ -1,0 +1,91 @@
+#include "spgemm/volume.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fghp::spgemm {
+
+namespace {
+
+constexpr std::size_t uz(idx_t v) { return static_cast<std::size_t>(v); }
+
+/// Accumulates one phase: for entry with owner `owner` and the deduplicated
+/// processor set `procs` (needers for expand, contributors for fold), every
+/// non-owner member costs one word src->dst. For expand src = owner and dst
+/// = needer; for fold src = contributor and dst = owner.
+struct PhaseAccum {
+  weight_t words = 0;
+  std::set<std::pair<idx_t, idx_t>> pairs;
+
+  void add(idx_t src, idx_t dst, std::vector<weight_t>& send,
+           std::vector<weight_t>& recv) {
+    ++words;
+    ++send[uz(src)];
+    ++recv[uz(dst)];
+    pairs.insert({src, dst});
+  }
+};
+
+}  // namespace
+
+SpgemmCommStats analyze(const TaskGraph& t, const SpgemmDecomposition& d) {
+  validate(t, d);
+  FGHP_REQUIRE(d.numProcs <= 4096, "comm analysis supports at most 4096 processors");
+
+  SpgemmCommStats st;
+  st.numProcs = d.numProcs;
+  st.sendWords.assign(uz(d.numProcs), 0);
+  st.recvWords.assign(uz(d.numProcs), 0);
+
+  // Per-entry processor sets, rebuilt from the task list alone.
+  std::vector<std::vector<idx_t>> needA(uz(t.numA)), needB(uz(t.numB)),
+      contribC(uz(t.num_c()));
+  for (idx_t w = 0; w < t.num_tasks(); ++w) {
+    const idx_t p = d.taskOwner[uz(w)];
+    needA[uz(t.taskA[uz(w)])].push_back(p);
+    needB[uz(t.taskB[uz(w)])].push_back(p);
+    contribC[uz(t.taskC[uz(w)])].push_back(p);
+  }
+  auto dedupe = [](std::vector<idx_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+
+  PhaseAccum expandA, expandB, foldC;
+  for (idx_t e = 0; e < t.numA; ++e) {
+    dedupe(needA[uz(e)]);
+    for (idx_t p : needA[uz(e)])
+      if (p != d.aOwner[uz(e)])
+        expandA.add(d.aOwner[uz(e)], p, st.sendWords, st.recvWords);
+  }
+  for (idx_t f = 0; f < t.numB; ++f) {
+    dedupe(needB[uz(f)]);
+    for (idx_t p : needB[uz(f)])
+      if (p != d.bOwner[uz(f)])
+        expandB.add(d.bOwner[uz(f)], p, st.sendWords, st.recvWords);
+  }
+  for (idx_t g = 0; g < t.num_c(); ++g) {
+    dedupe(contribC[uz(g)]);
+    for (idx_t p : contribC[uz(g)])
+      if (p != d.cOwner[uz(g)])
+        foldC.add(p, d.cOwner[uz(g)], st.sendWords, st.recvWords);
+  }
+
+  st.expandAWords = expandA.words;
+  st.expandBWords = expandB.words;
+  st.foldCWords = foldC.words;
+  st.totalWords = expandA.words + expandB.words + foldC.words;
+  st.expandAMessages = static_cast<idx_t>(expandA.pairs.size());
+  st.expandBMessages = static_cast<idx_t>(expandB.pairs.size());
+  st.foldCMessages = static_cast<idx_t>(foldC.pairs.size());
+  st.totalMessages = st.expandAMessages + st.expandBMessages + st.foldCMessages;
+  for (idx_t p = 0; p < d.numProcs; ++p)
+    st.maxProcWords =
+        std::max(st.maxProcWords, st.sendWords[uz(p)] + st.recvWords[uz(p)]);
+  return st;
+}
+
+}  // namespace fghp::spgemm

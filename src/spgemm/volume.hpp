@@ -1,0 +1,47 @@
+// Communication analysis of a fine-grain SpGEMM decomposition — the SpGEMM
+// extension of comm/volume.hpp (same quantities, three phases instead of
+// two).
+//
+// Expand-A / expand-B (pre-communication): the owner of entry value a_ik
+// (resp. b_kj) sends it to every processor that runs a task reading it and
+// is not the owner — one word per remote needer. Fold-C (post): every
+// processor computing a partial of c_ij and not owning it sends that partial
+// to owner(c_ij) — one word per remote contributor. For partitions of the
+// fine-grain SpGEMM hypergraph (spgemm/finegrain.hpp) the total equals the
+// lambda-1 cutsize — the paper's exact-volume claim carried to the second
+// workload, enforced by our tests.
+#pragma once
+
+#include <vector>
+
+#include "spgemm/plan.hpp"
+#include "spgemm/tasks.hpp"
+
+namespace fghp::spgemm {
+
+struct SpgemmCommStats {
+  idx_t numProcs = 0;
+
+  weight_t expandAWords = 0;  ///< total words expanding A entry values
+  weight_t expandBWords = 0;  ///< total words expanding B entry values
+  weight_t foldCWords = 0;    ///< total words folding C partials
+  weight_t totalWords = 0;    ///< all three phases
+
+  /// Per-processor words sent / received (all phases combined).
+  std::vector<weight_t> sendWords;
+  std::vector<weight_t> recvWords;
+  weight_t maxProcWords = 0;  ///< max_p (sendWords[p] + recvWords[p])
+
+  /// Directed messages (distinct (src, dst) pairs per phase).
+  idx_t expandAMessages = 0;
+  idx_t expandBMessages = 0;
+  idx_t foldCMessages = 0;
+  idx_t totalMessages = 0;
+};
+
+/// Analyzes the decomposition from first principles (need/contributor sets),
+/// independent of the schedule builder — build_schedule's total_words() /
+/// total_messages() must reproduce these totals exactly.
+SpgemmCommStats analyze(const TaskGraph& t, const SpgemmDecomposition& d);
+
+}  // namespace fghp::spgemm

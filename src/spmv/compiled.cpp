@@ -1,584 +1,9 @@
 #include "spmv/compiled.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <bit>
-#include <string>
-
-#include "sparse/reorder.hpp"
-#include "spmv/kernels.hpp"
-#include "util/assert.hpp"
-#include "util/error.hpp"
-#include "util/fault.hpp"
-#include "util/metrics.hpp"
-#include "util/thread_pool.hpp"
-#include "util/trace.hpp"
-
 namespace fghp::spmv {
 
-namespace {
-
-constexpr std::size_t uz(idx_t v) { return static_cast<std::size_t>(v); }
-
-[[noreturn]] void compile_error(std::string what) {
-  ErrorContext ctx;
-  ctx.phase = "plan-compile";
-  throw InvariantError(std::move(what), std::move(ctx));
-}
-
-/// Cache-locality proxy of one block's multiply loop under a candidate
-/// (row, column) renumbering: walk the x-slot access sequence in emission
-/// order and charge each jump the bit width of its slot distance —
-/// log-distance tracks which level of the cache hierarchy the jump lands
-/// in (a gap of 2^k doubles costs ~k), so a tight RCM band over a few
-/// thousand slots scores far below a random spread over millions even
-/// though both exceed a cache line. Lower is better.
-std::uint64_t locality_score(const std::vector<idx_t>& rowNew,
-                             const std::vector<idx_t>& colNew,
-                             const std::vector<idx_t>& localRowPtr,
-                             const std::vector<idx_t>& grpCol,
-                             std::vector<idx_t>& oldOfNewScratch) {
-  const idx_t nr = static_cast<idx_t>(rowNew.size());
-  oldOfNewScratch.resize(uz(nr));
-  for (idx_t r = 0; r < nr; ++r) oldOfNewScratch[uz(rowNew[uz(r)])] = r;
-  std::uint64_t score = 0;
-  idx_t prev = 0;
-  for (idx_t newR = 0; newR < nr; ++newR) {
-    const idx_t oldR = oldOfNewScratch[uz(newR)];
-    for (idx_t pos = localRowPtr[uz(oldR)]; pos < localRowPtr[uz(oldR) + 1]; ++pos) {
-      const idx_t slot = colNew[uz(grpCol[uz(pos)])];
-      const idx_t gap = slot > prev ? slot - prev : prev - slot;
-      score += std::bit_width(static_cast<std::uint64_t>(gap));
-      prev = slot;
-    }
-  }
-  return score;
-}
-
-}  // namespace
-
-weight_t CompiledPlan::total_words() const {
-  return static_cast<weight_t>(xSendOff.back()) +
-         static_cast<weight_t>(ySendOff.back());
-}
-
-idx_t CompiledPlan::total_messages() const {
-  return xSendMsgOff.back() + ySendMsgOff.back();
-}
-
 CompiledPlan compile_plan(const SpmvPlan& plan, const CompileOptions& opts) {
-  const idx_t K = plan.numProcs;
-  FGHP_REQUIRE(plan.procs.size() == uz(K), "plan.procs inconsistent with numProcs");
-  trace::TraceScope span("spmv", "plan.compile", "procs", K, "words",
-                         plan.total_words());
-  cancel::check_point(opts.cancel, "plan.compile");
-
-  CompiledPlan c;
-  c.numProcs = K;
-  c.numRows = plan.numRows;
-  c.numCols = plan.numCols;
-  c.cacheReordered = opts.cacheReorder;
-
-  const std::size_t k1 = uz(K) + 1;
-  c.rowOff.assign(k1, 0);
-  c.xOff.assign(k1, 0);
-  c.ownXOff.assign(k1, 0);
-  c.ownYOff.assign(k1, 0);
-  c.xSendOff.assign(k1, 0);
-  c.xSendMsgOff.assign(k1, 0);
-  c.xRecvOff.assign(k1, 0);
-  c.ySendOff.assign(k1, 0);
-  c.ySendMsgOff.assign(k1, 0);
-  c.yRecvOff.assign(k1, 0);
-
-  // Pass 1: prefix the two send spaces and record the flat word base of
-  // every message, so receivers can translate (peer, pairIndex) into
-  // absolute send-buffer offsets without any search.
-  std::vector<idx_t> xMsgBase, yMsgBase;
-  for (idx_t p = 0; p < K; ++p) {
-    const ProcPlan& pp = plan.procs[uz(p)];
-    idx_t w = c.xSendOff[uz(p)];
-    for (const Msg& m : pp.xSends) {
-      xMsgBase.push_back(w);
-      w += static_cast<idx_t>(m.ids.size());
-    }
-    c.xSendOff[uz(p) + 1] = w;
-    c.xSendMsgOff[uz(p) + 1] =
-        c.xSendMsgOff[uz(p)] + static_cast<idx_t>(pp.xSends.size());
-    w = c.ySendOff[uz(p)];
-    for (const Msg& m : pp.ySends) {
-      yMsgBase.push_back(w);
-      w += static_cast<idx_t>(m.ids.size());
-    }
-    c.ySendOff[uz(p) + 1] = w;
-    c.ySendMsgOff[uz(p) + 1] =
-        c.ySendMsgOff[uz(p)] + static_cast<idx_t>(pp.ySends.size());
-  }
-
-  // Pass 2: per-processor local numbering. The slot maps are global-sized
-  // scratch, reset entry-by-entry after each processor. Slots are assigned
-  // in two steps: a provisional id in first-use order over the local
-  // nonzeros (plus expand-recv-only columns), then — when the cache reorder
-  // is on — a bipartite RCM renumbering of the block so consecutive rows of
-  // the multiply loop touch nearby x slots. Every downstream table reads
-  // the slot maps after the renumbering, which is how the permutation folds
-  // into the whole image without touching any schedule order.
-  std::vector<idx_t> colSlotOf(uz(plan.numCols), kInvalidIdx);
-  std::vector<idx_t> rowSlotOf(uz(plan.numRows), kInvalidIdx);
-  std::vector<idx_t> touchedRows, touchedCols, rowCount, cursor;
-  std::vector<idx_t> localRowPtr, grpCol, oldOfNewRow, slotCols;
-  std::vector<double> grpVal;
-  sparse::BipartiteOrdering perm;
-
-  std::size_t totalNnz = 0;
-  for (const ProcPlan& pp : plan.procs) totalNnz += pp.rows.size();
-  c.colSlot.resize(totalNnz);
-  c.vals.resize(totalNnz);
-
-  idx_t nnzBase = 0;
-  for (idx_t p = 0; p < K; ++p) {
-    const ProcPlan& pp = plan.procs[uz(p)];
-    if (pp.rows.size() != pp.cols.size() || pp.rows.size() != pp.vals.size())
-      compile_error("ragged local nonzeros on processor " + std::to_string(p));
-    const idx_t rowBase = c.rowOff[uz(p)];
-    const idx_t xBase = c.xOff[uz(p)];
-    touchedRows.clear();
-    touchedCols.clear();
-
-    // Provisional (pre-permutation) row and x ids in first-use order over
-    // the local nonzeros.
-    for (std::size_t e = 0; e < pp.rows.size(); ++e) {
-      const idx_t i = pp.rows[e], j = pp.cols[e];
-      if (i < 0 || i >= plan.numRows || j < 0 || j >= plan.numCols)
-        compile_error("processor " + std::to_string(p) + ": nonzero (" +
-                      std::to_string(i) + ", " + std::to_string(j) +
-                      ") outside the matrix");
-      if (rowSlotOf[uz(i)] == kInvalidIdx) {
-        rowSlotOf[uz(i)] = static_cast<idx_t>(touchedRows.size());
-        touchedRows.push_back(i);
-      }
-      if (colSlotOf[uz(j)] == kInvalidIdx) {
-        colSlotOf[uz(j)] = static_cast<idx_t>(touchedCols.size());
-        touchedCols.push_back(j);
-      }
-    }
-
-    // An expand recv may deliver a column no local nonzero reads (legal in a
-    // hand-built plan); such ids still get a slot so delivery has a target.
-    // They take part in the renumbering as isolated vertices (RCM places
-    // them last — the multiply never reads them).
-    for (const Msg& m : pp.xRecvs) {
-      for (idx_t j : m.ids) {
-        if (j < 0 || j >= plan.numCols)
-          compile_error("processor " + std::to_string(p) +
-                        ": expand recv id out of range");
-        if (colSlotOf[uz(j)] == kInvalidIdx) {
-          colSlotOf[uz(j)] = static_cast<idx_t>(touchedCols.size());
-          touchedCols.push_back(j);
-        }
-      }
-    }
-    const idx_t nr = static_cast<idx_t>(touchedRows.size());
-    const idx_t nc = static_cast<idx_t>(touchedCols.size());
-
-    // Group the local nonzeros by provisional row, preserving the plan's
-    // within-row entry order (the executors' per-row accumulation order, so
-    // sums stay bit-identical under any row/column renumbering).
-    rowCount.assign(uz(nr), 0);
-    for (idx_t i : pp.rows) ++rowCount[uz(rowSlotOf[uz(i)])];
-    localRowPtr.assign(uz(nr) + 1, 0);
-    for (idx_t r = 0; r < nr; ++r)
-      localRowPtr[uz(r) + 1] = localRowPtr[uz(r)] + rowCount[uz(r)];
-    cursor.assign(localRowPtr.begin(), localRowPtr.end() - 1);
-    grpCol.resize(pp.rows.size());
-    grpVal.resize(pp.rows.size());
-    for (std::size_t e = 0; e < pp.rows.size(); ++e) {
-      const idx_t pos = cursor[uz(rowSlotOf[uz(pp.rows[e])])]++;
-      grpCol[uz(pos)] = colSlotOf[uz(pp.cols[e])];
-      grpVal[uz(pos)] = pp.vals[e];
-    }
-
-    // Second-level cache reordering of the block. The bipartite RCM
-    // candidate is adopted only when it beats the first-use numbering's
-    // locality score by a margin — blocks that already arrive well ordered
-    // (banded matrices in natural order, tiny fragments with no structure)
-    // keep their numbering, so the reorder can help but never regress.
-    perm.rowNew.resize(uz(nr));
-    perm.colNew.resize(uz(nc));
-    for (idx_t r = 0; r < nr; ++r) perm.rowNew[uz(r)] = r;
-    for (idx_t j = 0; j < nc; ++j) perm.colNew[uz(j)] = j;
-    if (opts.cacheReorder && nr > 1) {
-      sparse::BipartiteOrdering rcm =
-          sparse::bipartite_rcm(nr, nc, localRowPtr, grpCol);
-      const std::uint64_t idScore =
-          locality_score(perm.rowNew, perm.colNew, localRowPtr, grpCol, oldOfNewRow);
-      const std::uint64_t rcmScore =
-          locality_score(rcm.rowNew, rcm.colNew, localRowPtr, grpCol, oldOfNewRow);
-      // Adopt only on a decisive (>= 25%) score win: the proxy cannot see
-      // the multi-stream prefetch a banded natural order enjoys, so a
-      // marginal score edge is not worth disturbing it.
-      if (rcmScore * 4 < idScore * 3) {
-        perm = std::move(rcm);
-        ++c.reorderedProcs;
-      }
-    }
-
-    // Finalize the slot maps: provisional id -> permuted id + base. All
-    // remaining tables of this processor read these final slots.
-    for (idx_t i : touchedRows)
-      rowSlotOf[uz(i)] = rowBase + perm.rowNew[uz(rowSlotOf[uz(i)])];
-    for (idx_t j : touchedCols)
-      colSlotOf[uz(j)] = xBase + perm.colNew[uz(colSlotOf[uz(j)])];
-
-    // Emit the block's CSR in permuted row order (each row's entries keep
-    // their plan order; columns point at final slots).
-    oldOfNewRow.resize(uz(nr));
-    for (idx_t r = 0; r < nr; ++r) oldOfNewRow[uz(perm.rowNew[uz(r)])] = r;
-    idx_t run = nnzBase;
-    for (idx_t newR = 0; newR < nr; ++newR) {
-      const idx_t oldR = oldOfNewRow[uz(newR)];
-      c.rowPtr.push_back(run);
-      for (idx_t pos = localRowPtr[uz(oldR)]; pos < localRowPtr[uz(oldR) + 1];
-           ++pos, ++run) {
-        c.colSlot[uz(run)] = xBase + perm.colNew[uz(grpCol[uz(pos)])];
-        c.vals[uz(run)] = grpVal[uz(pos)];
-      }
-    }
-    nnzBase = run;
-
-    c.rowOff[uz(p) + 1] = rowBase + nr;
-    c.xOff[uz(p) + 1] = xBase + nc;
-    slotCols.resize(uz(nc));
-    for (idx_t j = 0; j < nc; ++j)
-      slotCols[uz(perm.colNew[uz(j)])] = touchedCols[uz(j)];
-    c.xColGlobal.insert(c.xColGlobal.end(), slotCols.begin(), slotCols.end());
-
-    // Owned x values with a local consumer (the MT expand gather).
-    for (idx_t j : pp.ownedX) {
-      if (j < 0 || j >= plan.numCols)
-        compile_error("processor " + std::to_string(p) + ": owned x id out of range");
-      if (colSlotOf[uz(j)] != kInvalidIdx) {
-        c.ownXCol.push_back(j);
-        c.ownXSlot.push_back(colSlotOf[uz(j)]);
-      }
-    }
-    c.ownXOff[uz(p) + 1] = static_cast<idx_t>(c.ownXCol.size());
-
-    // Expand sends gather straight from the global x: the sender owns these
-    // columns, so its cached copy in the plan-walking executor is x[j].
-    for (const Msg& m : pp.xSends)
-      for (idx_t j : m.ids) {
-        if (j < 0 || j >= plan.numCols)
-          compile_error("processor " + std::to_string(p) +
-                        ": expand send id out of range");
-        c.xSendCol.push_back(j);
-      }
-
-    // Expand recvs: flat (source word -> destination slot) copies.
-    idx_t recvWords = c.xRecvOff[uz(p)];
-    for (const Msg& m : pp.xRecvs) {
-      if (m.peer < 0 || m.peer >= K)
-        compile_error("processor " + std::to_string(p) + ": expand recv from invalid peer");
-      const auto& peerSends = plan.procs[uz(m.peer)].xSends;
-      if (m.pairIndex < 0 || m.pairIndex >= static_cast<idx_t>(peerSends.size()) ||
-          peerSends[uz(m.pairIndex)].ids.size() != m.ids.size())
-        compile_error("processor " + std::to_string(p) +
-                      ": expand recv does not pair with its send");
-      const idx_t srcBase = xMsgBase[uz(c.xSendMsgOff[uz(m.peer)] + m.pairIndex)];
-      for (std::size_t k = 0; k < m.ids.size(); ++k) {
-        c.xRecvSlot.push_back(colSlotOf[uz(m.ids[k])]);
-        c.xRecvSrc.push_back(srcBase + static_cast<idx_t>(k));
-      }
-      recvWords += static_cast<idx_t>(m.ids.size());
-    }
-    c.xRecvOff[uz(p) + 1] = recvWords;
-
-    // Fold, owner side: owned rows this processor actually computed.
-    for (idx_t i : pp.ownedY) {
-      if (i < 0 || i >= plan.numRows)
-        compile_error("processor " + std::to_string(p) + ": owned y id out of range");
-      if (rowSlotOf[uz(i)] != kInvalidIdx) {
-        c.ownYRow.push_back(i);
-        c.ownYSlot.push_back(rowSlotOf[uz(i)]);
-      }
-    }
-    c.ownYOff[uz(p) + 1] = static_cast<idx_t>(c.ownYRow.size());
-
-    // Fold sends must reference rows this processor computes a partial for.
-    for (const Msg& m : pp.ySends)
-      for (idx_t i : m.ids) {
-        if (i < 0 || i >= plan.numRows || rowSlotOf[uz(i)] == kInvalidIdx)
-          compile_error("fold schedule on processor " + std::to_string(p) +
-                        " references row " + std::to_string(i) +
-                        " it never computes");
-        c.ySendSlot.push_back(rowSlotOf[uz(i)]);
-        c.ySendRow.push_back(i);
-      }
-
-    // Fold recvs.
-    idx_t yRecvWords = c.yRecvOff[uz(p)];
-    for (const Msg& m : pp.yRecvs) {
-      if (m.peer < 0 || m.peer >= K)
-        compile_error("processor " + std::to_string(p) + ": fold recv from invalid peer");
-      const auto& peerSends = plan.procs[uz(m.peer)].ySends;
-      if (m.pairIndex < 0 || m.pairIndex >= static_cast<idx_t>(peerSends.size()) ||
-          peerSends[uz(m.pairIndex)].ids.size() != m.ids.size())
-        compile_error("processor " + std::to_string(p) +
-                      ": fold recv does not pair with its send");
-      const idx_t srcBase = yMsgBase[uz(c.ySendMsgOff[uz(m.peer)] + m.pairIndex)];
-      for (std::size_t k = 0; k < m.ids.size(); ++k) {
-        const idx_t i = m.ids[k];
-        if (i < 0 || i >= plan.numRows)
-          compile_error("processor " + std::to_string(p) + ": fold recv id out of range");
-        c.yRecvRow.push_back(i);
-        c.yRecvSrc.push_back(srcBase + static_cast<idx_t>(k));
-      }
-      yRecvWords += static_cast<idx_t>(m.ids.size());
-    }
-    c.yRecvOff[uz(p) + 1] = yRecvWords;
-
-    // Disarm the slot maps for the next processor.
-    for (idx_t i : touchedRows) rowSlotOf[uz(i)] = kInvalidIdx;
-    for (idx_t j : touchedCols) colSlotOf[uz(j)] = kInvalidIdx;
-  }
-  c.rowPtr.push_back(nnzBase);
-
-  // The compiled send spaces must cover the plan's exact traffic: one flat
-  // word per scheduled word, nothing more, and the same message count —
-  // ExecStats come straight from these offsets.
-  if (static_cast<idx_t>(c.xSendCol.size()) != c.xSendOff.back() ||
-      static_cast<idx_t>(c.ySendSlot.size()) != c.ySendOff.back() ||
-      c.total_words() != plan.total_words() ||
-      c.total_messages() != plan.total_messages())
-    compile_error("compiled send-buffer offsets do not cover the plan's traffic");
-  return c;
-}
-
-ExecSession::ExecSession(CompiledPlan compiled) : c_(std::move(compiled)) {
-  // assign, not resize: explicit zero-fill even if these vectors ever carry
-  // capacity from a prior image (e.g. a moved-from session), so no run can
-  // observe stale tail data.
-  xLoc_.assign(uz(c_.xOff.back()), 0.0);
-  partial_.assign(uz(c_.rowOff.back()), 0.0);
-  xSendBuf_.assign(uz(c_.xSendOff.back()), 0.0);
-  ySendBuf_.assign(uz(c_.ySendOff.back()), 0.0);
-}
-
-ExecSession::ExecSession(const SpmvPlan& plan, const CompileOptions& opts)
-    : ExecSession(compile_plan(plan, opts)) {}
-
-void ExecSession::run(std::span<const double> x, std::vector<double>& y,
-                      ExecStats* stats) {
-  cancel::check_point(cancel_, "exec.iter", "cancel.exec.iter", ++iter_);
-  run_serial_impl(x, y, stats);
-}
-
-void ExecSession::run_serial_impl(std::span<const double> x, std::vector<double>& y,
-                                  ExecStats* stats) {
-  trace::TraceScope span("spmv", "spmv.iteration", "procs", c_.numProcs, "mt", 0);
-  FGHP_REQUIRE(x.size() == uz(c_.numCols), "x size mismatch");
-  y.resize(uz(c_.numRows));
-  std::fill(y.begin(), y.end(), 0.0);
-
-  // Expand: one flat gather. Owned and delivered values are both x[j], so
-  // the serial path needs no message buffers at all.
-  kern::gather(xLoc_.data(), x.data(), c_.xColGlobal.data(), xLoc_.size());
-
-  // Local multiply in the plan's per-row entry order.
-  for (std::size_t r = 0; r < partial_.size(); ++r)
-    partial_[r] = kern::row_dot(c_.vals.data(), c_.colSlot.data(), xLoc_.data(),
-                                c_.rowPtr[r], c_.rowPtr[r + 1]);
-
-  // Fold: every processor's own contributions first, then the sent partials
-  // in plan (sender-major) order — the serial executor's summation order.
-  for (std::size_t i = 0; i < c_.ownYRow.size(); ++i)
-    y[uz(c_.ownYRow[i])] += partial_[uz(c_.ownYSlot[i])];
-  for (std::size_t w = 0; w < c_.ySendRow.size(); ++w)
-    y[uz(c_.ySendRow[w])] += partial_[uz(c_.ySendSlot[w])];
-
-  if (stats != nullptr) {
-    *stats = {};
-    stats->wordsSent = c_.total_words();
-    stats->messagesSent = c_.total_messages();
-  }
-
-  // Registered counters resolve once (magic statics), so iterations after
-  // the first stay allocation-free — the contract test_compiled asserts.
-  static metrics::Counter& iterations = metrics::counter("spmv.iterations");
-  static metrics::Counter& expandWords = metrics::counter("spmv.expand.words");
-  static metrics::Counter& foldWords = metrics::counter("spmv.fold.words");
-  static metrics::Counter& messages = metrics::counter("spmv.messages");
-  iterations.add();
-  expandWords.add(c_.xSendOff.back());
-  foldWords.add(c_.ySendOff.back());
-  messages.add(c_.total_messages());
-}
-
-void ExecSession::run_mt(std::span<const double> x, std::vector<double>& y,
-                         idx_t numThreads, ExecStats* stats) {
-  trace::TraceScope span("spmv", "spmv.iteration", "procs", c_.numProcs, "mt", 1);
-  cancel::check_point(cancel_, "exec.iter", "cancel.exec.iter", ++iter_);
-  FGHP_REQUIRE(x.size() == uz(c_.numCols), "x size mismatch");
-  const idx_t K = c_.numProcs;
-
-  // Worker resolution routes through the shared pool, so FGHP_THREADS and
-  // PartitionConfig::numThreads behave exactly as thread_pool.hpp documents:
-  // an explicit positive request wins, otherwise the pool default applies,
-  // capped at K because tasks are per-processor. A request that resolves to
-  // one thread gets no pool at all — the supersteps run inline on the
-  // caller with every fault site and recovery rung still armed.
-  long requested = numThreads > 0
-                       ? static_cast<long>(numThreads)
-                       : static_cast<long>(ThreadPool::default_num_threads());
-  requested = std::min<long>(requested, static_cast<long>(K));
-  ThreadPool* pool = ThreadPool::for_request(requested);
-
-  y.resize(uz(c_.numRows));
-  std::fill(y.begin(), y.end(), 0.0);
-
-  // This run's traffic tallies are standalone metrics counters: the tasks
-  // below are the only writers, ExecStats reads them back, and the totals
-  // fold into the registered metrics once at the end — one source of truth
-  // instead of parallel hand-rolled atomics.
-  metrics::Counter expandWords, foldWords, messages, taskRetries;
-  std::atomic<bool> failed{false};
-
-  // Per-processor task wrapper: one retry (fault site `exec.retry`, same
-  // ordinal), then give up and flag the run for the serial fallback. Task
-  // bodies are idempotent — every scratch word they touch is assigned, not
-  // accumulated, and the traffic counters commit only on their last line —
-  // so a retry after a partial first attempt cannot double-count or
-  // double-accumulate. The flag is read after the next barrier, so a failed
-  // superstep never feeds garbage into the next one. Each completed task is
-  // a trace span bracketed explicitly (begin/end on the worker that ran it).
-  auto run_task = [&](const char* site, idx_t p, auto&& body) {
-    for (int attempt = 0; attempt < 2; ++attempt) {
-      try {
-        fault::check(attempt == 0 ? site : "exec.retry", p + 1);
-        const bool traced = trace::enabled();
-        const std::uint64_t t0 = traced ? trace::now_ns() : 0;
-        body();
-        if (traced) trace::complete("spmv", site, t0, trace::now_ns(), "proc", p);
-        return;
-      } catch (const std::exception& e) {
-        if (attempt == 0) {
-          taskRetries.add();
-          trace::instant("recovery", "exec.task_retry", "proc", p);
-          push_warning(std::string("executor task '") + site + "' on processor " +
-                       std::to_string(p) + " failed (" + e.what() + "); retrying");
-        } else {
-          trace::instant("recovery", "exec.serial_fallback", "proc", p);
-          push_warning(std::string("executor task '") + site + "' on processor " +
-                       std::to_string(p) + " failed its retry (" + e.what() +
-                       "); degrading to the serial executor");
-          failed.store(true, std::memory_order_release);
-        }
-      }
-    }
-  };
-
-  // One BSP superstep: fn(p) for every processor, fully joined before
-  // returning (parallel_for blocks until all tasks completed — that join is
-  // the barrier between supersteps). Serial resolution runs inline.
-  auto superstep = [&](auto&& fn) {
-    if (pool != nullptr)
-      parallel_for(*pool, static_cast<long>(K),
-                   [&](long p) { fn(static_cast<idx_t>(p)); });
-    else
-      for (idx_t p = 0; p < K; ++p) fn(p);
-  };
-
-  // Superstep 1: gather owned x into local slots and the expand buffer.
-  superstep([&](idx_t p) {
-    run_task("exec.expand", p, [&, p] {
-      for (idx_t w = c_.ownXOff[uz(p)]; w < c_.ownXOff[uz(p) + 1]; ++w)
-        xLoc_[uz(c_.ownXSlot[uz(w)])] = x[uz(c_.ownXCol[uz(w)])];
-      const idx_t base = c_.xSendOff[uz(p)];
-      const idx_t sent = c_.xSendOff[uz(p) + 1] - base;
-      kern::gather(xSendBuf_.data() + base, x.data(), c_.xSendCol.data() + base,
-                   uz(sent));
-      expandWords.add(sent);
-      messages.add(c_.xSendMsgOff[uz(p) + 1] - c_.xSendMsgOff[uz(p)]);
-      trace::counter("spmv", "expand.words", static_cast<double>(sent), "proc", p);
-    });
-  });
-
-  // Between supersteps the caller thread is at a barrier — the only place a
-  // cancellation can be observed without racing the retry ladder inside the
-  // worker tasks. The scratch is fully re-assigned by every run, so an
-  // iteration abandoned here leaves the session reusable.
-  cancel::check_point(cancel_, "exec.superstep", nullptr, iter_);
-
-  // Superstep 2: drain the expand buffer, multiply locally, fill the fold
-  // buffer.
-  if (!failed.load(std::memory_order_acquire)) {
-    superstep([&](idx_t p) {
-      run_task("exec.fold", p, [&, p] {
-        for (idx_t w = c_.xRecvOff[uz(p)]; w < c_.xRecvOff[uz(p) + 1]; ++w)
-          xLoc_[uz(c_.xRecvSlot[uz(w)])] = xSendBuf_[uz(c_.xRecvSrc[uz(w)])];
-        for (idx_t r = c_.rowOff[uz(p)]; r < c_.rowOff[uz(p) + 1]; ++r)
-          partial_[uz(r)] = kern::row_dot(c_.vals.data(), c_.colSlot.data(),
-                                          xLoc_.data(), c_.rowPtr[uz(r)],
-                                          c_.rowPtr[uz(r) + 1]);
-        const idx_t base = c_.ySendOff[uz(p)];
-        const idx_t sent = c_.ySendOff[uz(p) + 1] - base;
-        kern::gather(ySendBuf_.data() + base, partial_.data(),
-                     c_.ySendSlot.data() + base, uz(sent));
-        foldWords.add(sent);
-        messages.add(c_.ySendMsgOff[uz(p) + 1] - c_.ySendMsgOff[uz(p)]);
-        trace::counter("spmv", "fold.words", static_cast<double>(sent), "proc", p);
-      });
-    });
-  }
-
-  cancel::check_point(cancel_, "exec.superstep", nullptr, iter_);
-
-  // Superstep 3: owners accumulate their own partial plus received partials
-  // in plan order (same order as the serial path). Each y_i has a unique
-  // owner, so writes to y are disjoint across processors.
-  if (!failed.load(std::memory_order_acquire)) {
-    superstep([&](idx_t p) {
-      for (idx_t w = c_.ownYOff[uz(p)]; w < c_.ownYOff[uz(p) + 1]; ++w)
-        y[uz(c_.ownYRow[uz(w)])] += partial_[uz(c_.ownYSlot[uz(w)])];
-      for (idx_t w = c_.yRecvOff[uz(p)]; w < c_.yRecvOff[uz(p) + 1]; ++w)
-        y[uz(c_.yRecvRow[uz(w)])] += ySendBuf_[uz(c_.yRecvSrc[uz(w)])];
-    });
-  }
-
-  static metrics::Counter& gRetries = metrics::counter("spmv.task_retries");
-  static metrics::Counter& gFallbacks = metrics::counter("spmv.serial_fallbacks");
-  gRetries.add(taskRetries.value());
-
-  if (failed.load(std::memory_order_acquire)) {
-    // Some task failed even its retry: discard the partial parallel run and
-    // recompute from scratch on the (uninstrumented) serial path, which
-    // re-zeroes y. Output and traffic counts match a clean run exactly.
-    // run_serial_impl, not run(): this is still the same logical iteration,
-    // so it must not consume a second check-point ordinal.
-    gFallbacks.add();
-    run_serial_impl(x, y, stats);
-    if (stats != nullptr) {
-      stats->taskRetries = static_cast<idx_t>(taskRetries.value());
-      stats->serialFallback = true;
-    }
-    return;
-  }
-
-  static metrics::Counter& gIterations = metrics::counter("spmv.iterations");
-  static metrics::Counter& gExpandWords = metrics::counter("spmv.expand.words");
-  static metrics::Counter& gFoldWords = metrics::counter("spmv.fold.words");
-  static metrics::Counter& gMessages = metrics::counter("spmv.messages");
-  gIterations.add();
-  gExpandWords.add(expandWords.value());
-  gFoldWords.add(foldWords.value());
-  gMessages.add(messages.value());
-
-  if (stats != nullptr) {
-    stats->wordsSent = static_cast<weight_t>(expandWords.value() + foldWords.value());
-    stats->messagesSent = static_cast<idx_t>(messages.value());
-    stats->taskRetries = static_cast<idx_t>(taskRetries.value());
-    stats->serialFallback = false;
-  }
+  return exec::compile(to_schedule(plan), opts);
 }
 
 }  // namespace fghp::spmv

@@ -1,121 +1,44 @@
-// Plan compilation: lowers an SpmvPlan into a local-indexed, zero-allocation
-// execution image (CompiledPlan) and runs it through a reusable ExecSession.
+// SpMV-typed view of the workload-agnostic compiled execution core
+// (exec/compiled.hpp). A CompiledPlan *is* an exec::Image — the lowering of
+// the plan's schedule (one input space "x", output space "y", baked matrix
+// constants) — and ExecSession is exec::Session with the single-input
+// calling convention: run(x, y) instead of run({x}, y).
 //
-// The one-shot executors walk the plan in *global* coordinates and pay a
-// hash lookup per nonzero plus fresh mailbox/cache/partial allocations on
-// every call. An iterative solver calls y = A x hundreds of times on the
-// same plan, so we lower once instead:
-//
-//  * every processor's nonzeros become a CSR whose column indices point into
-//    a dense per-processor x scratch (local numbering, no hashes),
-//  * every expand/fold message id is pre-translated to a scratch slot, and
-//    all message payloads pack into one flat buffer per processor addressed
-//    by prefix offsets (rowOff/xOff/xSendOff/... below),
-//  * ExecSession owns the image plus the scratch vectors, so iterations
-//    after the first perform no heap allocation at all on the serial path
-//    (the threaded path still spawns its worker threads per call).
-//
-// Both execution paths are bit-identical to the original executors: the
-// per-row multiply accumulates in the plan's nonzero order and the fold
-// accumulates own-partial first, then remote partials in plan (sender-major)
-// order — the exact summation orders execute()/execute_mt() used.
-//
-// On top of the PR 4 lowering, compilation applies a second-level
-// *cache-aware reordering* inside every processor's local block
-// (CompileOptions::cacheReorder, on by default): local row and x slots are
-// renumbered by a reverse Cuthill-McKee sweep of the block's bipartite
-// row/column graph (sparse::bipartite_rcm), so consecutive rows of the
-// multiply loop touch nearby x slots. Each block's RCM candidate is scored
-// against the first-use numbering with a saturated-gap locality proxy and
-// adopted only when it wins — already-well-ordered blocks keep their
-// numbering. The adopted permutation is folded into every
-// pre-translated slot table (colSlot, ownXSlot, xRecvSlot, ownYSlot,
-// ySendSlot, xColGlobal) at compile time — each row keeps its exact
-// within-row entry order and the fold keeps its plan order, so results stay
-// bit-identical to the unreordered image. The hot loops themselves run
-// through the compile-time-selected kernels in spmv/kernels.hpp
-// (4-wide unrolled / omp-simd with a scalar fallback). DESIGN.md §12.
+// Everything documented on the generic core holds here unchanged: zero
+// allocation per serial iteration after the first, bit-identical serial/MT
+// results at any thread count, the second-level cache-aware RCM reordering
+// (CompileOptions::cacheReorder), the `exec.*` fault/cancel sites and the
+// one-retry-then-serial-fallback ladder. Trace and metric names stay in the
+// "spmv" family ("spmv"/"spmv.iteration" spans, "spmv.iterations" etc.),
+// carried by the schedule's workload labels. DESIGN.md §12, §14.
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
+#include "exec/compiled.hpp"
 #include "spmv/executor.hpp"
 #include "spmv/plan.hpp"
 #include "util/cancel.hpp"
 
 namespace fghp::spmv {
 
-/// The execution image. All arrays are flat and concatenated processor-major;
-/// a `*Off` array of size numProcs+1 gives processor p the half-open range
-/// [off[p], off[p+1]). "Slot" means an index into the session's flat scratch:
-/// x slots address the local-x gather space, row slots the partial space.
-struct CompiledPlan {
-  idx_t numProcs = 0;
-  idx_t numRows = 0;
-  idx_t numCols = 0;
+/// The execution image of an SpMV plan. In the generic image, x is input
+/// space 0 (c.in[0]: slots, owned gather, expand send/recv tables), y is the
+/// output space (c.out: partial slots, owner fold, fold send/recv tables),
+/// the task CSR is groupPtr/rhsSlot/constVals, and num_tasks() == nnz.
+using CompiledPlan = exec::Image;
 
-  // --- per-processor prefix offsets (each numProcs + 1 long) --------------
-  std::vector<idx_t> rowOff;      ///< local row slots (partial scratch)
-  std::vector<idx_t> xOff;        ///< local x slots (gather scratch)
-  std::vector<idx_t> ownXOff;     ///< owned-and-locally-used x pairs
-  std::vector<idx_t> ownYOff;     ///< owned-and-locally-computed y pairs
-  std::vector<idx_t> xSendOff;    ///< expand send-buffer words
-  std::vector<idx_t> xSendMsgOff; ///< expand messages
-  std::vector<idx_t> xRecvOff;    ///< expand recv words
-  std::vector<idx_t> ySendOff;    ///< fold send-buffer words
-  std::vector<idx_t> ySendMsgOff; ///< fold messages
-  std::vector<idx_t> yRecvOff;    ///< fold recv words
+/// Compile-time choices for the lowering (generic: cacheReorder + a cancel
+/// token checked once at the "plan.compile" phase boundary).
+using CompileOptions = exec::CompileOptions;
 
-  // --- local CSR (concatenated; entries of proc p start at rowPtr[rowOff[p]])
-  std::vector<idx_t> rowPtr;      ///< size rowOff.back() + 1
-  std::vector<idx_t> colSlot;     ///< x slot per nonzero (local numbering)
-  std::vector<double> vals;
-
-  // --- gather / scatter tables -------------------------------------------
-  std::vector<idx_t> xColGlobal;  ///< x slot -> global column (serial gather)
-  std::vector<idx_t> ownXCol;     ///< owned gather: global column ...
-  std::vector<idx_t> ownXSlot;    ///< ... into this x slot (MT superstep 1)
-  std::vector<idx_t> xSendCol;    ///< send word -> global column to copy out
-  std::vector<idx_t> xRecvSlot;   ///< recv word -> destination x slot
-  std::vector<idx_t> xRecvSrc;    ///< recv word -> source word in x send space
-  std::vector<idx_t> ownYRow;     ///< owner fold: global row ...
-  std::vector<idx_t> ownYSlot;    ///< ... accumulated from this row slot
-  std::vector<idx_t> ySendSlot;   ///< send word -> source row slot
-  std::vector<idx_t> ySendRow;    ///< send word -> global row (serial fold)
-  std::vector<idx_t> yRecvRow;    ///< recv word -> global row accumulated into
-  std::vector<idx_t> yRecvSrc;    ///< recv word -> source word in y send space
-
-  /// Whether the second-level cache reordering pass ran (execution is
-  /// identical either way; recorded for observability and tests).
-  bool cacheReordered = false;
-  /// Blocks where the RCM candidate actually beat the first-use numbering's
-  /// locality score and was adopted (the pass keeps whichever ordering
-  /// scores better per block, so well-ordered blocks never regress).
-  idx_t reorderedProcs = 0;
-
-  idx_t nnz() const { return rowPtr.empty() ? 0 : rowPtr.back(); }
-  weight_t total_words() const;   ///< expand + fold send-buffer words
-  idx_t total_messages() const;   ///< directed messages, both phases
-};
-
-/// Compile-time choices for the lowering. The defaults are what every
-/// production path uses; tests and the roofline bench disable the reorder to
-/// pin bit-identity against the plain first-use-order image.
-struct CompileOptions {
-  /// Renumber each processor's local row/x slots with a bandwidth-reducing
-  /// bipartite RCM sweep for cache locality (results are bit-identical
-  /// with or without).
-  bool cacheReorder = true;
-  /// Checked once at the "plan.compile" phase boundary before any lowering
-  /// work (an inactive default token is free).
-  cancel::CancelToken cancel;
-};
-
-/// Lowers a plan. Throws fghp::InvariantError if the plan's fold schedule
-/// references a row its processor never computes, or if the compiled
-/// send-buffer offsets fail to cover exactly plan.total_words() /
-/// plan.total_messages() (both indicate a corrupt plan).
+/// Lowers a plan: exec::compile over to_schedule(plan). Throws
+/// fghp::InvariantError if the fold schedule references a row its processor
+/// never computes, or if the compiled send-buffer offsets fail to cover
+/// exactly plan.total_words() / plan.total_messages() (both indicate a
+/// corrupt plan).
 CompiledPlan compile_plan(const SpmvPlan& plan, const CompileOptions& opts = {});
 
 /// Owns a compiled image plus the scratch to execute it repeatedly.
@@ -124,10 +47,11 @@ CompiledPlan compile_plan(const SpmvPlan& plan, const CompileOptions& opts = {})
 /// concurrent caller; run_mt parallelizes internally.
 class ExecSession {
  public:
-  explicit ExecSession(const SpmvPlan& plan, const CompileOptions& opts = {});
-  explicit ExecSession(CompiledPlan compiled);
+  explicit ExecSession(const SpmvPlan& plan, const CompileOptions& opts = {})
+      : s_(compile_plan(plan, opts)) {}
+  explicit ExecSession(CompiledPlan compiled) : s_(std::move(compiled)) {}
 
-  const CompiledPlan& compiled() const { return c_; }
+  const CompiledPlan& compiled() const { return s_.image(); }
 
   /// Installs a cancellation token for subsequent iterations. Each run()/
   /// run_mt() call starts with a check-point at the "exec.iter" boundary
@@ -137,16 +61,19 @@ class ExecSession {
   /// misread a cancellation as a task fault. A cancelled or expired token
   /// surfaces as CancelledError / DeadlineExceededError; the session stays
   /// reusable afterwards (every scratch word is re-assigned each run).
-  void set_cancel(cancel::CancelToken token) { cancel_ = std::move(token); }
+  void set_cancel(cancel::CancelToken token) { s_.set_cancel(std::move(token)); }
 
   /// 1-based count of iterations started (run + run_mt); the check-point
   /// ordinal, exposed for tests.
-  long iterations_started() const { return iter_; }
+  long iterations_started() const { return s_.iterations_started(); }
 
   /// Serial y = A x into `y` (resized to numRows, zero-filled, then
   /// accumulated in the serial executor's exact summation order).
   void run(std::span<const double> x, std::vector<double>& y,
-           ExecStats* stats = nullptr);
+           ExecStats* stats = nullptr) {
+    const std::array<std::span<const double>, 1> ins{x};
+    s_.run(ins, y, stats);
+  }
 
   /// Threaded BSP y = A x (expand / multiply / fold supersteps with a full
   /// join between them). Workers come from the shared ThreadPool via the
@@ -157,25 +84,13 @@ class ExecSession {
   /// and the one-retry-then-serial-fallback ladder stay armed exactly as in
   /// the threaded case. Output is bit-identical to run() at any thread count.
   void run_mt(std::span<const double> x, std::vector<double>& y,
-              idx_t numThreads = 0, ExecStats* stats = nullptr);
+              idx_t numThreads = 0, ExecStats* stats = nullptr) {
+    const std::array<std::span<const double>, 1> ins{x};
+    s_.run_mt(ins, y, numThreads, stats);
+  }
 
  private:
-  /// The serial path without the per-iteration check-point: run() wraps it,
-  /// and the run_mt serial fallback calls it directly so one logical
-  /// iteration never consumes two check-point ordinals.
-  void run_serial_impl(std::span<const double> x, std::vector<double>& y,
-                       ExecStats* stats);
-
-  CompiledPlan c_;
-  cancel::CancelToken cancel_;
-  long iter_ = 0;
-  // Scratch, sized and explicitly zero-filled once at construction
-  // (assign, not resize: a moved-from or reused vector never carries stale
-  // tail data into a differently-sized image). Every run_mt superstep
-  // assigns each word it later reads, so no per-iteration re-zero is
-  // needed; xSendBuf_/ySendBuf_ are the flat mailbox spaces of the MT path,
-  // the serial path gathers/scatters directly and never touches them.
-  std::vector<double> xLoc_, partial_, xSendBuf_, ySendBuf_;
+  exec::Session s_;
 };
 
 }  // namespace fghp::spmv

@@ -15,6 +15,14 @@ std::vector<double> execute(const SpmvPlan& plan, std::span<const double> x,
   return y;
 }
 
+std::vector<double> execute_mt(const SpmvPlan& plan, std::span<const double> x,
+                               idx_t numThreads, ExecStats* stats) {
+  ExecSession session(plan);
+  std::vector<double> y;
+  session.run_mt(x, y, numThreads, stats);
+  return y;
+}
+
 // The pre-compilation executor, kept verbatim as bench_spmv's baseline: it
 // walks the plan in global coordinates and pays a hash lookup per nonzero.
 std::vector<double> execute_plan_walk(const SpmvPlan& plan,

@@ -1,34 +1,42 @@
-// Serial simulation of the distributed SpMV: executes the plan's expand /
-// local-multiply / fold phases processor by processor, counting every word
-// and message, and returns the assembled global y.
+// One-shot SpMV entry points: serial simulation of the distributed SpMV
+// (execute), the multi-threaded BSP run (execute_mt), and the legacy
+// plan-walking baseline (execute_plan_walk).
 //
-// Both one-shot entry points (execute here, execute_mt in executor_mt.hpp)
-// are thin wrappers that compile the plan and run it once through an
-// ExecSession (spmv/compiled.hpp). Iterative callers should hold the
-// session themselves so the compiled image and scratch are reused.
+// Both production entry points are thin wrappers that compile the plan and
+// run it once through an ExecSession (spmv/compiled.hpp, itself the
+// SpMV-typed view of the workload-agnostic exec::Session). Iterative callers
+// should hold the session themselves so the compiled image and scratch are
+// reused.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "exec/compiled.hpp"
 #include "spmv/plan.hpp"
 
 namespace fghp::spmv {
 
-struct ExecStats {
-  weight_t wordsSent = 0;     ///< total words moved (expand + fold)
-  idx_t messagesSent = 0;     ///< directed messages (expand + fold)
-  idx_t taskRetries = 0;      ///< MT executor tasks that failed once and were
-                              ///< retried (0 for the serial executor)
-  bool serialFallback = false;  ///< MT executor degraded to the serial path
-                                ///< after a task failed its retry
-};
+/// Traffic and recovery counts of one executed iteration (generic across
+/// workloads: wordsSent/messagesSent over expand + fold of every space,
+/// taskRetries and serialFallback from the MT recovery ladder).
+using ExecStats = exec::ExecStats;
 
 /// Runs one distributed y = A x under the plan. The plan must come from the
 /// same matrix (same dimensions / nonzero placement). stats, if non-null,
 /// receives the exact traffic counts (equal to comm::analyze's totals).
 std::vector<double> execute(const SpmvPlan& plan, std::span<const double> x,
                             ExecStats* stats = nullptr);
+
+/// Runs one distributed y = A x with `numThreads` worker threads (0 = one
+/// per logical processor, capped at hardware concurrency): every logical
+/// processor runs the expand / multiply / fold supersteps separated by
+/// barriers, with lock-free mailboxes (flat per-processor send buffers in
+/// the compiled image, each word written only by its source and read only by
+/// its destination, strictly after the barrier). Produces the same y as
+/// execute() (identical per-partial summation order).
+std::vector<double> execute_mt(const SpmvPlan& plan, std::span<const double> x,
+                               idx_t numThreads = 0, ExecStats* stats = nullptr);
 
 /// The legacy plan-walking implementation: global coordinates, an
 /// unordered_map lookup per nonzero, fresh caches every call. Bit-identical

@@ -4,7 +4,6 @@
 #include <map>
 #include <sstream>
 
-#include "util/assert.hpp"
 #include "util/error.hpp"
 #include "util/trace.hpp"
 
@@ -117,109 +116,39 @@ SpmvPlan build_plan(const sparse::Csr& a, const model::Decomposition& d,
   return plan;
 }
 
-std::vector<std::string> validate_plan(const SpmvPlan& plan) {
-  std::vector<std::string> problems;
-  auto complain = [&](const std::ostringstream& os) { problems.push_back(os.str()); };
+exec::Schedule to_schedule(const SpmvPlan& plan) {
+  const std::size_t K = plan.procs.size();
+  exec::Schedule s;
+  s.traceCat = "spmv";
+  s.traceIteration = "spmv.iteration";
+  s.metricPrefix = "spmv";
+  s.numProcs = plan.numProcs;
+  s.inputs = {{"x", plan.numCols}};
+  s.output = {"y", plan.numRows};
+  s.lhsConst = true;
+  s.rhsSpace = 0;
+  s.inComm.assign(1, std::vector<exec::SpaceComm>(K));
+  s.outComm.resize(K);
+  s.tasks.resize(K);
+  for (std::size_t p = 0; p < K; ++p) {
+    const ProcPlan& pp = plan.procs[p];
+    s.inComm[0][p] = {pp.ownedX, pp.xSends, pp.xRecvs};
+    s.outComm[p] = {pp.ownedY, pp.ySends, pp.yRecvs};
+    s.tasks[p].outId = pp.rows;
+    s.tasks[p].rhsId = pp.cols;
+    s.tasks[p].constVals = pp.vals;
+  }
+  return s;
+}
 
+std::vector<std::string> validate_plan(const SpmvPlan& plan) {
   const idx_t K = plan.numProcs;
   if (static_cast<idx_t>(plan.procs.size()) != K) {
     std::ostringstream os;
     os << "plan has " << plan.procs.size() << " processor plans but numProcs = " << K;
-    complain(os);
-    return problems;  // everything below indexes procs by [0, K)
+    return {os.str()};  // the lowering indexes procs by [0, K)
   }
-
-  std::vector<idx_t> xOwners(static_cast<std::size_t>(plan.numCols), 0);
-  std::vector<idx_t> yOwners(static_cast<std::size_t>(plan.numRows), 0);
-  for (idx_t p = 0; p < K; ++p) {
-    const auto& pp = plan.procs[static_cast<std::size_t>(p)];
-
-    if (pp.rows.size() != pp.cols.size() || pp.rows.size() != pp.vals.size()) {
-      std::ostringstream os;
-      os << "processor " << p << ": ragged local nonzeros (" << pp.rows.size() << " rows, "
-         << pp.cols.size() << " cols, " << pp.vals.size() << " vals)";
-      complain(os);
-    }
-    for (std::size_t e = 0; e < pp.rows.size() && e < pp.cols.size(); ++e) {
-      if (pp.rows[e] < 0 || pp.rows[e] >= plan.numRows || pp.cols[e] < 0 ||
-          pp.cols[e] >= plan.numCols) {
-        std::ostringstream os;
-        os << "processor " << p << ": nonzero " << e << " at (" << pp.rows[e] << ", "
-           << pp.cols[e] << ") outside " << plan.numRows << " x " << plan.numCols;
-        complain(os);
-        break;  // one report per processor is enough
-      }
-    }
-
-    for (idx_t j : pp.ownedX) {
-      if (j < 0 || j >= plan.numCols) {
-        std::ostringstream os;
-        os << "processor " << p << ": owned x id " << j << " out of range";
-        complain(os);
-      } else {
-        ++xOwners[static_cast<std::size_t>(j)];
-      }
-    }
-    for (idx_t i : pp.ownedY) {
-      if (i < 0 || i >= plan.numRows) {
-        std::ostringstream os;
-        os << "processor " << p << ": owned y id " << i << " out of range";
-        complain(os);
-      } else {
-        ++yOwners[static_cast<std::size_t>(i)];
-      }
-    }
-
-    // Every recv must point back (peer, pairIndex) at a send with the same
-    // id list addressed to this processor — the MT executor's mailbox reads
-    // are exactly this lookup.
-    auto check_recvs = [&](const std::vector<Msg>& recvs,
-                           std::vector<Msg> ProcPlan::* sendList, const char* kind) {
-      for (const Msg& m : recvs) {
-        std::ostringstream os;
-        if (m.peer < 0 || m.peer >= K) {
-          os << "processor " << p << ": " << kind << " recv from invalid peer " << m.peer;
-          complain(os);
-          continue;
-        }
-        const auto& peerSends = plan.procs[static_cast<std::size_t>(m.peer)].*sendList;
-        if (m.pairIndex < 0 ||
-            m.pairIndex >= static_cast<idx_t>(peerSends.size())) {
-          os << "processor " << p << ": " << kind << " recv pairIndex " << m.pairIndex
-             << " out of range for peer " << m.peer;
-          complain(os);
-          continue;
-        }
-        const Msg& send = peerSends[static_cast<std::size_t>(m.pairIndex)];
-        if (send.peer != p || send.ids != m.ids) {
-          os << "processor " << p << ": " << kind << " recv from peer " << m.peer
-             << " does not match the paired send";
-          complain(os);
-        }
-      }
-    };
-    check_recvs(pp.xRecvs, &ProcPlan::xSends, "expand");
-    check_recvs(pp.yRecvs, &ProcPlan::ySends, "fold");
-  }
-
-  for (idx_t j = 0; j < plan.numCols; ++j) {
-    if (xOwners[static_cast<std::size_t>(j)] != 1) {
-      std::ostringstream os;
-      os << "column " << j << " owned by " << xOwners[static_cast<std::size_t>(j)]
-         << " processors (want exactly 1)";
-      complain(os);
-    }
-  }
-  for (idx_t i = 0; i < plan.numRows; ++i) {
-    if (yOwners[static_cast<std::size_t>(i)] != 1) {
-      std::ostringstream os;
-      os << "row " << i << " owned by " << yOwners[static_cast<std::size_t>(i)]
-         << " processors (want exactly 1)";
-      complain(os);
-    }
-  }
-
-  return problems;
+  return exec::validate_schedule(to_schedule(plan));
 }
 
 void validate_plan_or_throw(const SpmvPlan& plan) {

@@ -2,10 +2,17 @@
 // expand/fold message schedules derived from a decomposition. The plan's
 // word/message totals are, by construction, the quantities comm::analyze
 // reports — the executors assert that equivalence at runtime.
+//
+// The plan is the SpMV-typed view of the workload: column/row vocabulary,
+// one struct per processor. Execution happens through its lowering to the
+// workload-agnostic exec::Schedule (to_schedule below): one input space "x",
+// output space "y", and one baked-constant task per nonzero — see
+// exec/schedule.hpp and DESIGN.md §14.
 #pragma once
 
 #include <vector>
 
+#include "exec/schedule.hpp"
 #include "models/decomposition.hpp"
 #include "sparse/csr.hpp"
 #include "util/cancel.hpp"
@@ -14,13 +21,9 @@ namespace fghp::spmv {
 
 /// One message of the schedule: the ids (column indices for expand, row
 /// indices for fold) whose values travel between `peer` and this processor.
-struct Msg {
-  idx_t peer = kInvalidIdx;
-  std::vector<idx_t> ids;
-  /// For receives: index of the matching entry in the peer's send list
-  /// (lets the threaded executor read the right mailbox without searching).
-  idx_t pairIndex = kInvalidIdx;
-};
+/// The recv-side pairIndex points at the matching entry in the peer's send
+/// list, exactly as in the generic schedule.
+using Msg = exec::Msg;
 
 struct ProcPlan {
   /// Local nonzeros in global coordinates.
@@ -52,12 +55,24 @@ struct SpmvPlan {
 SpmvPlan build_plan(const sparse::Csr& a, const model::Decomposition& d,
                     const cancel::CancelToken& cancel = {});
 
-/// Returns a list of human-readable problems with a plan (empty = valid):
+/// Lowers the plan to the workload-agnostic execution schedule: input space
+/// "x" (numCols ids), output space "y" (numRows ids), per-processor
+/// ownership and expand/fold messages copied verbatim, and one
+/// baked-constant task per local nonzero (out = row, rhs = col, const =
+/// value) in local nonzero order. Pure restructuring — total on any input,
+/// no validation; trace/metric labels are the "spmv" family.
+exec::Schedule to_schedule(const SpmvPlan& plan);
+
+/// Returns a list of human-readable problems with a plan (empty = valid),
+/// via exec::validate_schedule on the lowered schedule:
 ///  * proc count / index ranges inconsistent with numProcs/numRows/numCols,
 ///  * ragged local nonzero arrays (rows/cols/vals length mismatch),
 ///  * x or y ids owned by zero or multiple processors,
 ///  * a recv whose pairIndex does not point back at the matching send
-///    (peer or id list disagrees).
+///    (peer or id list disagrees),
+///  * a message whose id list is not strictly increasing — the sorted /
+///    deduplicated determinism contract build_plan guarantees and the
+///    compiled mailbox translation relies on.
 std::vector<std::string> validate_plan(const SpmvPlan& plan);
 
 /// Throws fghp::InvariantError listing all problems if validate_plan() is

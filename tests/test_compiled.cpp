@@ -14,7 +14,6 @@
 #include "models/finegrain.hpp"
 #include "spmv/compiled.hpp"
 #include "spmv/executor.hpp"
-#include "spmv/executor_mt.hpp"
 #include "spmv/plan.hpp"
 #include "spmv/reference.hpp"
 #include "sparse/generators.hpp"
@@ -96,22 +95,22 @@ TEST(CompilePlan, ImageCoversPlanExactly) {
     // Send-buffer offsets cover exactly the plan's traffic.
     EXPECT_EQ(c.total_words(), plan.total_words());
     EXPECT_EQ(c.total_messages(), plan.total_messages());
-    EXPECT_EQ(static_cast<idx_t>(c.xSendCol.size()), c.xSendOff.back());
-    EXPECT_EQ(static_cast<idx_t>(c.ySendSlot.size()), c.ySendOff.back());
+    EXPECT_EQ(static_cast<idx_t>(c.in[0].sendId.size()), c.in[0].sendOff.back());
+    EXPECT_EQ(static_cast<idx_t>(c.out.sendSlot.size()), c.out.sendOff.back());
     // Every send word is received exactly once.
-    EXPECT_EQ(c.xRecvOff.back(), c.xSendOff.back());
-    EXPECT_EQ(c.yRecvOff.back(), c.ySendOff.back());
-    // The local CSR partitions the matrix's nonzeros.
-    EXPECT_EQ(c.nnz(), a.nnz());
-    EXPECT_EQ(c.rowPtr.size(), static_cast<std::size_t>(c.rowOff.back()) + 1);
-    // Local column slots stay inside their processor's x range.
+    EXPECT_EQ(c.in[0].recvOff.back(), c.in[0].sendOff.back());
+    EXPECT_EQ(c.out.recvOff.back(), c.out.sendOff.back());
+    // The task CSR partitions the matrix's nonzeros.
+    EXPECT_EQ(c.num_tasks(), a.nnz());
+    EXPECT_EQ(c.groupPtr.size(), static_cast<std::size_t>(c.out.off.back()) + 1);
+    // Local rhs (x) slots stay inside their processor's range.
     for (idx_t p = 0; p < K; ++p) {
-      for (idx_t e = c.rowPtr[static_cast<std::size_t>(c.rowOff[static_cast<std::size_t>(p)])];
-           e < c.rowPtr[static_cast<std::size_t>(c.rowOff[static_cast<std::size_t>(p) + 1])];
+      for (idx_t e = c.groupPtr[static_cast<std::size_t>(c.out.off[static_cast<std::size_t>(p)])];
+           e < c.groupPtr[static_cast<std::size_t>(c.out.off[static_cast<std::size_t>(p) + 1])];
            ++e) {
-        EXPECT_GE(c.colSlot[static_cast<std::size_t>(e)], c.xOff[static_cast<std::size_t>(p)]);
-        EXPECT_LT(c.colSlot[static_cast<std::size_t>(e)],
-                  c.xOff[static_cast<std::size_t>(p) + 1]);
+        EXPECT_GE(c.rhsSlot[static_cast<std::size_t>(e)], c.in[0].off[static_cast<std::size_t>(p)]);
+        EXPECT_LT(c.rhsSlot[static_cast<std::size_t>(e)],
+                  c.in[0].off[static_cast<std::size_t>(p) + 1]);
       }
     }
   }

@@ -22,7 +22,7 @@
 #include "sparse/generators.hpp"
 #include "sparse/mmio.hpp"
 #include "spmv/compiled.hpp"
-#include "spmv/executor_mt.hpp"
+#include "spmv/executor.hpp"
 #include "spmv/plan.hpp"
 #include "spmv/reference.hpp"
 #include "util/error.hpp"
@@ -529,6 +529,60 @@ TEST(PlanValidate, MismatchedRecvCaught) {
     }
   }
   if (!mutated) GTEST_SKIP() << "decomposition produced no expand traffic";
+  EXPECT_THROW(spmv::validate_plan_or_throw(f.plan), InvariantError);
+}
+
+TEST(PlanValidate, UnsortedMessageIdsCaught) {
+  // The determinism contract: every message's id list is strictly increasing
+  // (sorted, deduplicated). Reversing one send's ids — and its paired recv's,
+  // so the pairing check stays satisfied and only the ordering contract is
+  // violated — must be rejected.
+  ExecFixture f(11);
+  bool mutated = false;
+  for (idx_t p = 0; p < f.plan.numProcs && !mutated; ++p) {
+    auto& pp = f.plan.procs[static_cast<std::size_t>(p)];
+    for (std::size_t s = 0; s < pp.xSends.size(); ++s) {
+      if (pp.xSends[s].ids.size() < 2) continue;
+      std::reverse(pp.xSends[s].ids.begin(), pp.xSends[s].ids.end());
+      auto& peer = f.plan.procs[static_cast<std::size_t>(pp.xSends[s].peer)];
+      for (auto& recv : peer.xRecvs) {
+        if (recv.peer == p && recv.pairIndex == static_cast<idx_t>(s))
+          recv.ids = pp.xSends[s].ids;
+      }
+      mutated = true;
+      break;
+    }
+  }
+  if (!mutated) GTEST_SKIP() << "decomposition produced no multi-word message";
+  const auto problems = spmv::validate_plan(f.plan);
+  ASSERT_FALSE(problems.empty());
+  bool mentioned = false;
+  for (const auto& msg : problems)
+    mentioned = mentioned || msg.find("not strictly increasing") != std::string::npos;
+  EXPECT_TRUE(mentioned);
+  EXPECT_THROW(spmv::validate_plan_or_throw(f.plan), InvariantError);
+}
+
+TEST(PlanValidate, DuplicateMessageIdsCaught) {
+  // Duplicates are the other half of the contract (strictly increasing, not
+  // merely non-decreasing): a repeated id in a fold send must be rejected.
+  ExecFixture f(12);
+  bool mutated = false;
+  for (idx_t p = 0; p < f.plan.numProcs && !mutated; ++p) {
+    auto& pp = f.plan.procs[static_cast<std::size_t>(p)];
+    for (std::size_t s = 0; s < pp.ySends.size(); ++s) {
+      if (pp.ySends[s].ids.empty()) continue;
+      pp.ySends[s].ids.push_back(pp.ySends[s].ids.back());
+      auto& peer = f.plan.procs[static_cast<std::size_t>(pp.ySends[s].peer)];
+      for (auto& recv : peer.yRecvs) {
+        if (recv.peer == p && recv.pairIndex == static_cast<idx_t>(s))
+          recv.ids = pp.ySends[s].ids;
+      }
+      mutated = true;
+      break;
+    }
+  }
+  if (!mutated) GTEST_SKIP() << "decomposition produced no fold traffic";
   EXPECT_THROW(spmv::validate_plan_or_throw(f.plan), InvariantError);
 }
 

@@ -12,7 +12,6 @@
 #include "models/hypergraph1d.hpp"
 #include "spmv/costmodel.hpp"
 #include "spmv/executor.hpp"
-#include "spmv/executor_mt.hpp"
 #include "spmv/plan.hpp"
 #include "spmv/reference.hpp"
 #include "spmv/transpose.hpp"
