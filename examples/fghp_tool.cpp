@@ -6,13 +6,15 @@
 //       Table 1-style statistics plus bandwidth before/after RCM
 //   fghp_tool partition <m.mtx> --model <finegrain|hyper1d|rownet|graph|
 //       checkerboard|jagged|orthogonal> --k 16 [--eps 0.03] [--seed 1]
-//       [--threads 0] [--balance-vectors] [--out d.decomp]
-//       decompose and report the Table 2 metrics; optionally save owners
+//       [--method multilevel|geometric|geometric-fm|streaming] [--threads 0]
+//       [--balance-vectors] [--json] [--out d.decomp]
+//       decompose and report the Table 2 metrics (one JSON object with
+//       --json); the fast-path methods require --model finegrain
 //   fghp_tool simulate <m.mtx> <d.decomp> [--reps 10] [--threads 0]
 //       load a saved decomposition, verify it, execute repeated distributed
 //       SpMVs (threaded) and report traffic + timing
-//   fghp_tool spgemm <a.mtx> [b.mtx] --k 16 [--eps 0.03] [--seed 1]
-//       [--threads 0] [--reps 10]
+//   fghp_tool spgemm <a.mtx> [b.mtx | --b-matrix b.mtx] --k 16 [--eps 0.03]
+//       [--seed 1] [--threads 0] [--reps 10]
 //       fine-grain partition of C = A*B (A*A when b.mtx is omitted),
 //       report cutsize == communication volume, then execute repeated
 //       distributed multiplies through the generic core and verify the
@@ -80,12 +82,14 @@ int usage() {
                "  gen <suite-name> --out m.mtx [--scale S] [--seed N]\n"
                "  stats <m.mtx>\n"
                "  partition <m.mtx> --model M --k K [--eps E] [--seed N]\n"
-               "            [--threads T] [--balance-vectors] [--strict]\n"
+               "            [--method multilevel|geometric|geometric-fm|streaming]\n"
+               "            [--threads T] [--balance-vectors] [--strict] [--json]\n"
                "            [--fault-spec SPEC] [--timeout-ms MS] [--no-degrade]\n"
                "            [--out d.decomp]\n"
+               "            (--method other than multilevel needs --model finegrain)\n"
                "  simulate <m.mtx> <d.decomp> [--reps R] [--threads T]\n"
                "            [--timeout-ms MS]\n"
-               "  spgemm <a.mtx> [b.mtx] --k K [--eps E] [--seed N]\n"
+               "  spgemm <a.mtx> [b.mtx | --b-matrix b.mtx] --k K [--eps E] [--seed N]\n"
                "            [--threads T] [--reps R] [--timeout-ms MS]\n"
                "  faults\n"
                "every command also accepts:\n"
@@ -153,6 +157,7 @@ int cmd_stats(const ArgParser& args) {
 
 int cmd_partition(const ArgParser& args) {
   if (args.positional().size() < 2) return usage();
+  WallTimer totalTimer;  // whole command: read + model build + partition + analysis
   const sparse::Csr a = sparse::read_matrix_market_file(args.positional()[1]);
   if (!a.is_square()) {
     std::fprintf(stderr, "partition: matrix must be square\n");
@@ -170,6 +175,17 @@ int cmd_partition(const ArgParser& args) {
   cfg.faultSpec = args.flag("fault-spec").value_or("");
   cfg.cancel = cancel::CancelToken::with_deadline_ms(resolve_timeout_ms(args));
   if (args.has_switch("no-degrade")) cfg.degradeOnDeadline = false;
+  const std::string methodName = args.flag("method").value_or("multilevel");
+  if (!part::parse_method(methodName, cfg.method)) {
+    std::fprintf(stderr, "partition: unknown method '%s'\n", methodName.c_str());
+    return 2;
+  }
+  if (cfg.method != part::PartitionMethod::kMultilevel && modelName != "finegrain") {
+    std::fprintf(stderr, "partition: --method %s requires --model finegrain\n",
+                 methodName.c_str());
+    return 2;
+  }
+  const bool json = args.has_switch("json");
 
   model::ModelRun run;
   if (modelName == "finegrain") {
@@ -193,27 +209,47 @@ int cmd_partition(const ArgParser& args) {
 
   if (args.has_switch("balance-vectors")) {
     const model::VectorAssignResult r = model::balance_vector_owners(a, run.decomp);
-    std::printf("vector balancing: max per-proc words %lld -> %lld\n",
-                static_cast<long long>(r.maxProcWordsBefore),
-                static_cast<long long>(r.maxProcWordsAfter));
+    if (!json)
+      std::printf("vector balancing: max per-proc words %lld -> %lld\n",
+                  static_cast<long long>(r.maxProcWordsBefore),
+                  static_cast<long long>(r.maxProcWordsAfter));
     run.decomp = r.decomp;
   }
 
   const comm::CommStats s = comm::analyze(a, run.decomp);
   const model::LoadStats loads = model::compute_loads(a, run.decomp);
-  std::printf("model=%s K=%d time=%.3fs recoveries=%d degraded=%d\n",
-              modelName.c_str(), static_cast<int>(k), run.partitionSeconds,
-              static_cast<int>(run.numRecoveries), static_cast<int>(run.numDegraded));
-  std::printf("  total volume %lld words (%.3f scaled); max/proc %lld (%.3f)\n",
-              static_cast<long long>(s.totalWords), s.scaledTotal(a.num_rows()),
-              static_cast<long long>(s.maxProcWords), s.scaledMax(a.num_rows()));
-  std::printf("  expand/fold %lld / %lld; avg msgs/proc %.2f; load imbalance %.2f%%\n",
-              static_cast<long long>(s.expandWords), static_cast<long long>(s.foldWords),
-              s.avgMessagesPerProc, loads.percentImbalance);
+  if (json) {
+    std::printf("{\"model\":\"%s\",\"method\":\"%s\",\"k\":%d,"
+                "\"partition_seconds\":%.6f,\"total_seconds\":%.6f,"
+                "\"objective\":%lld,\"recoveries\":%d,\"degraded\":%d,"
+                "\"total_volume_words\":%lld,\"max_proc_words\":%lld,"
+                "\"expand_words\":%lld,\"fold_words\":%lld,"
+                "\"avg_messages_per_proc\":%.3f,\"load_imbalance_percent\":%.3f}\n",
+                modelName.c_str(), methodName.c_str(), static_cast<int>(k),
+                run.partitionSeconds, totalTimer.seconds(),
+                static_cast<long long>(run.objective),
+                static_cast<int>(run.numRecoveries), static_cast<int>(run.numDegraded),
+                static_cast<long long>(s.totalWords),
+                static_cast<long long>(s.maxProcWords),
+                static_cast<long long>(s.expandWords),
+                static_cast<long long>(s.foldWords), s.avgMessagesPerProc,
+                loads.percentImbalance);
+  } else {
+    std::printf("model=%s method=%s K=%d time=%.3fs total=%.3fs recoveries=%d degraded=%d\n",
+                modelName.c_str(), methodName.c_str(), static_cast<int>(k),
+                run.partitionSeconds, totalTimer.seconds(),
+                static_cast<int>(run.numRecoveries), static_cast<int>(run.numDegraded));
+    std::printf("  total volume %lld words (%.3f scaled); max/proc %lld (%.3f)\n",
+                static_cast<long long>(s.totalWords), s.scaledTotal(a.num_rows()),
+                static_cast<long long>(s.maxProcWords), s.scaledMax(a.num_rows()));
+    std::printf("  expand/fold %lld / %lld; avg msgs/proc %.2f; load imbalance %.2f%%\n",
+                static_cast<long long>(s.expandWords), static_cast<long long>(s.foldWords),
+                s.avgMessagesPerProc, loads.percentImbalance);
+  }
 
   if (const auto out = args.flag("out")) {
     model::write_decomposition_file(*out, run.decomp);
-    std::printf("decomposition written to %s\n", out->c_str());
+    if (!json) std::printf("decomposition written to %s\n", out->c_str());
   }
   return 0;
 }
@@ -269,9 +305,12 @@ int cmd_simulate(const ArgParser& args) {
 int cmd_spgemm(const ArgParser& args) {
   if (args.positional().size() < 2) return usage();
   const sparse::Csr a = sparse::read_matrix_market_file(args.positional()[1]);
-  const sparse::Csr b = args.positional().size() >= 3
-                            ? sparse::read_matrix_market_file(args.positional()[2])
-                            : a;
+  // B != A enters either positionally or via --b-matrix (the flag wins);
+  // omitted = the classic A*A squaring.
+  std::string bPath;
+  if (const auto bf = args.flag("b-matrix")) bPath = *bf;
+  else if (args.positional().size() >= 3) bPath = args.positional()[2];
+  const sparse::Csr b = bPath.empty() ? a : sparse::read_matrix_market_file(bPath);
   const auto k = static_cast<idx_t>(args.flag_long("k", 16));
   const auto reps = static_cast<int>(args.flag_long("reps", 10));
   const auto threads = static_cast<idx_t>(args.flag_long("threads", 0));

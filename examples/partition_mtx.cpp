@@ -5,9 +5,14 @@
 // netlib matrices the paper used, when you have them on disk.
 //
 //   ./partition_mtx matrix.mtx [--model finegrain|hyper1d|graph|checkerboard]
+//                   [--method multilevel|geometric|geometric-fm|streaming]
 //                   [--k 16] [--eps 0.03] [--seed 1] [--out owners.txt]
 //                   [--timeout-ms MS] [--no-degrade]
 //                   [--trace-out trace.json] [--metrics-out metrics.json|-]
+//
+// --method selects the fine-grain partitioning engine (DESIGN.md §15):
+// the paper's multilevel stack, the geometric fast path, geometric + one
+// FM sweep, or one-pass streaming. Only --model finegrain dispatches on it.
 //
 // --timeout-ms (or FGHP_TIMEOUT_MS; the flag wins) puts a deadline on the
 // partitioning work. By default an expiring deadline degrades gracefully —
@@ -62,6 +67,16 @@ int run(const ArgParser& args) {
   if (const auto eps = args.flag("eps")) cfg.epsilon = std::stod(*eps);
   cfg.cancel = cancel::CancelToken::with_deadline_ms(resolve_timeout_ms(args));
   if (args.has_switch("no-degrade")) cfg.degradeOnDeadline = false;
+  const std::string methodName = args.flag("method").value_or("multilevel");
+  if (!part::parse_method(methodName, cfg.method)) {
+    std::fprintf(stderr, "error: unknown method '%s'\n", methodName.c_str());
+    return 2;
+  }
+  if (cfg.method != part::PartitionMethod::kMultilevel && modelName != "finegrain") {
+    std::fprintf(stderr, "error: --method %s requires --model finegrain\n",
+                 methodName.c_str());
+    return 2;
+  }
 
   model::ModelRun mrun;
   if (modelName == "finegrain") {
@@ -79,7 +94,8 @@ int run(const ArgParser& args) {
 
   const comm::CommStats s = comm::analyze(a, mrun.decomp);
   const model::LoadStats loads = model::compute_loads(a, mrun.decomp);
-  std::printf("model=%s K=%d\n", modelName.c_str(), static_cast<int>(k));
+  std::printf("model=%s method=%s K=%d\n", modelName.c_str(), methodName.c_str(),
+              static_cast<int>(k));
   std::printf("  partition time      : %.3f s\n", mrun.partitionSeconds);
   std::printf("  total volume        : %lld words (%.3f scaled by M)\n",
               static_cast<long long>(s.totalWords), s.scaledTotal(a.num_rows()));
@@ -138,6 +154,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: partition_mtx <matrix.mtx> [--model finegrain|hyper1d|graph|"
                  "checkerboard] [--k 16] [--eps 0.03] [--seed 1] [--out owners.txt]\n"
+                 "       [--method multilevel|geometric|geometric-fm|streaming]\n"
                  "       [--timeout-ms MS] [--no-degrade]\n"
                  "       [--trace-out trace.json] [--metrics-out metrics.json|-]\n");
     return 2;

@@ -12,8 +12,12 @@ ctest --test-dir build --output-on-failure
 echo "--- ThreadSanitizer: task-parallel recursive bisection + tracing + cancel ---"
 cmake -B build-tsan -G Ninja -DFGHP_SANITIZE=thread \
       -DFGHP_BUILD_BENCH=OFF -DFGHP_BUILD_EXAMPLES=OFF > /dev/null
-cmake --build build-tsan --target test_parallel_rb test_trace test_cancel test_spgemm
+cmake --build build-tsan --target test_parallel_rb test_fastpart test_trace test_cancel \
+      test_spgemm
 FGHP_THREADS=8 ./build-tsan/tests/test_parallel_rb
+# The fast-path partitioners share the task-parallel RB engine (geometric)
+# and must stay bit-identical at 8 threads; TSan watches the forked splits.
+FGHP_THREADS=8 ./build-tsan/tests/test_fastpart
 ./build-tsan/tests/test_trace
 # Cancellation, watchdog heartbeats, and pool shutdown race real worker
 # threads by construction — exactly what TSan is for.
@@ -63,6 +67,17 @@ for site in $("$tool" faults); do
   FGHP_FAULT_SPEC="$site:1" "$tool" partition "$ftmp/m.mtx" --model graph --k 4 \
       --strict --out "$ftmp/d3.decomp" > /dev/null 2> "$ftmp/err.txt" || rc=$?
   check_rc "$site" partition-graph "$rc"
+  # The fast-path partitioners have their own ladder rungs (geo.*,
+  # stream.*); sweeping every site through both keeps all three recovery
+  # ladders covered.
+  rc=0
+  FGHP_FAULT_SPEC="$site:1" "$tool" partition "$ftmp/m.mtx" --model finegrain --k 4 \
+      --method geometric --strict --out "$ftmp/d4.decomp" > /dev/null 2> "$ftmp/err.txt" || rc=$?
+  check_rc "$site" partition-geometric "$rc"
+  rc=0
+  FGHP_FAULT_SPEC="$site:1" "$tool" partition "$ftmp/m.mtx" --model finegrain --k 4 \
+      --method streaming --strict --out "$ftmp/d5.decomp" > /dev/null 2> "$ftmp/err.txt" || rc=$?
+  check_rc "$site" partition-streaming "$rc"
   rc=0
   FGHP_FAULT_SPEC="$site:1" "$tool" simulate "$ftmp/m.mtx" "$ftmp/d.decomp" --reps 1 \
       > /dev/null 2> "$ftmp/err.txt" || rc=$?
@@ -132,7 +147,15 @@ tmp=$(mktemp -d)
 ./build/examples/fghp_tool stats "$tmp/m.mtx"
 ./build/examples/fghp_tool partition "$tmp/m.mtx" --model finegrain --k 8 --out "$tmp/d.decomp"
 ./build/examples/fghp_tool simulate "$tmp/m.mtx" "$tmp/d.decomp" --reps 3
+./build/examples/fghp_tool partition "$tmp/m.mtx" --model finegrain --k 8 \
+    --method geometric --strict --json > /dev/null
+./build/examples/fghp_tool partition "$tmp/m.mtx" --model finegrain --k 8 \
+    --method streaming --strict --json > /dev/null
 ./build/examples/fghp_tool spgemm "$tmp/m.mtx" --k 8 --reps 3
+# B != A through the --b-matrix flag: same suite matrix and scale (so the
+# inner dimensions agree) but a different generator seed.
+./build/examples/fghp_tool gen sherman3 --out "$tmp/b.mtx" --scale 0.2 --seed 2
+./build/examples/fghp_tool spgemm "$tmp/m.mtx" --b-matrix "$tmp/b.mtx" --k 8 --reps 3
 ./build/examples/triangle_count
 rm -rf "$tmp"
 
@@ -228,5 +251,33 @@ awk -v g="${sgflops:-0}" 'BEGIN { exit (g > 0) ? 0 : 1 }' || {
   exit 1
 }
 echo "  spgemm session: $sgflops GFLOP/s (artifact: build/bench_spgemm_smoke.json)"
+
+echo "--- perf smoke: partitioner Pareto front ---"
+# All four fine-grain methods across two structurally different matrices.
+# The bench itself exits nonzero on any zero/NaN datapoint; the gate below
+# additionally requires the fast path to actually be fast — geometric must
+# beat multilevel wall-time on the largest smoke matrix at K=16 (the
+# committed BENCH_pareto.json headline is the full-scale version of this).
+FGHP_MATRICES=sherman3,finan512 FGHP_SCALE=0.1 FGHP_K=16 FGHP_SPGEMM_SCALE=0.05 \
+    ./build/bench/bench_pareto --json build/bench_pareto_smoke.json
+python3 - <<'PY'
+import json, math, sys
+# parse_constant rejects bare NaN/Infinity tokens (matrix names like
+# "finan512" make a plain grep for nan/inf useless here)
+smoke = json.load(open("build/bench_pareto_smoke.json"),
+                  parse_constant=lambda c: sys.exit(
+                      f"perf smoke FAILED: non-finite value {c} in JSON"))
+for run in smoke["runs"]:
+    for key, val in run.items():
+        if isinstance(val, float) and not math.isfinite(val):
+            sys.exit(f"perf smoke FAILED: non-finite {key} in run {run}")
+speedup = smoke.get("headline_speedup", 0.0)
+matrix = smoke.get("headline_matrix", "?")
+if not speedup or speedup <= 1.0:
+    sys.exit(f"perf smoke FAILED: geometric is not faster than multilevel on "
+             f"{matrix} at K=16 (speedup {speedup})")
+print(f"  pareto headline ({matrix}, K=16): geometric {speedup:.1f}x faster "
+      f"than multilevel (artifact: build/bench_pareto_smoke.json)")
+PY
 
 echo "ALL CHECKS PASSED"

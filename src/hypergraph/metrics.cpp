@@ -1,6 +1,7 @@
 #include "hypergraph/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/sparse_acc.hpp"
 
@@ -73,6 +74,22 @@ bool is_balanced(const Hypergraph& h, const Partition& p, double eps) {
   for (idx_t k = 0; k < p.num_parts(); ++k) {
     // A tiny epsilon absorbs the discrete-weight rounding at the cap.
     if (static_cast<double>(p.part_weight(k)) > cap + 1e-9) return false;
+  }
+  return true;
+}
+
+weight_t balance_cap(weight_t totalWeight, idx_t K, double eps) {
+  FGHP_REQUIRE(K >= 1, "balance_cap requires K >= 1");
+  const double avg = static_cast<double>(totalWeight) / static_cast<double>(K);
+  const auto soft = static_cast<weight_t>(std::floor(avg * (1.0 + eps) + 1e-9));
+  const auto hard = static_cast<weight_t>((totalWeight + K - 1) / K);  // ceil
+  return std::max(soft, hard);
+}
+
+bool is_balance_feasible(const Hypergraph& h, const Partition& p, double eps) {
+  const weight_t cap = balance_cap(h.total_vertex_weight(), p.num_parts(), eps);
+  for (idx_t k = 0; k < p.num_parts(); ++k) {
+    if (p.part_weight(k) > cap) return false;
   }
   return true;
 }

@@ -15,6 +15,7 @@
 #include "hypergraph/partition.hpp"
 #include "models/graph_model.hpp"  // ModelRun
 #include "partition/config.hpp"
+#include "partition/geo/points.hpp"
 #include "sparse/csr.hpp"
 
 namespace fghp::model {
@@ -45,7 +46,32 @@ FineGrainModel build_finegrain(const sparse::Csr& a);
 Decomposition decode_finegrain(const sparse::Csr& a, const FineGrainModel& m,
                                const hg::Partition& p);
 
-/// Fine-grain 2D model end to end.
+/// The fine-grain model as a weighted 2D point set — the substrate of the
+/// fast-path partitioners (--method geometric / streaming). Point v sits at
+/// (row, col) of nonzero a_ij with unit weight; zero-weight dummy points at
+/// (j, j) cover missing diagonals. Vertex ids (CSR entry order, dummies
+/// appended in diagonal order) are IDENTICAL to build_finegrain's, so a
+/// point partition drops onto the hypergraph — and decodes — unchanged, and
+/// the point set's coordinate lines are exactly the m_i / n_j nets.
+struct FineGrainPoints {
+  part::geo::GeoPoints pts;
+  idx_t numRealVertices = 0;      ///< = nnz; [nnz, |V|) are dummies
+  std::vector<idx_t> diagVertex;  ///< diagVertex[j] = the vertex playing v_jj
+};
+
+/// Builds the point-set form without materializing the hypergraph (O(Z + n),
+/// no pin lists — the whole reason the fast paths are fast).
+FineGrainPoints build_finegrain_points(const sparse::Csr& a);
+
+/// Decodes a complete K-way point partition (same owner rule as above).
+Decomposition decode_finegrain(const sparse::Csr& a, const FineGrainPoints& m,
+                               const part::geo::GeoPartition& p);
+
+/// Fine-grain 2D model end to end. Dispatches on cfg.method: the multilevel
+/// hypergraph stack (paper quality), recursive geometric splits, geometric
+/// plus one K-way FM sweep, or one-pass streaming (see DESIGN.md §15).
+/// The fast paths always optimize — and report — the lambda-1 connectivity
+/// objective (which for this model is the exact communication volume).
 ModelRun run_finegrain(const sparse::Csr& a, idx_t K, const part::PartitionConfig& cfg);
 
 }  // namespace fghp::model

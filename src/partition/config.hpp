@@ -33,6 +33,35 @@ enum class ValidateLevel {
             ///< pipeline phases (InvariantError on any inconsistency)
 };
 
+/// Which fine-grain partitioning engine runs (see DESIGN.md §15). Only the
+/// fine-grain model dispatches on this; every other model is multilevel-only.
+enum class PartitionMethod {
+  kMultilevel,   ///< the paper's PaToH-style multilevel stack (default)
+  kGeometric,    ///< recursive weighted-median splits on (row, col) points
+  kGeometricFm,  ///< geometric initial partition + one K-way FM refine sweep
+  kStreaming,    ///< one-pass greedy assignment with bounded part summaries
+};
+
+inline const char* method_name(PartitionMethod m) {
+  switch (m) {
+    case PartitionMethod::kMultilevel: return "multilevel";
+    case PartitionMethod::kGeometric: return "geometric";
+    case PartitionMethod::kGeometricFm: return "geometric-fm";
+    case PartitionMethod::kStreaming: return "streaming";
+  }
+  return "?";
+}
+
+/// Parses a --method string; returns false on an unknown name.
+inline bool parse_method(const std::string& name, PartitionMethod& out) {
+  if (name == "multilevel") out = PartitionMethod::kMultilevel;
+  else if (name == "geometric") out = PartitionMethod::kGeometric;
+  else if (name == "geometric-fm") out = PartitionMethod::kGeometricFm;
+  else if (name == "streaming") out = PartitionMethod::kStreaming;
+  else return false;
+  return true;
+}
+
 struct PartitionConfig {
   /// Maximum allowed imbalance ratio eps of eq. (1).
   double epsilon = 0.03;
@@ -42,6 +71,11 @@ struct PartitionConfig {
 
   /// Objective: eq. (3) connectivity-1 (the paper) or eq. (2) cut-net.
   hg::CutMetric metric = hg::CutMetric::kConnectivity;
+
+  /// Which fine-grain engine runs: the multilevel stack (paper quality), the
+  /// geometric fast path, geometric + one FM sweep, or one-pass streaming.
+  /// Quality-vs-time tradeoffs are measured by bench/bench_pareto.
+  PartitionMethod method = PartitionMethod::kMultilevel;
 
   /// HCM measures best on fine-grain hypergraphs (ablation A1); the
   /// agglomerative policy trades a little quality for fewer levels.

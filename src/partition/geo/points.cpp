@@ -1,0 +1,112 @@
+#include "partition/geo/points.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fghp::part::geo {
+
+GeoPoints make_points(std::vector<idx_t> row, std::vector<idx_t> col,
+                      std::vector<weight_t> wgt, idx_t numRows, idx_t numCols) {
+  FGHP_REQUIRE(row.size() == col.size() && row.size() == wgt.size(),
+               "point arrays must have equal length");
+  GeoPoints pts;
+  pts.row = std::move(row);
+  pts.col = std::move(col);
+  pts.wgt = std::move(wgt);
+  pts.numRows = numRows;
+  pts.numCols = numCols;
+  for (std::size_t v = 0; v < pts.row.size(); ++v) {
+    FGHP_REQUIRE(pts.row[v] >= 0 && pts.row[v] < numRows, "point row out of range");
+    FGHP_REQUIRE(pts.col[v] >= 0 && pts.col[v] < numCols, "point col out of range");
+    FGHP_REQUIRE(pts.wgt[v] >= 0, "point weight must be nonnegative");
+    pts.totalWeight += pts.wgt[v];
+  }
+  return pts;
+}
+
+GeoPartition::GeoPartition(const GeoPoints& pts, idx_t numParts,
+                           std::vector<idx_t> assignment)
+    : numParts_(numParts), part_(std::move(assignment)) {
+  FGHP_REQUIRE(numParts_ >= 1, "need at least one part");
+  FGHP_REQUIRE(part_.size() == static_cast<std::size_t>(pts.num_vertices()),
+               "assignment size mismatch");
+  partWeight_.assign(static_cast<std::size_t>(numParts_), 0);
+  for (std::size_t v = 0; v < part_.size(); ++v) {
+    const idx_t p = part_[v];
+    FGHP_REQUIRE(p >= 0 && p < numParts_, "assignment entry out of range");
+    partWeight_[static_cast<std::size_t>(p)] += pts.wgt[v];
+  }
+}
+
+bool GeoPartition::complete() const {
+  return std::all_of(part_.begin(), part_.end(),
+                     [](idx_t p) { return p != kInvalidIdx; });
+}
+
+weight_t connectivity_cutsize(const GeoPoints& pts, const GeoPartition& p) {
+  FGHP_REQUIRE(p.num_vertices() == pts.num_vertices(), "partition/points mismatch");
+  // Group points by row (then by col) with one counting pass each; a stamp
+  // array over parts counts distinct parts per coordinate line. O(z + n + K).
+  weight_t cut = 0;
+  const idx_t z = pts.num_vertices();
+  std::vector<idx_t> offset, order, stamp;
+  auto sweep = [&](const std::vector<idx_t>& coord, idx_t bound) {
+    offset.assign(static_cast<std::size_t>(bound) + 1, 0);
+    for (idx_t v = 0; v < z; ++v)
+      ++offset[static_cast<std::size_t>(coord[static_cast<std::size_t>(v)]) + 1];
+    for (idx_t c = 0; c < bound; ++c)
+      offset[static_cast<std::size_t>(c) + 1] += offset[static_cast<std::size_t>(c)];
+    order.resize(static_cast<std::size_t>(z));
+    std::vector<idx_t> cursor(offset.begin(), offset.end() - 1);
+    for (idx_t v = 0; v < z; ++v)
+      order[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(coord[static_cast<std::size_t>(v)])]++)] = v;
+    stamp.assign(static_cast<std::size_t>(p.num_parts()), -1);
+    for (idx_t c = 0; c < bound; ++c) {
+      idx_t lambda = 0;
+      for (idx_t i = offset[static_cast<std::size_t>(c)];
+           i < offset[static_cast<std::size_t>(c) + 1]; ++i) {
+        const idx_t pt = p.part_of(order[static_cast<std::size_t>(i)]);
+        if (stamp[static_cast<std::size_t>(pt)] != c) {
+          stamp[static_cast<std::size_t>(pt)] = c;
+          ++lambda;
+        }
+      }
+      if (lambda > 1) cut += lambda - 1;
+    }
+  };
+  sweep(pts.row, pts.numRows);
+  sweep(pts.col, pts.numCols);
+  return cut;
+}
+
+double imbalance(const GeoPoints& pts, const GeoPartition& p) {
+  if (pts.totalWeight == 0) return 0.0;
+  const double avg =
+      static_cast<double>(pts.totalWeight) / static_cast<double>(p.num_parts());
+  weight_t wmax = 0;
+  for (idx_t k = 0; k < p.num_parts(); ++k) wmax = std::max(wmax, p.part_weight(k));
+  return static_cast<double>(wmax) / avg - 1.0;
+}
+
+void validate_partition_or_throw(const GeoPoints& pts, const GeoPartition& p,
+                                 const char* where) {
+  ErrorContext ctx;
+  ctx.phase = where;
+  if (p.num_vertices() != pts.num_vertices())
+    throw InvariantError("point partition size mismatch", std::move(ctx));
+  std::vector<weight_t> sums(static_cast<std::size_t>(p.num_parts()), 0);
+  for (idx_t v = 0; v < pts.num_vertices(); ++v) {
+    const idx_t k = p.part_of(v);
+    if (k < 0 || k >= p.num_parts())
+      throw InvariantError("point assigned out of range", std::move(ctx));
+    sums[static_cast<std::size_t>(k)] += pts.wgt[static_cast<std::size_t>(v)];
+  }
+  for (idx_t k = 0; k < p.num_parts(); ++k) {
+    if (sums[static_cast<std::size_t>(k)] != p.part_weight(k))
+      throw InvariantError("point partition weights inconsistent", std::move(ctx));
+  }
+}
+
+}  // namespace fghp::part::geo

@@ -1,0 +1,49 @@
+// One-pass streaming partitioner: each point is greedily assigned, in index
+// order, to the part with the best connectivity/balance score, where a
+// part's row/col incidence is tracked by fixed-size Bloom-style bit-array
+// summaries — memory is O(K) regardless of the matrix, and every point is
+// touched exactly once.
+//
+// Score of placing point (r, c, w) on part k with load L_k and cap C:
+//
+//   score(k) = [r in rows(k)] + [c in cols(k)] - 1.5 * L_k / C
+//
+// i.e. reuse an already-open row/col net if possible (each hit avoids one
+// unit of lambda-1 cut) but lean away from heavy parts; only parts with
+// L_k + w <= C compete, so the result is balance-feasible by construction
+// (C = hg::balance_cap, and with unit weights the lightest part always
+// fits). Ties go to the lowest part id. Bloom false positives can only
+// misjudge a score, never break feasibility or determinism.
+//
+// The pass is chunked (kStreamChunk points); every chunk boundary is a
+// fault site ("stream.assign", retried as "stream.retry" then degraded to
+// least-loaded assignment — the recovery ladder) and a cancellation
+// check-point (deadline expiry with cfg.degradeOnDeadline flips the rest of
+// the stream to pure least-loaded assignment instead of failing).
+// Deterministic in (points, K, cfg.seed); single-threaded by design, so
+// thread count never enters.
+#pragma once
+
+#include "partition/config.hpp"
+#include "partition/geo/points.hpp"
+
+namespace fghp::part::geo {
+
+/// Points per streaming chunk: the granularity of fault/cancel check-points.
+inline constexpr idx_t kStreamChunk = 4096;
+
+struct StreamResult {
+  GeoPartition partition;
+  weight_t cutsize = 0;         ///< exact lambda-1 connectivity cutsize
+  double imbalance = 0.0;       ///< max_k W_k / W_avg - 1
+  double seconds = 0.0;         ///< partitioning wall time
+  idx_t numRecoveries = 0;      ///< chunk retries + least-loaded fallbacks
+  idx_t numDegraded = 0;        ///< 1 when a deadline demoted the stream tail
+  std::size_t summaryBytes = 0; ///< total bytes of per-part summaries (O(K))
+};
+
+/// Partitions the point set into K parts in one streaming pass.
+StreamResult partition_points_streaming(const GeoPoints& pts, idx_t K,
+                                        const PartitionConfig& cfg);
+
+}  // namespace fghp::part::geo

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "partition/geo/rb_traits.hpp"
 #include "partition/gp/rb_traits.hpp"
 #include "partition/hg/rb_traits.hpp"
 #include "partition/phase_timers.hpp"
@@ -328,12 +329,15 @@ RbResult<Traits> partition_recursive_rb(const typename Traits::Problem& problem,
   return out;
 }
 
-// The only two instantiations: the fine-grain hypergraph stack and the
-// graph baseline. New problem families add a traits header and a line here.
+// The only instantiations: the fine-grain hypergraph stack, the graph
+// baseline, and the geometric fast path. New problem families add a traits
+// header and a line here.
 template RbResult<hgrb::HgRbTraits> partition_recursive_rb<hgrb::HgRbTraits>(
     const hg::Hypergraph&, idx_t, const PartitionConfig&, Rng&, const std::vector<idx_t>&);
 template RbResult<gprb::GpRbTraits> partition_recursive_rb<gprb::GpRbTraits>(
     const gp::Graph&, idx_t, const PartitionConfig&, Rng&, const std::vector<idx_t>&);
+template RbResult<georb::GeoRbTraits> partition_recursive_rb<georb::GeoRbTraits>(
+    const geo::GeoPoints&, idx_t, const PartitionConfig&, Rng&, const std::vector<idx_t>&);
 
 }  // namespace rb
 }  // namespace fghp::part

@@ -96,6 +96,8 @@ const std::vector<std::string>& known_sites() {
       "exec.fold",    // MT executor fold task     (ordinal = processor + 1)
       "exec.retry",   // MT executor retry attempt (ordinal = processor + 1)
       "fm.refine",    // FM refinement inside a multilevel hypergraph bisection
+      "geo.retry",    // geometric split retry attempt  (ordinal = part offset + 1)
+      "geo.split",    // geometric bisection node       (ordinal = part offset + 1)
       "gfm.refine",   // FM refinement inside a multilevel graph bisection
       "grb.bisect",   // graph recursive-bisection node (ordinal = part offset + 1)
       "grb.retry",    // graph bisection retry attempt  (ordinal = part offset + 1)
@@ -104,6 +106,8 @@ const std::vector<std::string>& known_sites() {
       "mmio.read",    // Matrix Market entry parse (ordinal = entry index)
       "rb.bisect",    // hypergraph recursive-bisection node (ordinal = part offset + 1)
       "rb.retry",     // hypergraph bisection retry attempt  (ordinal = part offset + 1)
+      "stream.assign",  // streaming-partitioner chunk head (ordinal = chunk index + 1)
+      "stream.retry",   // streaming chunk retry attempt    (ordinal = chunk index + 1)
       "watchdog.stall",  // simulated worker stall seen by the pool watchdog (ordinal = scan)
   };
   return sites;

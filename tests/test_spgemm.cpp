@@ -18,6 +18,7 @@
 #include "spgemm/tasks.hpp"
 #include "spgemm/volume.hpp"
 #include "sparse/generators.hpp"
+#include "sparse/mmio.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/rng.hpp"
@@ -196,6 +197,32 @@ TEST(SpgemmExec, MatchesReferenceAndBitIdenticalAcrossThreads) {
                              cSerial.size() * sizeof(double)))
         << "threads=" << threads;
   }
+}
+
+TEST(SpgemmExec, DistinctBMatrixRoundTripsThroughMatrixMarket) {
+  // The fghp_tool spgemm --b-matrix path: A and B are distinct matrices
+  // serialized to Matrix Market and read back before the multiply. The
+  // 17-digit writer round-trips every double bitwise, so the product of the
+  // re-read pair must match reference_multiply on the originals to the same
+  // accumulation-order tolerance as the direct-execution test above.
+  const Fixture f(51);
+  std::stringstream aTxt, bTxt;
+  sparse::write_matrix_market(aTxt, f.a);
+  sparse::write_matrix_market(bTxt, f.b);
+  const sparse::Csr a2 = sparse::read_matrix_market(aTxt, "a.mtx");
+  const sparse::Csr b2 = sparse::read_matrix_market(bTxt, "b.mtx");
+
+  const TaskGraph t = build_tasks(a2, b2);
+  ASSERT_EQ(t.num_tasks(), f.t.num_tasks());
+  part::PartitionConfig cfg;
+  cfg.seed = 42;
+  const SpgemmRun run = run_spgemm_finegrain(t, 4, cfg);
+  SpgemmSession session(t, run.decomp);
+  std::vector<double> c;
+  session.run(a2.values(), b2.values(), c);
+  ASSERT_EQ(c.size(), f.cRef.size());
+  for (std::size_t g = 0; g < c.size(); ++g)
+    EXPECT_NEAR(c[g], f.cRef[g], 1e-12) << "C entry " << g;
 }
 
 TEST(SpgemmExec, RepeatedIterationsAllocateNothing) {
