@@ -65,6 +65,7 @@ bool sane(const ParetoPoint& p) {
 int main(int argc, char** argv) {
   using namespace fghp;
   const ArgParser args(argc, argv);
+  bench::Observability obs(args, "bench_pareto");
   bench::BenchEnv env = bench::load_env();
   if (!env_str("FGHP_K")) env.kValues = {4, 16, 64};
   const double spgemmScale = [&] {
@@ -217,5 +218,6 @@ int main(int argc, char** argv) {
     if (!json.write(*out)) return 1;
     std::printf("\nJSON written to %s\n", out->c_str());
   }
+  if (obs.finish() != 0) ok = false;
   return ok ? 0 : 1;
 }

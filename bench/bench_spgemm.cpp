@@ -55,6 +55,7 @@ double time_iteration_ms(int reps, Fn&& iterate) {
 int main(int argc, char** argv) {
   using namespace fghp;
   const ArgParser args(argc, argv);
+  bench::Observability obs(args, "bench_spgemm");
   bench::BenchEnv env = bench::load_env();
   // A*A squares the nonzero count, so the default set stays on the suite's
   // small end; FGHP_MATRICES overrides.
@@ -132,5 +133,6 @@ int main(int argc, char** argv) {
     if (!json.write(*out)) return 1;
     std::printf("\nJSON written to %s\n", out->c_str());
   }
+  if (obs.finish() != 0) ok = false;
   return ok ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 //   ./cg_solver [--n 64] [--k 8] [--tol 1e-8] [--max-iters 500]
 //               [--timeout-ms MS]
 //               [--trace-out trace.json] [--metrics-out metrics.json|-]
+//               [--report-out report.json|-] [--perf]
 //
 // --timeout-ms (or FGHP_TIMEOUT_MS; the flag wins) covers the whole solve:
 // the partitioner degrades gracefully if the budget runs short during setup,
@@ -27,6 +28,8 @@
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/options.hpp"
+#include "util/perf_counters.hpp"
+#include "util/report.hpp"
 #include "util/trace.hpp"
 
 namespace {
@@ -39,7 +42,7 @@ long resolve_timeout_ms(const ArgParser& args) {
   return -1;
 }
 
-int run(const ArgParser& args) {
+int run(const ArgParser& args, report::Builder& rep) {
   const auto n = static_cast<idx_t>(args.flag_long("n", 64));
   const auto k = static_cast<idx_t>(args.flag_long("k", 8));
   const double tol = std::stod(args.flag("tol").value_or("1e-8"));
@@ -63,6 +66,12 @@ int run(const ArgParser& args) {
   const part::HgResult r = part::partition_hypergraph(m.h, k, cfg);
   const model::Decomposition d = model::decode_finegrain(a, m, r.partition);
   const comm::CommStats cs = comm::analyze(a, d);
+  rep.info("n", static_cast<long long>(n));
+  rep.info("k", static_cast<long long>(k));
+  rep.set_proc_comm({cs.sendWords.begin(), cs.sendWords.end()},
+                    {cs.recvWords.begin(), cs.recvWords.end()});
+  rep.expect_volume("spmv", cs.expandWords, cs.foldWords,
+                    static_cast<long long>(cs.expandMessages) + cs.foldMessages);
   std::printf("decomposition: %lld words per SpMV (%.2f scaled), imbalance %.2f%%\n",
               static_cast<long long>(cs.totalWords), cs.scaledTotal(a.num_rows()),
               100.0 * r.imbalance);
@@ -90,6 +99,7 @@ int run(const ArgParser& args) {
     for (std::size_t i = 0; i < u.size(); ++i) s += u[i] * v[i];
     return s;
   };
+  perf::CounterScope perfScope("cg.iterations");
   double rr = dot(rres, rres);
   const double bnorm = std::sqrt(dot(b, b));
   long iters = 0;
@@ -115,6 +125,7 @@ int run(const ArgParser& args) {
               iters, std::sqrt(rr) / bnorm, maxErr);
   std::printf("total SpMV communication: %lld words over %ld iterations\n",
               static_cast<long long>(cs.totalWords) * (iters + 1), iters + 1);
+  rep.info("cg_iterations", iters);
   return maxErr < 1e-6 ? 0 : 1;
 }
 
@@ -125,7 +136,8 @@ void print_warnings() {
 
 /// Best-effort exports; returns the io exit code on failure so a successful
 /// run can still report it (a failing run's typed code wins instead).
-int write_observability(const std::string& traceOut, const std::string& metricsOut) {
+int write_observability(const std::string& traceOut, const std::string& metricsOut,
+                        const std::string& reportOut, const report::Builder& rep) {
   int rc = 0;
   if (!traceOut.empty()) {
     try {
@@ -143,6 +155,14 @@ int write_observability(const std::string& traceOut, const std::string& metricsO
       rc = static_cast<int>(ErrorCode::kIo);
     }
   }
+  if (!reportOut.empty()) {
+    try {
+      report::write_file(rep.build(), reportOut);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      rc = static_cast<int>(ErrorCode::kIo);
+    }
+  }
   return rc;
 }
 
@@ -152,18 +172,22 @@ int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const std::string traceOut = args.flag("trace-out").value_or("");
   const std::string metricsOut = args.flag("metrics-out").value_or("");
-  if (!traceOut.empty()) trace::enable();
+  const std::string reportOut = args.flag("report-out").value_or("");
+  if (!traceOut.empty() || !reportOut.empty()) trace::enable();
+  if (args.has_switch("perf")) fghp::perf::set_enabled(true);
+  fghp::report::Builder rep("cg_solver", "solve");
 
   int rc;
   try {
-    rc = run(args);
+    rc = run(args, rep);
   } catch (const std::exception& e) {
     print_warnings();
     std::fprintf(stderr, "error: %s\n", e.what());
-    write_observability(traceOut, metricsOut);  // typed error code wins
+    rep.set_error(e.what());
+    write_observability(traceOut, metricsOut, reportOut, rep);  // typed error wins
     return fghp::exit_code(e);
   }
   print_warnings();
-  const int obsRc = write_observability(traceOut, metricsOut);
+  const int obsRc = write_observability(traceOut, metricsOut, reportOut, rep);
   return rc == 0 && obsRc != 0 ? obsRc : rc;
 }

@@ -19,12 +19,18 @@
 //       report cutsize == communication volume, then execute repeated
 //       distributed multiplies through the generic core and verify the
 //       result against the reference multiply
+//   fghp_tool report <report.json>
+//       render a saved RunReport (written by --report-out) as tables
 //   fghp_tool faults
 //       list every fault-injection site (see FGHP_FAULT_SPEC)
 //
 // Every command also takes --trace-out FILE (Chrome trace-event JSON of the
-// whole invocation; FGHP_TRACE=FILE is the no-flag equivalent) and
-// --metrics-out FILE|- (flat metrics JSON; "-" = stdout).
+// whole invocation; FGHP_TRACE=FILE is the no-flag equivalent),
+// --metrics-out FILE|- (flat metrics JSON; "-" = stdout), --report-out
+// FILE|- (structured RunReport JSON — phase timings, parallel efficiency,
+// modeled-vs-measured volume audit; implies tracing so the report has
+// phases), and --perf (hardware counters via perf_event_open; degrades to
+// zeroed counters with one warning where the kernel refuses).
 //
 // Exit codes follow fghp::ErrorCode: 0 success, 1 unknown error, 2 usage,
 // 3 io, 4 format, 5 invariant, 6 infeasible, 7 injected fault. Errors and
@@ -38,7 +44,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include "comm/volume.hpp"
 #include "models/checkerboard.hpp"
@@ -68,6 +76,8 @@
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/options.hpp"
+#include "util/perf_counters.hpp"
+#include "util/report.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
@@ -78,7 +88,7 @@ using namespace fghp;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fghp_tool <gen|stats|partition|simulate|spgemm|faults> ...\n"
+               "usage: fghp_tool <gen|stats|partition|simulate|spgemm|report|faults> ...\n"
                "  gen <suite-name> --out m.mtx [--scale S] [--seed N]\n"
                "  stats <m.mtx>\n"
                "  partition <m.mtx> --model M --k K [--eps E] [--seed N]\n"
@@ -91,10 +101,17 @@ int usage() {
                "            [--timeout-ms MS]\n"
                "  spgemm <a.mtx> [b.mtx | --b-matrix b.mtx] --k K [--eps E] [--seed N]\n"
                "            [--threads T] [--reps R] [--timeout-ms MS]\n"
+               "  report <report.json>   (render a saved --report-out file)\n"
                "  faults\n"
                "every command also accepts:\n"
                "  --trace-out FILE    Chrome trace-event JSON (or FGHP_TRACE=FILE)\n"
                "  --metrics-out FILE  flat metrics JSON; '-' writes to stdout\n"
+               "  --report-out FILE   structured RunReport JSON ('-' = stdout):\n"
+               "                      phase wall/busy/critical-path times, parallel\n"
+               "                      efficiency, modeled-vs-measured volume audit\n"
+               "  --perf              hardware counters (cycles, instructions,\n"
+               "                      LLC misses, branch misses) where the kernel\n"
+               "                      allows; FGHP_PERF=1 is the no-flag equivalent\n"
                "  --timeout-ms MS     deadline on the whole command's work\n"
                "                      (or FGHP_TIMEOUT_MS=MS; flag wins)\n"
                "partition degrades gracefully on an expiring deadline (still a\n"
@@ -119,6 +136,16 @@ long resolve_timeout_ms(const ArgParser& args) {
 int cmd_faults() {
   for (const auto& site : fault::known_sites()) std::printf("%s\n", site.c_str());
   return 0;
+}
+
+int cmd_report(const ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  report::render_file(args.positional()[1], std::cout);
+  return 0;
+}
+
+std::vector<long long> to_ll(const std::vector<weight_t>& v) {
+  return {v.begin(), v.end()};
 }
 
 int cmd_gen(const ArgParser& args) {
@@ -155,7 +182,7 @@ int cmd_stats(const ArgParser& args) {
   return 0;
 }
 
-int cmd_partition(const ArgParser& args) {
+int cmd_partition(const ArgParser& args, report::Builder& rep) {
   if (args.positional().size() < 2) return usage();
   WallTimer totalTimer;  // whole command: read + model build + partition + analysis
   const sparse::Csr a = sparse::read_matrix_market_file(args.positional()[1]);
@@ -186,7 +213,12 @@ int cmd_partition(const ArgParser& args) {
     return 2;
   }
   const bool json = args.has_switch("json");
+  rep.info("matrix", args.positional()[1]);
+  rep.info("model", modelName);
+  rep.info("method", methodName);
+  rep.info("k", static_cast<long long>(k));
 
+  perf::CounterScope perfScope("partition");
   model::ModelRun run;
   if (modelName == "finegrain") {
     run = model::run_finegrain(a, k, cfg);
@@ -218,6 +250,12 @@ int cmd_partition(const ArgParser& args) {
 
   const comm::CommStats s = comm::analyze(a, run.decomp);
   const model::LoadStats loads = model::compute_loads(a, run.decomp);
+  // Modeled side of the report's volume audit: no SpMV runs here, so the
+  // measured deltas stay zero and the audit holds trivially (0 iterations);
+  // the per-processor matrix and imbalance stats still land in the report.
+  rep.set_proc_comm(to_ll(s.sendWords), to_ll(s.recvWords));
+  rep.expect_volume("spmv", s.expandWords, s.foldWords,
+                    static_cast<long long>(s.expandMessages) + s.foldMessages);
   if (json) {
     std::printf("{\"model\":\"%s\",\"method\":\"%s\",\"k\":%d,"
                 "\"partition_seconds\":%.6f,\"total_seconds\":%.6f,"
@@ -254,13 +292,25 @@ int cmd_partition(const ArgParser& args) {
   return 0;
 }
 
-int cmd_simulate(const ArgParser& args) {
+int cmd_simulate(const ArgParser& args, report::Builder& rep) {
   if (args.positional().size() < 3) return usage();
   const sparse::Csr a = sparse::read_matrix_market_file(args.positional()[1]);
   const model::Decomposition d = model::read_decomposition_file(args.positional()[2]);
   model::validate(a, d);  // throws if shapes disagree with the matrix
   const auto reps = static_cast<int>(args.flag_long("reps", 10));
   const auto threads = static_cast<idx_t>(args.flag_long("threads", 0));
+  rep.info("matrix", args.positional()[1]);
+  rep.info("decomp", args.positional()[2]);
+  rep.info("k", static_cast<long long>(d.numProcs));
+  rep.info("reps", static_cast<long long>(reps));
+
+  // Arm the modeled-vs-measured audit before any iteration runs: the
+  // executor's spmv.* metric deltas must equal these comm::analyze totals
+  // times the iteration count on every clean path.
+  const comm::CommStats cs = comm::analyze(a, d);
+  rep.set_proc_comm(to_ll(cs.sendWords), to_ll(cs.recvWords));
+  rep.expect_volume("spmv", cs.expandWords, cs.foldWords,
+                    static_cast<long long>(cs.expandMessages) + cs.foldMessages);
 
   // One deadline covers plan build, compile, and every iteration; expiry
   // surfaces as a typed exit-9 error (no degradation ladder on this path).
@@ -282,7 +332,10 @@ int cmd_simulate(const ArgParser& args) {
   spmv::ExecStats stats;
   WallTimer timer;
   std::vector<double> y;
-  for (int r = 0; r < reps; ++r) session.run_mt(x, y, threads, &stats);
+  {
+    perf::CounterScope perfScope("simulate");
+    for (int r = 0; r < reps; ++r) session.run_mt(x, y, threads, &stats);
+  }
   const double wall = timer.millis() / reps;
 
   const auto yRef = spmv::multiply(a, x);
@@ -302,7 +355,7 @@ int cmd_simulate(const ArgParser& args) {
   return maxErr < 1e-8 ? 0 : 1;
 }
 
-int cmd_spgemm(const ArgParser& args) {
+int cmd_spgemm(const ArgParser& args, report::Builder& rep) {
   if (args.positional().size() < 2) return usage();
   const sparse::Csr a = sparse::read_matrix_market_file(args.positional()[1]);
   // B != A enters either positionally or via --b-matrix (the flag wins);
@@ -327,8 +380,17 @@ int cmd_spgemm(const ArgParser& args) {
               a.num_rows(), a.num_cols(), b.num_rows(), b.num_cols(), t.num_c(),
               t.num_tasks());
 
+  rep.info("matrix", args.positional()[1]);
+  if (!bPath.empty()) rep.info("b_matrix", bPath);
+  rep.info("k", static_cast<long long>(k));
+  rep.info("reps", static_cast<long long>(reps));
+
   const spgemm::SpgemmRun run = spgemm::run_spgemm_finegrain(t, k, cfg);
   const spgemm::SpgemmCommStats s = spgemm::analyze(t, run.decomp);
+  rep.set_proc_comm(to_ll(s.sendWords), to_ll(s.recvWords));
+  rep.expect_volume("spgemm",
+                    static_cast<long long>(s.expandAWords) + s.expandBWords,
+                    s.foldCWords, static_cast<long long>(s.totalMessages));
   std::printf("model=finegrain-spgemm K=%d time=%.3fs recoveries=%d degraded=%d\n",
               static_cast<int>(k), run.partitionSeconds,
               static_cast<int>(run.numRecoveries), static_cast<int>(run.numDegraded));
@@ -351,7 +413,11 @@ int cmd_spgemm(const ArgParser& args) {
   spgemm::ExecStats stats;
   WallTimer timer;
   std::vector<double> c;
-  for (int r = 0; r < reps; ++r) session.run_mt(a.values(), b.values(), c, threads, &stats);
+  {
+    perf::CounterScope perfScope("spgemm");
+    for (int r = 0; r < reps; ++r)
+      session.run_mt(a.values(), b.values(), c, threads, &stats);
+  }
   const double wall = timer.millis() / reps;
 
   const std::vector<double> cRef = spgemm::reference_multiply(a, b, t);
@@ -375,10 +441,11 @@ void print_warnings() {
     std::fprintf(stderr, "warning: %s\n", w.c_str());
 }
 
-/// Writes the requested trace / metrics outputs. Returns 0, or the io exit
-/// code if an export failed (reported to stderr either way); callers on a
-/// failing command path ignore it so the typed error code wins.
-int write_observability(const std::string& traceOut, const std::string& metricsOut) {
+/// Writes the requested trace / metrics / report outputs. Returns 0, or the
+/// io exit code if an export failed (reported to stderr either way); callers
+/// on a failing command path ignore it so the typed error code wins.
+int write_observability(const std::string& traceOut, const std::string& metricsOut,
+                        const std::string& reportOut, const report::Builder& rep) {
   int rc = 0;
   if (!traceOut.empty()) {
     try {
@@ -396,6 +463,14 @@ int write_observability(const std::string& traceOut, const std::string& metricsO
       rc = static_cast<int>(ErrorCode::kIo);
     }
   }
+  if (!reportOut.empty()) {
+    try {
+      report::write_file(rep.build(), reportOut);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      rc = static_cast<int>(ErrorCode::kIo);
+    }
+  }
   return rc;
 }
 
@@ -406,24 +481,32 @@ int main(int argc, char** argv) {
   if (args.positional().empty()) return usage();
   const std::string traceOut = args.flag("trace-out").value_or("");
   const std::string metricsOut = args.flag("metrics-out").value_or("");
-  if (!traceOut.empty()) trace::enable();
+  const std::string reportOut = args.flag("report-out").value_or("");
+  // A report without phases is useless, so --report-out implies tracing.
+  if (!traceOut.empty() || !reportOut.empty()) trace::enable();
+  if (args.has_switch("perf")) perf::set_enabled(true);
   const std::string& cmd = args.positional().front();
+  // Constructed before any work: the builder baselines the metrics registry
+  // and the clocks, so the report covers exactly this command.
+  report::Builder rep("fghp_tool", cmd);
   int rc = -1;
   try {
     if (cmd == "gen") rc = cmd_gen(args);
     if (cmd == "stats") rc = cmd_stats(args);
-    if (cmd == "partition") rc = cmd_partition(args);
-    if (cmd == "simulate") rc = cmd_simulate(args);
-    if (cmd == "spgemm") rc = cmd_spgemm(args);
+    if (cmd == "partition") rc = cmd_partition(args, rep);
+    if (cmd == "simulate") rc = cmd_simulate(args, rep);
+    if (cmd == "spgemm") rc = cmd_spgemm(args, rep);
+    if (cmd == "report") rc = cmd_report(args);
     if (cmd == "faults") rc = cmd_faults();
   } catch (const std::exception& e) {
     print_warnings();
     std::fprintf(stderr, "error: %s\n", e.what());
-    write_observability(traceOut, metricsOut);  // typed error code wins
+    rep.set_error(e.what());
+    write_observability(traceOut, metricsOut, reportOut, rep);  // typed error wins
     return fghp::exit_code(e);
   }
   print_warnings();
-  const int obsRc = write_observability(traceOut, metricsOut);
+  const int obsRc = write_observability(traceOut, metricsOut, reportOut, rep);
   if (rc == -1) return usage();
   return rc == 0 && obsRc != 0 ? obsRc : rc;
 }

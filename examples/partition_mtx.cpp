@@ -9,6 +9,7 @@
 //                   [--k 16] [--eps 0.03] [--seed 1] [--out owners.txt]
 //                   [--timeout-ms MS] [--no-degrade]
 //                   [--trace-out trace.json] [--metrics-out metrics.json|-]
+//                   [--report-out report.json|-] [--perf]
 //
 // --method selects the fine-grain partitioning engine (DESIGN.md §15):
 // the paper's multilevel stack, the geometric fast path, geometric + one
@@ -36,6 +37,8 @@
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/options.hpp"
+#include "util/perf_counters.hpp"
+#include "util/report.hpp"
 #include "util/trace.hpp"
 
 namespace {
@@ -48,7 +51,7 @@ long resolve_timeout_ms(const ArgParser& args) {
   return -1;
 }
 
-int run(const ArgParser& args) {
+int run(const ArgParser& args, report::Builder& rep) {
   const std::string path = args.positional().front();
   const std::string modelName = args.flag("model").value_or("finegrain");
   const auto k = static_cast<idx_t>(args.flag_long("k", 16));
@@ -78,6 +81,12 @@ int run(const ArgParser& args) {
     return 2;
   }
 
+  rep.info("matrix", path);
+  rep.info("model", modelName);
+  rep.info("method", methodName);
+  rep.info("k", static_cast<long long>(k));
+
+  perf::CounterScope perfScope("partition");
   model::ModelRun mrun;
   if (modelName == "finegrain") {
     mrun = model::run_finegrain(a, k, cfg);
@@ -94,6 +103,10 @@ int run(const ArgParser& args) {
 
   const comm::CommStats s = comm::analyze(a, mrun.decomp);
   const model::LoadStats loads = model::compute_loads(a, mrun.decomp);
+  rep.set_proc_comm({s.sendWords.begin(), s.sendWords.end()},
+                    {s.recvWords.begin(), s.recvWords.end()});
+  rep.expect_volume("spmv", s.expandWords, s.foldWords,
+                    static_cast<long long>(s.expandMessages) + s.foldMessages);
   std::printf("model=%s method=%s K=%d\n", modelName.c_str(), methodName.c_str(),
               static_cast<int>(k));
   std::printf("  partition time      : %.3f s\n", mrun.partitionSeconds);
@@ -125,7 +138,8 @@ void print_warnings() {
 
 /// Best-effort exports; returns the io exit code on failure so a successful
 /// run can still report it (a failing run's typed code wins instead).
-int write_observability(const std::string& traceOut, const std::string& metricsOut) {
+int write_observability(const std::string& traceOut, const std::string& metricsOut,
+                        const std::string& reportOut, const report::Builder& rep) {
   int rc = 0;
   if (!traceOut.empty()) {
     try {
@@ -138,6 +152,14 @@ int write_observability(const std::string& traceOut, const std::string& metricsO
   if (!metricsOut.empty()) {
     try {
       metrics::write_global_json(metricsOut);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      rc = static_cast<int>(ErrorCode::kIo);
+    }
+  }
+  if (!reportOut.empty()) {
+    try {
+      report::write_file(rep.build(), reportOut);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       rc = static_cast<int>(ErrorCode::kIo);
@@ -156,23 +178,28 @@ int main(int argc, char** argv) {
                  "checkerboard] [--k 16] [--eps 0.03] [--seed 1] [--out owners.txt]\n"
                  "       [--method multilevel|geometric|geometric-fm|streaming]\n"
                  "       [--timeout-ms MS] [--no-degrade]\n"
-                 "       [--trace-out trace.json] [--metrics-out metrics.json|-]\n");
+                 "       [--trace-out trace.json] [--metrics-out metrics.json|-]\n"
+                 "       [--report-out report.json|-] [--perf]\n");
     return 2;
   }
   const std::string traceOut = args.flag("trace-out").value_or("");
   const std::string metricsOut = args.flag("metrics-out").value_or("");
-  if (!traceOut.empty()) trace::enable();
+  const std::string reportOut = args.flag("report-out").value_or("");
+  if (!traceOut.empty() || !reportOut.empty()) trace::enable();
+  if (args.has_switch("perf")) fghp::perf::set_enabled(true);
+  fghp::report::Builder rep("partition_mtx", "partition");
 
   int rc;
   try {
-    rc = run(args);
+    rc = run(args, rep);
   } catch (const std::exception& e) {
     print_warnings();
     std::fprintf(stderr, "error: %s\n", e.what());
-    write_observability(traceOut, metricsOut);  // typed error code wins
+    rep.set_error(e.what());
+    write_observability(traceOut, metricsOut, reportOut, rep);  // typed error wins
     return fghp::exit_code(e);
   }
   print_warnings();
-  const int obsRc = write_observability(traceOut, metricsOut);
+  const int obsRc = write_observability(traceOut, metricsOut, reportOut, rep);
   return rc == 0 && obsRc != 0 ? obsRc : rc;
 }

@@ -465,12 +465,44 @@ void Session::resolve_metrics() {
   mMessages_ = &metrics::counter(c_.metricPrefix + ".messages");
   mTaskRetries_ = &metrics::counter(c_.metricPrefix + ".task_retries");
   mSerialFallbacks_ = &metrics::counter(c_.metricPrefix + ".serial_fallbacks");
+  mIterationUs_ = &metrics::histogram(
+      c_.metricPrefix + ".iteration.us",
+      {10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 20000, 50000, 100000,
+       200000, 500000, 1000000});
+}
+
+void Session::note_iteration(std::uint64_t startNs, const perf::Sample& perfBegin) {
+  mIterationUs_->observe(
+      static_cast<std::int64_t>((trace::now_ns() - startNs) / 1000));
+  if (!perfBegin.valid) return;
+  const perf::Sample end = perf::read_thread();
+  if (!end.valid) return;
+  // First valid sample resolves the perf counters — allocation happens only
+  // on a perf-enabled run, preserving the zero-alloc iteration contract for
+  // everyone else. On the pooled MT path these are the *calling* thread's
+  // counters (orchestration + any inline supersteps); worker-side cycles are
+  // covered by whole-phase CounterScopes in the callers.
+  if (mPerfCycles_ == nullptr) {
+    const std::string p = "perf." + c_.metricPrefix + ".iteration.";
+    mPerfCycles_ = &metrics::counter(p + "cycles");
+    mPerfInstructions_ = &metrics::counter(p + "instructions");
+    mPerfLlcMisses_ = &metrics::counter(p + "llc_misses");
+    mPerfBranchMisses_ = &metrics::counter(p + "branch_misses");
+  }
+  const perf::Sample d = perf::delta(perfBegin, end);
+  mPerfCycles_->add(static_cast<std::int64_t>(d.cycles));
+  mPerfInstructions_->add(static_cast<std::int64_t>(d.instructions));
+  mPerfLlcMisses_->add(static_cast<std::int64_t>(d.llcMisses));
+  mPerfBranchMisses_->add(static_cast<std::int64_t>(d.branchMisses));
 }
 
 void Session::run(std::span<const std::span<const double>> ins,
                   std::vector<double>& out, ExecStats* stats) {
   cancel::check_point(cancel_, "exec.iter", "cancel.exec.iter", ++iter_);
+  const std::uint64_t t0 = trace::now_ns();
+  const perf::Sample p0 = perf::read_thread();
   run_serial_impl(ins, out, stats);
+  note_iteration(t0, p0);
 }
 
 void Session::run_serial_impl(std::span<const std::span<const double>> ins,
@@ -528,6 +560,8 @@ void Session::run_mt(std::span<const std::span<const double>> ins,
   trace::TraceScope span(c_.traceCat, c_.traceIteration, "procs", c_.numProcs,
                          "mt", 1);
   cancel::check_point(cancel_, "exec.iter", "cancel.exec.iter", ++iter_);
+  const std::uint64_t iterT0 = trace::now_ns();
+  const perf::Sample iterP0 = perf::read_thread();
   FGHP_REQUIRE(ins.size() == c_.in.size(), "input space count mismatch");
   for (std::size_t sp = 0; sp < c_.in.size(); ++sp)
     FGHP_REQUIRE(ins[sp].size() == uz(c_.in[sp].size), "input size mismatch");
@@ -564,6 +598,10 @@ void Session::run_mt(std::span<const std::span<const double>> ins,
   // superstep never feeds garbage into the next one. Each completed task is
   // a trace span bracketed explicitly (begin/end on the worker that ran it).
   auto run_task = [&](const char* site, idx_t p, auto&& body) {
+    // Name the in-flight work for watchdog stall attribution: the explicit
+    // begin/end span below records only *completed* tasks, so a hung body
+    // would otherwise be invisible to current_activity().
+    trace::ActivityScope act(site);
     for (int attempt = 0; attempt < 2; ++attempt) {
       try {
         fault::check(attempt == 0 ? site : "exec.retry", p + 1);
@@ -693,6 +731,7 @@ void Session::run_mt(std::span<const std::span<const double>> ins,
       stats->taskRetries = static_cast<idx_t>(taskRetries.value());
       stats->serialFallback = true;
     }
+    note_iteration(iterT0, iterP0);
     return;
   }
 
@@ -707,6 +746,7 @@ void Session::run_mt(std::span<const std::span<const double>> ins,
     stats->taskRetries = static_cast<idx_t>(taskRetries.value());
     stats->serialFallback = false;
   }
+  note_iteration(iterT0, iterP0);
 }
 
 }  // namespace fghp::exec

@@ -43,6 +43,7 @@
 #include "exec/schedule.hpp"
 #include "util/cancel.hpp"
 #include "util/metrics.hpp"
+#include "util/perf_counters.hpp"
 
 namespace fghp::exec {
 
@@ -200,6 +201,13 @@ class Session {
   /// references are process-lifetime), so iterations stay allocation-free.
   void resolve_metrics();
 
+  /// Folds one iteration's duration into the `<prefix>.iteration.us`
+  /// histogram and — when both hardware-counter samples are valid — the
+  /// deltas into the lazily resolved `perf.<prefix>.iteration.*` counters.
+  /// Lazy on purpose: a perf-disabled run registers no zero-valued perf
+  /// metrics and pays no allocation (the zero-alloc iteration contract).
+  void note_iteration(std::uint64_t startNs, const perf::Sample& perfBegin);
+
   Image c_;
   cancel::CancelToken cancel_;
   long iter_ = 0;
@@ -218,6 +226,13 @@ class Session {
   metrics::Counter* mMessages_ = nullptr;
   metrics::Counter* mTaskRetries_ = nullptr;
   metrics::Counter* mSerialFallbacks_ = nullptr;
+  metrics::Histogram* mIterationUs_ = nullptr;
+  // Lazily resolved by note_iteration on the first iteration with valid
+  // hardware-counter samples; stay null (and unregistered) when perf is off.
+  metrics::Counter* mPerfCycles_ = nullptr;
+  metrics::Counter* mPerfInstructions_ = nullptr;
+  metrics::Counter* mPerfLlcMisses_ = nullptr;
+  metrics::Counter* mPerfBranchMisses_ = nullptr;
 };
 
 }  // namespace fghp::exec

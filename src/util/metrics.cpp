@@ -80,28 +80,29 @@ void json_string(std::ostream& out, const std::string& s) {
 
 }  // namespace
 
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& n : counters_) snap.counters[n.name] = n.metric->value();
+  for (const auto& n : gauges_) snap.gauges[n.name] = n.metric->value();
+  for (const auto& n : histograms_) {
+    HistogramSnapshot s;
+    s.bounds = n.metric->bounds();
+    for (std::size_t i = 0; i < n.metric->num_buckets(); ++i)
+      s.counts.push_back(n.metric->bucket_count(i));
+    s.count = n.metric->count();
+    s.sum = n.metric->sum();
+    snap.histograms[n.name] = std::move(s);
+  }
+  return snap;
+}
+
 void Registry::write_json(std::ostream& out) const {
   // Copy name -> value snapshots under the lock, then format sorted.
-  std::map<std::string, std::int64_t> counters, gauges;
-  struct HistSnap {
-    std::vector<std::int64_t> bounds, counts;
-    std::int64_t count, sum;
-  };
-  std::map<std::string, HistSnap> hists;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    for (const auto& n : counters_) counters[n.name] = n.metric->value();
-    for (const auto& n : gauges_) gauges[n.name] = n.metric->value();
-    for (const auto& n : histograms_) {
-      HistSnap s;
-      s.bounds = n.metric->bounds();
-      for (std::size_t i = 0; i < n.metric->num_buckets(); ++i)
-        s.counts.push_back(n.metric->bucket_count(i));
-      s.count = n.metric->count();
-      s.sum = n.metric->sum();
-      hists[n.name] = std::move(s);
-    }
-  }
+  const Snapshot snap = snapshot();
+  const auto& counters = snap.counters;
+  const auto& gauges = snap.gauges;
+  const auto& hists = snap.histograms;
 
   out << "{\n  \"counters\": {";
   bool first = true;

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -76,6 +77,23 @@ class Histogram {
   std::atomic<std::int64_t> sum_{0};
 };
 
+/// Value copy of one histogram (bounds plus per-bucket counts).
+struct HistogramSnapshot {
+  std::vector<std::int64_t> bounds;
+  std::vector<std::int64_t> counts;  ///< bounds.size() + 1 (overflow bucket)
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+};
+
+/// Point-in-time value copy of a whole registry, ordered by name — what the
+/// JSON serializer formats and what the post-run analyzer (util/report)
+/// consumes and diffs.
+struct Snapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
 /// Name -> metric map. Lookup creates on first use and returns a reference
 /// that remains valid for the registry's lifetime (metrics are never
 /// removed). Lookups take a mutex — resolve once, not per update.
@@ -85,6 +103,9 @@ class Registry {
   Gauge& gauge(const std::string& name);
   /// `bounds` is consulted only on first registration of `name`.
   Histogram& histogram(const std::string& name, std::vector<std::int64_t> bounds);
+
+  /// Copies every metric's current value (one lock, values relaxed-read).
+  Snapshot snapshot() const;
 
   /// Flat JSON: {"counters":{...},"gauges":{...},"histograms":{...}}.
   /// Metrics appear sorted by name; histograms serialize bounds, per-bucket

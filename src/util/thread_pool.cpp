@@ -128,6 +128,7 @@ long ThreadPool::watchdog_scan() {
     long worker;       // -1 = simulated via the fault site
     long ageMs;
     std::uint64_t seq;
+    const char* activity;  // innermost span name, nullptr when unattributed
   };
   const long scan = watchdogScans_.fetch_add(1, std::memory_order_relaxed) + 1;
   const long stallMs = watchdogMs_.load(std::memory_order_acquire);
@@ -144,12 +145,14 @@ long ThreadPool::watchdog_scan() {
       const std::int64_t ageNs = nowNs - since;
       if (ageNs < stallMs * 1'000'000 || lastReported_[i] == seq) continue;
       lastReported_[i] = seq;  // report each stuck task once, not every scan
-      stalls.push_back({static_cast<long>(i), static_cast<long>(ageNs / 1'000'000), seq});
+      stalls.push_back({static_cast<long>(i), static_cast<long>(ageNs / 1'000'000), seq,
+                        beats_[i].activity.load(std::memory_order_acquire)});
     }
   }
   // Simulated stall: the fault site records its own trace instant; the rest
   // of the reporting path (metric + stderr dump) is shared with real stalls.
-  if (fault::fired("watchdog.stall", scan)) stalls.push_back({-1, stallMs, 0});
+  if (fault::fired("watchdog.stall", scan))
+    stalls.push_back({-1, stallMs, 0, trace::current_activity()});
   if (stalls.empty()) return 0;
   static metrics::Counter& stalled = metrics::counter("watchdog.stalls");
   for (const Stall& s : stalls) {
@@ -158,11 +161,17 @@ long ThreadPool::watchdog_scan() {
     std::ostringstream os;
     if (s.worker >= 0) {
       os << "fghp watchdog: worker " << s.worker << " has been in one task for " << s.ageMs
-         << " ms (task #" << s.seq << ", threshold " << stallMs << " ms, queue depth "
+         << " ms ";
+      if (s.activity != nullptr)
+        os << "in span '" << s.activity << "' ";
+      else
+        os << "(no active span) ";
+      os << "(task #" << s.seq << ", threshold " << stallMs << " ms, queue depth "
          << queueDepth << ")\n";
     } else {
-      os << "fghp watchdog: simulated stall (fault site watchdog.stall, scan " << scan
-         << ", queue depth " << queueDepth << ")\n";
+      os << "fghp watchdog: simulated stall (fault site watchdog.stall, scan " << scan;
+      if (s.activity != nullptr) os << ", in span '" << s.activity << "'";
+      os << ", queue depth " << queueDepth << ")\n";
     }
     std::fputs(os.str().c_str(), stderr);
   }
@@ -208,12 +217,18 @@ void ThreadPool::worker_loop(std::size_t index) {
     beatPtr = &beats_[index];
   }
   Beat& beat = *beatPtr;
+  // Mirror this worker's innermost active span name into the heartbeat so
+  // the watchdog can attribute a stall to a phase, not just a worker index.
+  trace::publish_activity(&beat.activity);
   for (;;) {
     Task t;
     {
       std::unique_lock<std::mutex> lk(mu_);
       workReady_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      if (queue_.empty()) {  // stop_ set and nothing left to drain
+        trace::publish_activity(nullptr);
+        return;
+      }
       t = std::move(queue_.front());
       queue_.pop_front();
     }

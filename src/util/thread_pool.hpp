@@ -101,9 +101,13 @@ class ThreadPool {
   /// Per-worker heartbeat, written by the worker without locks and read by
   /// the watchdog. busySinceNs == 0 means idle; seq increments at each task
   /// start so the watchdog can tell "same stuck task" from "new task".
+  /// activity mirrors the worker's innermost active trace-span name
+  /// (trace::publish_activity) so a stall report can say *what* is stuck,
+  /// not just which worker; the strings have static storage duration.
   struct Beat {
     std::atomic<std::int64_t> busySinceNs{0};
     std::atomic<std::uint64_t> seq{0};
+    std::atomic<const char*> activity{nullptr};
   };
 
   void enqueue(Task t);

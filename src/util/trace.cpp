@@ -23,7 +23,7 @@ namespace {
 
 constexpr std::size_t kDefaultCapacity = 1u << 15;  // 32768 events per thread
 
-enum class Kind : std::uint8_t { kSpan, kInstant, kCounter };
+using Kind = EventKind;
 
 struct Event {
   std::uint64_t start = 0;  ///< ns since trace epoch
@@ -84,6 +84,27 @@ Registry& registry() {
 
 thread_local std::shared_ptr<ThreadBuffer> t_buf;
 thread_local std::uint64_t t_epoch = 0;
+
+/// The always-on activity stack: the names of the spans currently open on
+/// this thread, innermost last. Fixed capacity, no allocation; depth keeps
+/// counting past kMaxDepth so pushes and pops stay balanced, with the
+/// overflow levels simply unnamed. `slot` (when a watchdog registered one)
+/// mirrors the innermost name for cross-thread readers.
+struct ActivityState {
+  static constexpr int kMaxDepth = 32;
+  const char* names[kMaxDepth] = {};
+  int depth = 0;
+  std::atomic<const char*>* slot = nullptr;
+
+  const char* top() const {
+    return depth > 0 ? names[std::min(depth, kMaxDepth) - 1] : nullptr;
+  }
+  void publish() const {
+    if (slot != nullptr) slot->store(top(), std::memory_order_release);
+  }
+};
+
+thread_local ActivityState t_activity;
 
 ThreadBuffer& local_buffer() {
   Registry& r = registry();
@@ -218,7 +239,30 @@ void emit_counter(const char* cat, const char* name, double value, const char* k
   local_buffer().push(e);
 }
 
+void activity_push(const char* name) {
+  ActivityState& a = t_activity;
+  if (a.depth < ActivityState::kMaxDepth) a.names[a.depth] = name;
+  ++a.depth;
+  a.publish();
+}
+
+void activity_pop() {
+  ActivityState& a = t_activity;
+  if (a.depth > 0) --a.depth;
+  a.publish();
+}
+
 }  // namespace detail
+
+const char* current_activity() { return t_activity.top(); }
+
+void publish_activity(std::atomic<const char*>* slot) {
+  ActivityState& a = t_activity;
+  if (a.slot != nullptr && a.slot != slot)
+    a.slot->store(nullptr, std::memory_order_release);
+  a.slot = slot;
+  a.publish();
+}
 
 std::uint64_t now_ns() {
   static const auto epoch = std::chrono::steady_clock::now();
@@ -277,31 +321,60 @@ std::uint64_t dropped_count() {
   return n;
 }
 
-void write_chrome_trace(std::ostream& out) {
-  struct Rec {
-    std::uint32_t tid;
-    Event e;
-  };
-  std::vector<Rec> recs;
-  std::uint64_t dropped = 0;
+std::vector<EventView> snapshot_events() {
+  std::vector<EventView> views;
   {
     Registry& r = registry();
     std::lock_guard<std::mutex> lk(r.mu);
     for (const auto& b : r.buffers) {
       const std::uint64_t head = b->head();
       const std::uint64_t lo = head > b->capacity() ? head - b->capacity() : 0;
-      if (head > b->capacity()) dropped += head - b->capacity();
-      for (std::uint64_t i = lo; i < head; ++i) recs.push_back({b->tid(), b->slot(i)});
+      for (std::uint64_t i = lo; i < head; ++i) {
+        const Event& e = b->slot(i);
+        EventView v;
+        v.kind = e.kind;
+        v.tid = b->tid();
+        v.startNs = e.start;
+        v.durNs = e.dur;
+        v.cat = e.cat;
+        v.name = e.name;
+        v.k0 = e.k0;
+        v.k1 = e.k1;
+        v.v0 = e.v0;
+        v.v1 = e.v1;
+        v.value = e.value;
+        views.push_back(v);
+      }
     }
   }
-  std::stable_sort(recs.begin(), recs.end(),
-                   [](const Rec& a, const Rec& b) { return a.e.start < b.e.start; });
+  std::stable_sort(views.begin(), views.end(),
+                   [](const EventView& a, const EventView& b) {
+                     return a.startNs < b.startNs;
+                   });
+  return views;
+}
+
+void write_chrome_trace(std::ostream& out) {
+  // dropped_count() takes the registry lock after the snapshot released it;
+  // both calls see the same state under the exporters' quiescence contract.
+  const std::vector<EventView> views = snapshot_events();
+  const std::uint64_t dropped = dropped_count();
 
   out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":" << dropped
       << "},\"traceEvents\":[";
   bool first = true;
-  for (const Rec& rec : recs) {
-    const Event& e = rec.e;
+  for (const EventView& v : views) {
+    Event e;  // reuse the arg formatter, which reads the internal type
+    e.start = v.startNs;
+    e.dur = v.durNs;
+    e.cat = v.cat;
+    e.name = v.name;
+    e.k0 = v.k0;
+    e.k1 = v.k1;
+    e.v0 = v.v0;
+    e.v1 = v.v1;
+    e.value = v.value;
+    e.kind = v.kind;
     if (!first) out << ',';
     first = false;
     out << "\n{\"ph\":\"";
@@ -314,7 +387,7 @@ void write_chrome_trace(std::ostream& out) {
     json_escape(out, e.cat != nullptr ? e.cat : "");
     out << "\",\"name\":\"";
     json_escape(out, e.name != nullptr ? e.name : "");
-    out << "\",\"pid\":1,\"tid\":" << rec.tid << ",\"ts\":";
+    out << "\",\"pid\":1,\"tid\":" << v.tid << ",\"ts\":";
     write_us(out, e.start);
     if (e.kind == Kind::kSpan) {
       out << ",\"dur\":";

@@ -1,7 +1,9 @@
 // Thread-safe hierarchical span tracer for the partition -> SpMV pipeline.
 //
 // Every instrumented site costs a single relaxed atomic load plus one branch
-// while tracing is disabled (the default). When enabled — programmatically,
+// while tracing is disabled (the default); RAII scopes additionally keep the
+// always-on, allocation-free activity stack (current_activity()) so stall
+// diagnostics can name the running phase even in untraced runs. When enabled — programmatically,
 // via the FGHP_TRACE environment variable, or per partitioner run through
 // PartitionConfig::traceOut — events are recorded into per-thread ring
 // buffers with no locking and no heap allocation on the hot path, and can be
@@ -38,6 +40,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace fghp::trace {
 
@@ -50,6 +53,11 @@ void emit_instant(const char* cat, const char* name, const char* k0, std::int64_
                   const char* k1, std::int64_t v1);
 void emit_counter(const char* cat, const char* name, double value, const char* k0,
                   std::int64_t v0);
+// Always-on innermost-active-span bookkeeping (see current_activity()):
+// a fixed-size thread_local name stack, no allocation, no atomics unless the
+// thread registered a publish slot.
+void activity_push(const char* name);
+void activity_pop();
 }  // namespace detail
 
 /// The one-branch gate every instrumented site checks first.
@@ -77,6 +85,59 @@ void reset();
 std::size_t event_count();
 std::uint64_t dropped_count();
 
+/// What kind of event an EventView describes (span "X" / instant "i" /
+/// counter "C" in the Chrome export).
+enum class EventKind : std::uint8_t { kSpan, kInstant, kCounter };
+
+/// One recorded event, snapshotted for in-process analysis (util/report).
+/// The string pointers are the original static-storage strings — valid for
+/// the process lifetime, never copies.
+struct EventView {
+  EventKind kind = EventKind::kInstant;
+  std::uint32_t tid = 0;     ///< recorder thread (dense per-process id)
+  std::uint64_t startNs = 0; ///< ns since the trace epoch
+  std::uint64_t durNs = 0;   ///< spans only
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  const char* k0 = nullptr;
+  const char* k1 = nullptr;
+  std::int64_t v0 = 0;
+  std::int64_t v1 = 0;
+  double value = 0.0;        ///< counters only
+};
+
+/// Copies every currently held event out of the ring buffers, sorted by
+/// start time — the in-memory feed of the post-run analyzer (the Chrome
+/// exporter is this plus formatting). Same consistency contract as the
+/// exporters: call at a quiescent point.
+std::vector<EventView> snapshot_events();
+
+/// The name of the innermost span currently active on the calling thread
+/// (TraceScope / ActivityScope / explicit activity push), or nullptr. This
+/// bookkeeping is always on — unlike event recording it needs no enable() —
+/// so stall diagnostics can attribute a phase even in untraced runs.
+const char* current_activity();
+
+/// Registers `slot` to mirror this thread's innermost active span name
+/// (nullptr when idle) on every push/pop, with release stores so another
+/// thread — the pool watchdog — can read it with acquire loads. Pass nullptr
+/// to unregister (the old slot is cleared). The pointed-to names are
+/// static-storage strings, safe to dereference from any thread at any time.
+void publish_activity(std::atomic<const char*>* slot);
+
+/// RAII activity marker without an event: names the enclosing work for
+/// current_activity() / watchdog attribution at zero tracing cost. Use where
+/// a span is already emitted by explicit brackets (begin/end pairs) but the
+/// in-flight name still needs to be visible.
+class ActivityScope {
+ public:
+  explicit ActivityScope(const char* name) { detail::activity_push(name); }
+  ~ActivityScope() { detail::activity_pop(); }
+
+  ActivityScope(const ActivityScope&) = delete;
+  ActivityScope& operator=(const ActivityScope&) = delete;
+};
+
 /// Explicit-bracket span: record start = now_ns() yourself, then call
 /// complete() at the end (on the thread that finished the work).
 inline void complete(const char* cat, const char* name, std::uint64_t startNs,
@@ -98,12 +159,15 @@ inline void counter(const char* cat, const char* name, double value,
 }
 
 /// RAII span: one complete event from construction to destruction, recorded
-/// on the destructing thread. Costs one branch when tracing is disabled.
+/// on the destructing thread. While tracing is disabled it still maintains
+/// the (allocation-free) activity stack for stall attribution, costing a few
+/// thread-local stores on top of the one gate branch.
 class TraceScope {
  public:
   explicit TraceScope(const char* cat, const char* name, const char* k0 = nullptr,
                       std::int64_t v0 = 0, const char* k1 = nullptr,
                       std::int64_t v1 = 0) {
+    detail::activity_push(name);
     if (!enabled()) return;
     active_ = true;
     cat_ = cat;
@@ -116,6 +180,7 @@ class TraceScope {
   }
   ~TraceScope() {
     if (active_) detail::emit_span(cat_, name_, start_, now_ns(), k0_, v0_, k1_, v1_);
+    detail::activity_pop();
   }
 
   /// Replaces the span's args with values only known at the end of the scope
